@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 1: the simulated machine's parameters, in the style of the
+ * configuration table every TRIPS-era evaluation section opens with.
+ * Values are the defaults every other experiment runs with unless a
+ * sweep says otherwise.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace edge;
+
+int
+main()
+{
+    core::MachineConfig cfg = sim::Configs::dsre();
+    const auto &c = cfg.core;
+    const auto &m = cfg.mem;
+
+    std::printf("Table 1: simulated EDGE (TRIPS-like) core parameters\n");
+    std::printf("----------------------------------------------------\n");
+    std::printf("%-28s %u x %u grid, %u RS slots/node/frame\n",
+                "Execution substrate", c.rows, c.cols, c.slotsPerNode);
+    std::printf("%-28s %u frames (window %u instructions)\n",
+                "Speculation depth", c.numFrames,
+                c.numFrames * isa::kMaxBlockInsts);
+    std::printf("%-28s up to %u insts, %u loads/stores, %u reg "
+                "reads/writes\n",
+                "Block (hyperblock)", isa::kMaxBlockInsts,
+                isa::kMaxBlockMemOps, isa::kMaxBlockReads);
+    std::printf("%-28s %u cycle/hop, X-Y routed, 1 msg/link/cycle; "
+                "separate status (commit-wave) network\n",
+                "Operand network", c.hopLatency);
+    std::printf("%-28s %u insts/cycle, one block at a time\n",
+                "Fetch / map", c.fetchWidth);
+    std::printf("%-28s int %u / mul %u / div %u / fp %u / fdiv %u "
+                "cycles\n",
+                "Execution latencies", c.latIntAlu, c.latIntMul,
+                c.latIntDiv, c.latFpAlu, c.latFpDiv);
+    std::printf("%-28s %u banks x %zu KB, %u-way, %u-cycle hit, "
+                "%u MSHRs\n",
+                "L1 D-cache", m.numDBanks, m.l1dSizeBytes / 1024,
+                m.l1dAssoc, m.l1dHitLatency, m.l1dMshrs);
+    std::printf("%-28s %zu KB, %u-way, %u-cycle hit\n", "L1 I-cache",
+                m.l1iSizeBytes / 1024, m.l1iAssoc, m.l1iHitLatency);
+    std::printf("%-28s %zu KB, %u-way, %u-cycle hit, %u banks\n",
+                "L2 cache", m.l2SizeBytes / 1024, m.l2Assoc,
+                m.l2HitLatency, m.l2Banks);
+    std::printf("%-28s %u cycles, %u cycles/line channel\n",
+                "Main memory", m.dramLatency, m.dramCyclesPerLine);
+    std::printf("%-28s gshare-style exit predictor, %zu entries, "
+                "%u history bits\n",
+                "Next-block predictor", cfg.nbp.tableSize,
+                cfg.nbp.historyBits);
+    std::printf("%-28s SSIT 16384 / LFST 1024 (store sets)\n",
+                "Dependence predictor");
+    std::printf("%-28s 1 block/cycle, in order, block-atomic\n",
+                "Commit");
+    std::printf("%-28s resend budget %u per load, value-identity "
+                "squash %s, %u commit ports/node\n",
+                "DSRE protocol", cfg.lsq.maxResendsPerLoad,
+                c.squashIdenticalValues ? "on" : "off",
+                c.commitPortsPerNode);
+    return 0;
+}

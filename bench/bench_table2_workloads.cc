@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Table 2: workload characterisation. For every kernel: dynamic
+ * block/instruction counts, memory-operation density, exit
+ * prediction accuracy, and — the property the whole paper turns on —
+ * the *alias potential*: the fraction of dynamic loads that have an
+ * architecturally conflicting older store within a window-sized
+ * span of dynamic blocks (computed exactly from the reference
+ * trace), next to the violation rate blind speculation actually
+ * incurs on the timing machine.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "predictor/oracle.hh"
+
+using namespace edge;
+using namespace edge::bench;
+
+namespace {
+
+/** Fraction of loads conflicting with a store <= span blocks older. */
+double
+aliasPotential(const pred::OracleDb &db, unsigned span)
+{
+    std::uint64_t loads = 0, conflicting = 0;
+    for (std::uint64_t b = 0; b < db.numBlocks(); ++b) {
+        for (Lsid l = 0;; ++l) {
+            const pred::OracleDb::MemOp *op = db.memOp(b, l);
+            if (!op)
+                break;
+            if (op->isStore)
+                continue;
+            ++loads;
+            bool hit = false;
+            std::uint64_t lo = b >= span ? b - span : 0;
+            for (std::uint64_t ob = lo; ob <= b && !hit; ++ob) {
+                for (Lsid ol = 0;; ++ol) {
+                    if (ob == b && ol >= l)
+                        break;
+                    const pred::OracleDb::MemOp *so = db.memOp(ob, ol);
+                    if (!so)
+                        break;
+                    if (so->isStore &&
+                        pred::rangesOverlap(so->addr, so->bytes,
+                                            op->addr, op->bytes)) {
+                        hit = true;
+                        break;
+                    }
+                }
+            }
+            conflicting += hit;
+        }
+    }
+    return loads ? static_cast<double>(conflicting) /
+                       static_cast<double>(loads)
+                 : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t iters = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                   : 2000;
+    std::printf("Table 2: workload characterisation (%llu iterations; "
+                "alias span = 8 blocks)\n\n",
+                static_cast<unsigned long long>(iters));
+    printHeader("benchmark",
+                {"dynBlocks", "dynInsts", "ins/blk", "mem/blk",
+                 "alias%", "viol/1k", "exitAcc%"},
+                10);
+
+    for (const auto &info : wl::kernels()) {
+        wl::KernelParams kp;
+        kp.iterations = iters;
+        sim::Simulator s(wl::build(info.name, kp),
+                         sim::Configs::blindFlush());
+        sim::RunResult r = s.run();
+        fatal_if(!r.halted || !r.archMatch, "%s failed",
+                 info.name.c_str());
+
+        double alias = aliasPotential(s.oracleDb(), 8);
+        std::uint64_t mem_ops = r.loads + r.stores;
+        double correct =
+            static_cast<double>(s.stats().counterValue("nbp.correct"));
+        double wrong =
+            static_cast<double>(s.stats().counterValue("nbp.wrong"));
+        double exit_acc = 100.0 * correct / (correct + wrong);
+
+        printRow(info.name,
+                 {fmtU(s.refDynBlocks()), fmtU(s.refDynInsts()),
+                  fmtF(static_cast<double>(s.refDynInsts()) /
+                       static_cast<double>(s.refDynBlocks()), 1),
+                  fmtF(static_cast<double>(mem_ops) /
+                       static_cast<double>(r.committedBlocks), 1),
+                  fmtF(alias * 100.0, 1),
+                  fmtF(1000.0 * static_cast<double>(r.violations) /
+                       static_cast<double>(r.committedBlocks), 1),
+                  fmtF(exit_acc, 1)},
+                 10);
+    }
+    std::printf("\n(SPEC CPU2000 analogues: ");
+    for (const auto &info : wl::kernels())
+        std::printf("%s=%s ", info.name.c_str(),
+                    info.specAnalog.c_str());
+    std::printf(")\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+#include "bench/bench_util.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace edge::bench {
+
+RunRow
+runOne(const RunSpec &spec)
+{
+    wl::KernelParams kp;
+    kp.iterations = spec.iterations;
+    kp.seed = spec.seed;
+    core::MachineConfig cfg = sim::Configs::byName(spec.config);
+    if (spec.tweak)
+        spec.tweak(cfg);
+    sim::Simulator s(wl::build(spec.kernel, kp), cfg);
+    sim::RunResult r = s.run();
+    fatal_if(!r.halted, "%s/%s did not finish", spec.kernel.c_str(),
+             spec.config.c_str());
+    fatal_if(!r.archMatch, "%s/%s diverged from the reference",
+             spec.kernel.c_str(), spec.config.c_str());
+    return {spec, r};
+}
+
+std::vector<RunRow>
+runMatrix(const std::vector<std::string> &kernels,
+          const std::vector<std::string> &configs,
+          std::uint64_t iterations, const ConfigTweak &tweak)
+{
+    std::vector<RunRow> rows;
+    for (const auto &k : kernels) {
+        for (const auto &c : configs) {
+            RunSpec spec;
+            spec.kernel = k;
+            spec.config = c;
+            spec.iterations = iterations;
+            spec.tweak = tweak;
+            rows.push_back(runOne(spec));
+        }
+    }
+    return rows;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void
+printRow(const std::string &name, const std::vector<std::string> &cells,
+         unsigned width)
+{
+    std::fputs(padRight(name, 14).c_str(), stdout);
+    for (const auto &c : cells)
+        std::fputs(padLeft(c, width).c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+void
+printHeader(const std::string &name, const std::vector<std::string> &cols,
+            unsigned width)
+{
+    printRow(name, cols, width);
+    std::size_t total = 14 + cols.size() * width;
+    std::fputs((std::string(total, '-') + "\n").c_str(), stdout);
+}
+
+std::string
+fmtF(double v, int prec)
+{
+    return strfmt("%.*f", prec, v);
+}
+
+std::string
+fmtU(std::uint64_t v)
+{
+    return strfmt("%llu", static_cast<unsigned long long>(v));
+}
+
+} // namespace edge::bench

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benches: run a kernel
+ * under a machine configuration, collect the metrics the paper's
+ * tables and figures report, and print aligned tables. Each bench
+ * binary regenerates one table or figure (see DESIGN.md's
+ * per-experiment index).
+ */
+
+#ifndef EDGE_BENCH_BENCH_UTIL_HH
+#define EDGE_BENCH_BENCH_UTIL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+namespace edge::bench {
+
+/** Tweak hook applied to a config before the run (sweeps). */
+using ConfigTweak = std::function<void(core::MachineConfig &)>;
+
+struct RunSpec
+{
+    std::string kernel;
+    std::string config; ///< one of sim::Configs::allNames()
+    std::uint64_t iterations = 2000;
+    std::uint64_t seed = 1;
+    ConfigTweak tweak; ///< optional
+};
+
+struct RunRow
+{
+    RunSpec spec;
+    sim::RunResult result;
+};
+
+/** Run one spec (fatal on timeout or architectural divergence). */
+RunRow runOne(const RunSpec &spec);
+
+/** Run the cross product of kernels x configs. */
+std::vector<RunRow> runMatrix(const std::vector<std::string> &kernels,
+                              const std::vector<std::string> &configs,
+                              std::uint64_t iterations,
+                              const ConfigTweak &tweak = nullptr);
+
+/** Geometric mean (values must be positive). */
+double geomean(const std::vector<double> &values);
+
+/** Print one aligned table row ("name | v0 v1 v2 ..."). */
+void printRow(const std::string &name,
+              const std::vector<std::string> &cells, unsigned width = 12);
+
+/** Print a table header + separator. */
+void printHeader(const std::string &name,
+                 const std::vector<std::string> &cols,
+                 unsigned width = 12);
+
+/** Format helpers. */
+std::string fmtF(double v, int prec = 2);
+std::string fmtU(std::uint64_t v);
+
+} // namespace edge::bench
+
+#endif // EDGE_BENCH_BENCH_UTIL_HH

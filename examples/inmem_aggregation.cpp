@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A domain scenario written against the public API: an in-memory
+ * hash aggregation (GROUP BY + SUM), the classic database kernel
+ * whose read-modify-write bucket updates create exactly the
+ * data-dependent store-to-load dependences the paper targets.
+ * Builds the kernel with the block DSL, checks it against the
+ * functional reference, and sweeps the window size under flush and
+ * DSRE recovery to show where selective re-execution pays off.
+ *
+ *   $ ./build/examples/inmem_aggregation [rows]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "sim/simulator.hh"
+
+using namespace edge;
+
+namespace {
+
+constexpr Addr kRows = 0x10000;    // (key, value) pairs, 16 B each
+constexpr Addr kBuckets = 0x80000; // one sum per group
+constexpr Addr kOut = 0x1000;
+constexpr unsigned kGroups = 64;
+
+/** GROUP BY (key % 64) SUM(value) over `rows` packed tuples. */
+isa::Program
+buildAggregation(std::uint64_t rows, std::uint64_t seed)
+{
+    compiler::ProgramBuilder pb("aggregation");
+    {
+        Rng rng(seed);
+        std::vector<Word> tuples(rows * 2);
+        for (std::uint64_t i = 0; i < rows; ++i) {
+            // Skewed keys: a handful of hot groups, like real data.
+            tuples[i * 2] = rng.below(kGroups) & rng.below(kGroups);
+            tuples[i * 2 + 1] = rng.below(1000);
+        }
+        pb.initDataWords(kRows, tuples);
+        pb.initDataWords(kBuckets, std::vector<Word>(kGroups, 0));
+    }
+    pb.setInitReg(1, 0);
+    pb.setInitReg(2, rows);
+
+    auto &loop = pb.newBlock("loop");
+    {
+        compiler::Val i = loop.readReg(1);
+        compiler::Val n = loop.readReg(2);
+        compiler::Val row = loop.addi(loop.shli(i, 4), kRows);
+        compiler::Val key = loop.load(row, 8, 0);
+        compiler::Val val = loop.load(row, 8, 8);
+        // The RMW bucket update: whenever two in-flight rows hit the
+        // same group, the younger load depends on the older store.
+        compiler::Val bucket =
+            loop.addi(loop.shli(loop.andi(key, kGroups - 1), 3),
+                      kBuckets);
+        compiler::Val sum = loop.load(bucket, 8);
+        loop.store(bucket, loop.add(sum, val), 8);
+
+        compiler::Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, n), "loop", "done");
+    }
+    auto &done = pb.newBlock("done");
+    {
+        // Publish a result digest: sum of the first four buckets.
+        compiler::Val b0 = done.load(done.imm(kBuckets), 8);
+        compiler::Val b1 = done.load(done.imm(kBuckets + 8), 8);
+        compiler::Val b2 = done.load(done.imm(kBuckets + 16), 8);
+        compiler::Val b3 = done.load(done.imm(kBuckets + 24), 8);
+        done.store(done.imm(kOut),
+                   done.add(done.add(b0, b1), done.add(b2, b3)), 8);
+        done.branchHalt();
+    }
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t rows =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+
+    std::printf("in-memory aggregation: GROUP BY over %llu rows, "
+                "%u groups (skewed)\n\n",
+                static_cast<unsigned long long>(rows), kGroups);
+
+    std::printf("%-8s %16s %16s %10s\n", "window", "storesets-flush",
+                "dsre", "speedup");
+    std::printf("%s\n", std::string(54, '-').c_str());
+    for (unsigned frames : {1u, 2u, 4u, 8u, 16u}) {
+        double ipc[2] = {0, 0};
+        int k = 0;
+        for (const char *cfg_name : {"storesets-flush", "dsre"}) {
+            core::MachineConfig cfg = sim::Configs::byName(cfg_name);
+            cfg.core.numFrames = frames;
+            sim::Simulator sim(buildAggregation(rows, 42), cfg);
+            sim::RunResult r = sim.run();
+            if (!r.halted || !r.archMatch) {
+                std::fprintf(stderr, "run failed!\n");
+                return 1;
+            }
+            ipc[k++] = r.ipc();
+        }
+        std::printf("%5u bl %16.2f %16.2f %9.2fx\n", frames, ipc[0],
+                    ipc[1], ipc[1] / ipc[0]);
+    }
+
+    std::printf("\nThe deeper the window, the more concurrent bucket\n"
+                "updates are in flight, and the more a flush-based\n"
+                "machine loses to selective re-execution on the hot\n"
+                "groups' RMW chains.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * gem5-style status and error reporting. panic() is for simulator
+ * bugs (aborts, so invariant violations are loud in tests); fatal()
+ * is for user/configuration errors; warn()/inform() never stop the
+ * simulation.
+ */
+
+#ifndef EDGE_COMMON_LOGGING_HH
+#define EDGE_COMMON_LOGGING_HH
+
+#include <string>
+
+namespace edge {
+
+/** Verbosity levels for inform()/debugLog(). */
+enum class LogLevel { Silent, Normal, Verbose, Debug };
+
+/** Process-wide verbosity; defaults to Normal. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+} // namespace detail
+} // namespace edge
+
+/** Unrecoverable simulator bug: print and abort(). */
+#define panic(...) \
+    ::edge::detail::panicImpl(__FILE__, __LINE__, ::edge::strfmt(__VA_ARGS__))
+
+/** Unrecoverable user error (bad config): print and exit(1). */
+#define fatal(...) \
+    ::edge::detail::fatalImpl(__FILE__, __LINE__, ::edge::strfmt(__VA_ARGS__))
+
+/** panic() unless the given invariant holds. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond) {                                                          \
+            panic(__VA_ARGS__);                                              \
+        }                                                                    \
+    } while (0)
+
+/** fatal() if the given user-facing precondition is violated. */
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond) {                                                          \
+            fatal(__VA_ARGS__);                                              \
+        }                                                                    \
+    } while (0)
+
+#define warn(...) ::edge::detail::warnImpl(::edge::strfmt(__VA_ARGS__))
+#define inform(...) ::edge::detail::informImpl(::edge::strfmt(__VA_ARGS__))
+#define debug_log(...) ::edge::detail::debugImpl(::edge::strfmt(__VA_ARGS__))
+
+#include "common/strutil.hh"
+
+#endif // EDGE_COMMON_LOGGING_HH

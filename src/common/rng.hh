@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64). Every
+ * stochastic decision in the simulator and the workload generators
+ * draws from an explicitly seeded Rng so runs are reproducible
+ * bit-for-bit.
+ */
+
+#ifndef EDGE_COMMON_RNG_HH
+#define EDGE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace edge {
+
+/** SplitMix64: tiny, fast, well-distributed, and seedable. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : _state(seed)
+    {
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (_state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** True with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+} // namespace edge
+
+#endif // EDGE_COMMON_RNG_HH

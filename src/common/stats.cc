@@ -1,0 +1,169 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace edge {
+
+namespace {
+
+/** Bucket index for the power-of-two histogram. */
+std::size_t
+bucketOf(std::uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    std::size_t b = 1;
+    while (v > 1) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+/** Upper bound (inclusive) of bucket i. */
+std::uint64_t
+bucketHigh(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    return (std::uint64_t{1} << (i - 1));
+}
+
+} // namespace
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t count)
+{
+    std::size_t b = bucketOf(v);
+    if (b >= _buckets.size())
+        _buckets.resize(b + 1, 0);
+    _buckets[b] += count;
+    _samples += count;
+    _sum += v * count;
+    _max = std::max(_max, v);
+}
+
+void
+Histogram::reset()
+{
+    _buckets.clear();
+    _samples = 0;
+    _sum = 0;
+    _max = 0;
+}
+
+double
+Histogram::mean() const
+{
+    if (_samples == 0)
+        return 0.0;
+    return static_cast<double>(_sum) / static_cast<double>(_samples);
+}
+
+std::uint64_t
+Histogram::approxPercentile(double frac) const
+{
+    if (_samples == 0)
+        return 0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(frac * static_cast<double>(_samples));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (seen >= target)
+            return bucketHigh(i);
+    }
+    return _max;
+}
+
+StatSet::StatSet(std::string name) : _name(std::move(name))
+{
+}
+
+Counter &
+StatSet::counter(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = _counters.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    return it->second.counter;
+}
+
+Histogram &
+StatSet::histogram(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = _histograms.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    return it->second.histogram;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &kv : _counters)
+        kv.second.counter.reset();
+    for (auto &kv : _histograms)
+        kv.second.histogram.reset();
+}
+
+std::uint64_t
+StatSet::counterValue(const std::string &name) const
+{
+    auto it = _counters.find(name);
+    panic_if(it == _counters.end(), "no counter named '%s' in stat set %s",
+             name.c_str(), _name.c_str());
+    return it->second.counter.value();
+}
+
+bool
+StatSet::hasCounter(const std::string &name) const
+{
+    return _counters.count(name) != 0;
+}
+
+const Histogram &
+StatSet::histogramRef(const std::string &name) const
+{
+    auto it = _histograms.find(name);
+    panic_if(it == _histograms.end(),
+             "no histogram named '%s' in stat set %s", name.c_str(),
+             _name.c_str());
+    return it->second.histogram;
+}
+
+std::vector<std::string>
+StatSet::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_counters.size());
+    for (const auto &kv : _counters)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::string
+StatSet::dump() const
+{
+    std::string out;
+    out += strfmt("---------- %s ----------\n", _name.c_str());
+    for (const auto &kv : _counters) {
+        out += strfmt("%-44s %14llu  # %s\n", kv.first.c_str(),
+                      static_cast<unsigned long long>(
+                          kv.second.counter.value()),
+                      kv.second.desc.c_str());
+    }
+    for (const auto &kv : _histograms) {
+        const Histogram &h = kv.second.histogram;
+        out += strfmt("%-44s n=%llu mean=%.2f max=%llu  # %s\n",
+                      kv.first.c_str(),
+                      static_cast<unsigned long long>(h.samples()), h.mean(),
+                      static_cast<unsigned long long>(h.maxValue()),
+                      kv.second.desc.c_str());
+    }
+    return out;
+}
+
+} // namespace edge

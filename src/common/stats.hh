@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of gem5's Stats. A
+ * StatSet owns named scalars, ratios and histograms; every simulator
+ * component registers its counters into the set it is given, and the
+ * driver dumps the whole set at end of run.
+ */
+
+#ifndef EDGE_COMMON_STATS_HH
+#define EDGE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace edge {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+    void reset() { _value = 0; }
+
+    std::uint64_t value() const { return _value; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/**
+ * Power-of-two bucketed histogram. Bucket i counts samples in
+ * [2^(i-1), 2^i) with bucket 0 holding exactly-zero samples and
+ * bucket 1 holding sample value 1.
+ */
+class Histogram
+{
+  public:
+    void sample(std::uint64_t v, std::uint64_t count = 1);
+    void reset();
+
+    std::uint64_t samples() const { return _samples; }
+    std::uint64_t sum() const { return _sum; }
+    std::uint64_t maxValue() const { return _max; }
+    double mean() const;
+
+    /** Buckets, from bucket 0 up to the highest non-empty one. */
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    /** Smallest v such that at least frac of samples are <= v. */
+    std::uint64_t approxPercentile(double frac) const;
+
+  private:
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _samples = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _max = 0;
+};
+
+/**
+ * A named collection of statistics. Components hold references to
+ * Counter/Histogram objects they registered; the set owns storage so
+ * addresses stay stable for the component's lifetime.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string name = "stats");
+
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
+    /** Register and return a named counter. Names must be unique. */
+    Counter &counter(const std::string &name, const std::string &desc);
+
+    /** Register and return a named histogram. */
+    Histogram &histogram(const std::string &name, const std::string &desc);
+
+    /** Zero every registered statistic. */
+    void resetAll();
+
+    /** Value of a registered counter (panics if absent). */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** True if the named counter exists. */
+    bool hasCounter(const std::string &name) const;
+
+    /** The histogram with the given name (panics if absent). */
+    const Histogram &histogramRef(const std::string &name) const;
+
+    /** Names of all counters, sorted. */
+    std::vector<std::string> counterNames() const;
+
+    /** Multi-line human-readable dump of every statistic. */
+    std::string dump() const;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    struct NamedCounter
+    {
+        std::string desc;
+        Counter counter;
+    };
+    struct NamedHistogram
+    {
+        std::string desc;
+        Histogram histogram;
+    };
+
+    std::string _name;
+    std::map<std::string, NamedCounter> _counters;
+    std::map<std::string, NamedHistogram> _histograms;
+};
+
+} // namespace edge
+
+#endif // EDGE_COMMON_STATS_HH

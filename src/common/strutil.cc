@@ -1,0 +1,73 @@
+#include "common/strutil.hh"
+
+#include <cstdio>
+
+namespace edge {
+
+std::string
+vstrfmt(const char *fmt, std::va_list ap)
+{
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n <= 0)
+        return std::string();
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string out = vstrfmt(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &pieces, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (i)
+            out += sep;
+        out += pieces[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+} // namespace edge

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the EDGE
+ * simulator. Keeping these in one header makes intent explicit at use
+ * sites (a Cycle is not an Addr) without paying for full strong types.
+ */
+
+#ifndef EDGE_COMMON_TYPES_HH
+#define EDGE_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace edge {
+
+/** Simulated time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated (flat, 64-bit) address space. */
+using Addr = std::uint64_t;
+
+/** The architectural word: every dataflow operand is 64 bits wide. */
+using Word = std::uint64_t;
+
+/** Signed view of a Word, for arithmetic that must sign-extend. */
+using SWord = std::int64_t;
+
+/** Identifies a static block (an index into the Program). */
+using BlockId = std::uint32_t;
+
+/**
+ * Identifies a dynamic block instance. Strictly increasing over a run;
+ * never reused, even across flushes, so messages from flushed blocks
+ * can always be recognised as stale.
+ */
+using DynBlockSeq = std::uint64_t;
+
+/** Load/store sequence id within one block (program order of mem ops). */
+using Lsid = std::uint16_t;
+
+/** An instruction slot index within a block (0..kMaxBlockInsts-1). */
+using SlotId = std::uint16_t;
+
+/** Invalid-value sentinels. */
+inline constexpr BlockId kInvalidBlock = ~BlockId{0};
+inline constexpr DynBlockSeq kInvalidSeq = ~DynBlockSeq{0};
+inline constexpr SlotId kInvalidSlot = ~SlotId{0};
+
+/** Number of bytes in an architectural word. */
+inline constexpr unsigned kWordBytes = 8;
+
+/**
+ * Speculation state of a value travelling the dataflow graph under
+ * the DSRE protocol. Spec values may still change (a speculative
+ * wave); Final values are part of the commit wave and are sticky: a
+ * producer never downgrades a consumer from Final back to Spec.
+ */
+enum class ValState : std::uint8_t { Spec, Final };
+
+/** Combine operand states: a result is Final only if all inputs are. */
+inline ValState
+andState(ValState a, ValState b)
+{
+    return (a == ValState::Final && b == ValState::Final)
+               ? ValState::Final
+               : ValState::Spec;
+}
+
+/** Reinterpret a Word as an IEEE double (for FP opcodes). */
+double wordToDouble(Word w);
+
+/** Reinterpret an IEEE double as a Word. */
+Word doubleToWord(double d);
+
+} // namespace edge
+
+#include <cstring>
+
+namespace edge {
+
+inline double
+wordToDouble(Word w)
+{
+    double d;
+    std::memcpy(&d, &w, sizeof(d));
+    return d;
+}
+
+inline Word
+doubleToWord(double d)
+{
+    Word w;
+    std::memcpy(&w, &d, sizeof(w));
+    return w;
+}
+
+} // namespace edge
+
+#endif // EDGE_COMMON_TYPES_HH

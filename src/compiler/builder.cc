@@ -1,0 +1,463 @@
+#include "compiler/builder.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace edge::compiler {
+
+using isa::Opcode;
+using isa::Target;
+
+Val
+BlockBuilder::addNode(Node n)
+{
+    int id = static_cast<int>(_nodes.size());
+    _nodes.push_back(n);
+    return Val(id, this);
+}
+
+void
+BlockBuilder::checkVal(Val v) const
+{
+    panic_if(!v.valid(), "block %s: use of an invalid (default) Val",
+             _name.c_str());
+    panic_if(v._owner != this,
+             "block %s: Val belongs to a different BlockBuilder",
+             _name.c_str());
+    panic_if(v._id >= static_cast<int>(_nodes.size()),
+             "block %s: Val id out of range", _name.c_str());
+}
+
+Val
+BlockBuilder::imm(std::int64_t v)
+{
+    Node n;
+    n.op = Opcode::MOVI;
+    n.imm = v;
+    return addNode(n);
+}
+
+Val
+BlockBuilder::fimm(double v)
+{
+    return imm(static_cast<std::int64_t>(doubleToWord(v)));
+}
+
+Val
+BlockBuilder::readReg(unsigned reg)
+{
+    panic_if(reg >= isa::kNumArchRegs, "block %s: read of r%u",
+             _name.c_str(), reg);
+    auto it = _readOf.find(reg);
+    if (it != _readOf.end())
+        return Val(it->second, this);
+    Node n;
+    n.kind = Kind::Read;
+    n.reg = static_cast<std::uint8_t>(reg);
+    Val v = addNode(n);
+    _readOf[reg] = v._id;
+    return v;
+}
+
+Val
+BlockBuilder::op2(Opcode op, Val a, Val b)
+{
+    checkVal(a);
+    checkVal(b);
+    panic_if(isa::opInfo(op).numOps != 2 || isa::isMem(op),
+             "op2 with unsuitable opcode %s", isa::opName(op));
+    Node n;
+    n.op = op;
+    n.operand[0] = a._id;
+    n.operand[1] = b._id;
+    return addNode(n);
+}
+
+Val
+BlockBuilder::op1(Opcode op, Val a)
+{
+    checkVal(a);
+    panic_if(isa::opInfo(op).numOps != 1 || isa::opInfo(op).hasImm ||
+                 isa::isMem(op),
+             "op1 with unsuitable opcode %s", isa::opName(op));
+    Node n;
+    n.op = op;
+    n.operand[0] = a._id;
+    return addNode(n);
+}
+
+Val
+BlockBuilder::opImm(Opcode op, Val a, std::int64_t immediate)
+{
+    checkVal(a);
+    panic_if(isa::opInfo(op).numOps != 1 || !isa::opInfo(op).hasImm ||
+                 isa::isMem(op),
+             "opImm with unsuitable opcode %s", isa::opName(op));
+    Node n;
+    n.op = op;
+    n.imm = immediate;
+    n.operand[0] = a._id;
+    return addNode(n);
+}
+
+Val
+BlockBuilder::sel(Val cond, Val a, Val b)
+{
+    checkVal(cond);
+    checkVal(a);
+    checkVal(b);
+    Node n;
+    n.op = Opcode::SEL;
+    n.operand[0] = cond._id;
+    n.operand[1] = a._id;
+    n.operand[2] = b._id;
+    return addNode(n);
+}
+
+namespace {
+
+Opcode
+loadOpcode(unsigned bytes)
+{
+    switch (bytes) {
+      case 1: return Opcode::LDB;
+      case 2: return Opcode::LDH;
+      case 4: return Opcode::LDW;
+      case 8: return Opcode::LDD;
+    }
+    panic("bad load size %u", bytes);
+}
+
+Opcode
+storeOpcode(unsigned bytes)
+{
+    switch (bytes) {
+      case 1: return Opcode::STB;
+      case 2: return Opcode::STH;
+      case 4: return Opcode::STW;
+      case 8: return Opcode::STD;
+    }
+    panic("bad store size %u", bytes);
+}
+
+} // namespace
+
+Val
+BlockBuilder::load(Val addr, unsigned bytes, std::int64_t off)
+{
+    checkVal(addr);
+    Node n;
+    n.op = loadOpcode(bytes);
+    n.imm = off;
+    n.operand[0] = addr._id;
+    return addNode(n);
+}
+
+void
+BlockBuilder::store(Val addr, Val data, unsigned bytes, std::int64_t off)
+{
+    checkVal(addr);
+    checkVal(data);
+    Node n;
+    n.op = storeOpcode(bytes);
+    n.imm = off;
+    n.operand[0] = addr._id;
+    n.operand[1] = data._id;
+    addNode(n);
+}
+
+void
+BlockBuilder::writeReg(unsigned reg, Val v)
+{
+    checkVal(v);
+    panic_if(reg >= isa::kNumArchRegs, "block %s: write of r%u",
+             _name.c_str(), reg);
+    if (!_writeOf.count(reg))
+        _writeOrder.push_back(reg);
+    _writeOf[reg] = v._id;
+}
+
+unsigned
+BlockBuilder::addExit(const std::string &successor)
+{
+    for (std::size_t i = 0; i < _exitNames.size(); ++i)
+        if (_exitNames[i] == successor)
+            return static_cast<unsigned>(i);
+    _exitNames.push_back(successor);
+    return static_cast<unsigned>(_exitNames.size() - 1);
+}
+
+unsigned
+BlockBuilder::addExitHalt()
+{
+    return addExit("");
+}
+
+void
+BlockBuilder::branch(Val exit_index)
+{
+    checkVal(exit_index);
+    panic_if(_branchNode >= 0, "block %s: second branch", _name.c_str());
+    Node n;
+    n.op = Opcode::BR;
+    n.operand[0] = exit_index._id;
+    _branchNode = addNode(n)._id;
+}
+
+void
+BlockBuilder::branchTo(const std::string &successor)
+{
+    panic_if(_branchNode >= 0, "block %s: second branch", _name.c_str());
+    Node n;
+    n.op = Opcode::BRO;
+    n.imm = addExit(successor);
+    _branchNode = addNode(n)._id;
+}
+
+void
+BlockBuilder::branchHalt()
+{
+    panic_if(_branchNode >= 0, "block %s: second branch", _name.c_str());
+    Node n;
+    n.op = Opcode::BRO;
+    n.imm = addExitHalt();
+    _branchNode = addNode(n)._id;
+}
+
+void
+BlockBuilder::branchCond(Val cond, const std::string &if_true,
+                         const std::string &if_false)
+{
+    unsigned idx_false = addExit(if_false);
+    unsigned idx_true = addExit(if_true);
+    if (idx_false == 0 && idx_true == 1) {
+        branch(cond); // 0/1 comparison output selects the exit directly
+    } else {
+        branch(sel(cond, imm(idx_true), imm(idx_false)));
+    }
+}
+
+isa::Block
+BlockBuilder::finalize(const std::map<std::string, BlockId> &resolve) const
+{
+    panic_if(_branchNode < 0, "block %s: no branch emitted",
+             _name.c_str());
+    panic_if(_exitNames.empty(), "block %s: no exits", _name.c_str());
+
+    const std::size_t n = _nodes.size();
+
+    // Liveness: roots are stores, the branch, and write producers.
+    std::vector<bool> live(n, false);
+    std::vector<int> work;
+    auto mark = [&](int id) {
+        if (id >= 0 && !live[id]) {
+            live[id] = true;
+            work.push_back(id);
+        }
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        if (_nodes[i].kind == Kind::Inst && isa::isStore(_nodes[i].op))
+            mark(static_cast<int>(i));
+    mark(_branchNode);
+    for (const auto &kv : _writeOf)
+        mark(kv.second);
+    while (!work.empty()) {
+        int id = work.back();
+        work.pop_back();
+        for (int opnd : _nodes[id].operand)
+            mark(opnd);
+    }
+
+    // Slot assignment for live instruction nodes, in emission order
+    // (this preserves load/store order, so LSIDs come out dense).
+    isa::Block block(_name);
+    auto &insts = block.insts();
+    std::vector<int> slot_of(n, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!live[i] || _nodes[i].kind != Kind::Inst)
+            continue;
+        slot_of[i] = static_cast<int>(insts.size());
+        isa::Instruction in;
+        in.op = _nodes[i].op;
+        in.imm = _nodes[i].imm;
+        insts.push_back(in);
+    }
+
+    // Collect consumers of every live node.
+    std::vector<std::vector<Target>> consumers(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!live[i] || _nodes[i].kind != Kind::Inst)
+            continue;
+        for (unsigned k = 0; k < isa::opInfo(_nodes[i].op).numOps; ++k) {
+            int p = _nodes[i].operand[k];
+            panic_if(p < 0, "block %s: %s slot missing operand %u",
+                     _name.c_str(), isa::opName(_nodes[i].op), k);
+            consumers[p].push_back(Target::toOperand(
+                static_cast<std::uint16_t>(slot_of[i]),
+                static_cast<std::uint8_t>(k)));
+        }
+    }
+    for (std::size_t w = 0; w < _writeOrder.size(); ++w) {
+        int p = _writeOf.at(_writeOrder[w]);
+        consumers[p].push_back(
+            Target::toWrite(static_cast<std::uint16_t>(w)));
+    }
+
+    // Fanout-tree insertion: return at most two targets covering the
+    // given consumer list, appending MOV slots as needed.
+    std::function<std::array<Target, 2>(const std::vector<Target> &)>
+        fanout = [&](const std::vector<Target> &list)
+        -> std::array<Target, 2> {
+        std::array<Target, 2> out{};
+        if (list.size() <= 2) {
+            for (std::size_t i = 0; i < list.size(); ++i)
+                out[i] = list[i];
+            return out;
+        }
+        auto subtree = [&](std::vector<Target> half) -> Target {
+            if (half.size() == 1)
+                return half[0];
+            auto mov_slot = static_cast<std::uint16_t>(insts.size());
+            isa::Instruction mv;
+            mv.op = Opcode::MOV;
+            insts.push_back(mv);
+            // The recursive call may reallocate `insts`; index after.
+            auto tgts = fanout(half);
+            insts[mov_slot].targets = tgts;
+            return Target::toOperand(mov_slot, 0);
+        };
+        std::size_t mid = (list.size() + 1) / 2;
+        out[0] = subtree({list.begin(), list.begin() + mid});
+        out[1] = subtree({list.begin() + mid, list.end()});
+        return out;
+    };
+
+    // Wire instruction targets. Iterating by node id; MOV slots
+    // appended by fanout() already carry their targets.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!live[i] || _nodes[i].kind != Kind::Inst || slot_of[i] < 0)
+            continue;
+        auto tgts = fanout(consumers[i]); // may grow `insts`
+        insts[slot_of[i]].targets = tgts;
+    }
+
+    // Register-read interface (ordered by register for determinism).
+    for (const auto &kv : _readOf) {
+        int node = kv.second;
+        if (!live[node])
+            continue;
+        isa::RegRead rd;
+        rd.reg = static_cast<std::uint8_t>(kv.first);
+        rd.targets = fanout(consumers[node]);
+        block.reads().push_back(rd);
+    }
+
+    // Register-write interface.
+    for (unsigned reg : _writeOrder) {
+        isa::RegWrite wr;
+        wr.reg = static_cast<std::uint8_t>(reg);
+        block.writes().push_back(wr);
+    }
+
+    // Dense LSID assignment in slot order (== emission order).
+    Lsid next_lsid = 0;
+    for (auto &in : insts)
+        if (isa::isMem(in.op))
+            in.lsid = next_lsid++;
+
+    // Exits.
+    for (const std::string &succ : _exitNames) {
+        if (succ.empty()) {
+            block.exits().push_back(isa::kHaltBlock);
+        } else {
+            auto it = resolve.find(succ);
+            panic_if(it == resolve.end(),
+                     "block %s: exit to unknown block '%s'",
+                     _name.c_str(), succ.c_str());
+            block.exits().push_back(it->second);
+        }
+    }
+
+    panic_if(insts.size() > isa::kMaxBlockInsts,
+             "block %s: %zu instructions after fanout expansion "
+             "(max %u) — split the block",
+             _name.c_str(), insts.size(), isa::kMaxBlockInsts);
+
+    std::string why;
+    if (!block.validate(&why)) {
+        panic("block %s failed validation: %s\n%s", _name.c_str(),
+              why.c_str(), block.disassemble().c_str());
+    }
+    return block;
+}
+
+BlockBuilder &
+ProgramBuilder::newBlock(const std::string &name)
+{
+    fatal_if(name.empty(), "block name must be nonempty");
+    auto it = _blockIdx.find(name);
+    if (it != _blockIdx.end())
+        return *_blocks[it->second];
+    _blockIdx[name] = _blocks.size();
+    _blocks.emplace_back(new BlockBuilder(name));
+    return *_blocks.back();
+}
+
+void
+ProgramBuilder::setInitReg(unsigned reg, Word value)
+{
+    fatal_if(reg >= isa::kNumArchRegs, "init of nonexistent register r%u",
+             reg);
+    _initRegs.emplace_back(reg, value);
+}
+
+void
+ProgramBuilder::initDataWords(Addr base, const std::vector<Word> &words)
+{
+    isa::MemInit init;
+    init.base = base;
+    init.bytes.resize(words.size() * kWordBytes);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        for (unsigned b = 0; b < kWordBytes; ++b)
+            init.bytes[i * kWordBytes + b] =
+                static_cast<std::uint8_t>(words[i] >> (8 * b));
+    _memInits.push_back(std::move(init));
+}
+
+void
+ProgramBuilder::initDataBytes(Addr base,
+                              const std::vector<std::uint8_t> &bytes)
+{
+    _memInits.push_back(isa::MemInit{base, bytes});
+}
+
+isa::Program
+ProgramBuilder::build() const
+{
+    fatal_if(_blocks.empty(), "program %s has no blocks", _name.c_str());
+
+    std::map<std::string, BlockId> resolve;
+    for (const auto &kv : _blockIdx)
+        resolve[kv.first] = static_cast<BlockId>(kv.second);
+
+    isa::Program prog(_name);
+    for (const auto &bb : _blocks)
+        prog.addBlock(bb->finalize(resolve));
+
+    if (!_entry.empty())
+        prog.setEntry(prog.blockByName(_entry));
+
+    for (const auto &[reg, value] : _initRegs)
+        prog.initRegs()[reg] = value;
+    for (const auto &init : _memInits)
+        prog.memImage().push_back(init);
+
+    std::string why;
+    panic_if(!prog.validate(&why), "program %s invalid: %s",
+             _name.c_str(), why.c_str());
+    return prog;
+}
+
+} // namespace edge::compiler

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The hyperblock construction front end. A kernel author builds
+ * blocks against a small dataflow DSL (BlockBuilder); the builder
+ * performs dead-code elimination, register read/write interface
+ * synthesis, fanout-tree insertion (an EDGE instruction can name at
+ * most two consumers), and dense LSID assignment, then lowers to a
+ * validated isa::Block. ProgramBuilder assembles blocks into a
+ * Program, resolving successor names to BlockIds.
+ *
+ * This plays the role of the TRIPS hyperblock compiler back end; the
+ * front end (C parsing, if-conversion) is replaced by hand-written
+ * kernels that express control decisions with SEL and block exits,
+ * as documented in DESIGN.md.
+ */
+
+#ifndef EDGE_COMPILER_BUILDER_HH
+#define EDGE_COMPILER_BUILDER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace edge::compiler {
+
+class BlockBuilder;
+
+/** Opaque handle to a dataflow value inside one BlockBuilder. */
+class Val
+{
+  public:
+    Val() = default;
+    bool valid() const { return _id >= 0; }
+
+  private:
+    friend class BlockBuilder;
+    Val(int id, const void *owner) : _id(id), _owner(owner) {}
+    int _id = -1;
+    const void *_owner = nullptr; ///< builder the value belongs to
+};
+
+class BlockBuilder
+{
+  public:
+    using Opcode = isa::Opcode;
+
+    /** @name Value producers */
+    /// @{
+    /** Integer constant (MOVI). */
+    Val imm(std::int64_t v);
+    /** Floating-point constant (MOVI of the double's bits). */
+    Val fimm(double v);
+    /** Read an architectural register (merged per register). */
+    Val readReg(unsigned reg);
+
+    /** Generic two-operand instruction. */
+    Val op2(Opcode op, Val a, Val b);
+    /** Generic one-operand instruction. */
+    Val op1(Opcode op, Val a);
+    /** Generic reg-immediate instruction. */
+    Val opImm(Opcode op, Val a, std::int64_t immediate);
+
+    Val add(Val a, Val b) { return op2(Opcode::ADD, a, b); }
+    Val sub(Val a, Val b) { return op2(Opcode::SUB, a, b); }
+    Val mul(Val a, Val b) { return op2(Opcode::MUL, a, b); }
+    Val divs(Val a, Val b) { return op2(Opcode::DIVS, a, b); }
+    Val divu(Val a, Val b) { return op2(Opcode::DIVU, a, b); }
+    Val remu(Val a, Val b) { return op2(Opcode::REMU, a, b); }
+    Val band(Val a, Val b) { return op2(Opcode::AND, a, b); }
+    Val bor(Val a, Val b) { return op2(Opcode::OR, a, b); }
+    Val bxor(Val a, Val b) { return op2(Opcode::XOR, a, b); }
+    Val shl(Val a, Val b) { return op2(Opcode::SHL, a, b); }
+    Val shr(Val a, Val b) { return op2(Opcode::SHR, a, b); }
+
+    Val addi(Val a, std::int64_t k) { return opImm(Opcode::ADDI, a, k); }
+    Val muli(Val a, std::int64_t k) { return opImm(Opcode::MULI, a, k); }
+    Val andi(Val a, std::int64_t k) { return opImm(Opcode::ANDI, a, k); }
+    Val ori(Val a, std::int64_t k) { return opImm(Opcode::ORI, a, k); }
+    Val xori(Val a, std::int64_t k) { return opImm(Opcode::XORI, a, k); }
+    Val shli(Val a, std::int64_t k) { return opImm(Opcode::SHLI, a, k); }
+    Val shri(Val a, std::int64_t k) { return opImm(Opcode::SHRI, a, k); }
+
+    Val teq(Val a, Val b) { return op2(Opcode::TEQ, a, b); }
+    Val tne(Val a, Val b) { return op2(Opcode::TNE, a, b); }
+    Val tlt(Val a, Val b) { return op2(Opcode::TLT, a, b); }
+    Val tle(Val a, Val b) { return op2(Opcode::TLE, a, b); }
+    Val tltu(Val a, Val b) { return op2(Opcode::TLTU, a, b); }
+    Val teqi(Val a, std::int64_t k) { return opImm(Opcode::TEQI, a, k); }
+    Val tnei(Val a, std::int64_t k) { return opImm(Opcode::TNEI, a, k); }
+    Val tlti(Val a, std::int64_t k) { return opImm(Opcode::TLTI, a, k); }
+    Val tltui(Val a, std::int64_t k) { return opImm(Opcode::TLTUI, a, k); }
+
+    /** cond != 0 ? a : b — the if-conversion primitive. */
+    Val sel(Val cond, Val a, Val b);
+
+    Val fadd(Val a, Val b) { return op2(Opcode::FADD, a, b); }
+    Val fsub(Val a, Val b) { return op2(Opcode::FSUB, a, b); }
+    Val fmul(Val a, Val b) { return op2(Opcode::FMUL, a, b); }
+    Val fdiv(Val a, Val b) { return op2(Opcode::FDIV, a, b); }
+    Val flt(Val a, Val b) { return op2(Opcode::FLT, a, b); }
+    Val i2f(Val a) { return op1(Opcode::I2F, a); }
+    Val f2i(Val a) { return op1(Opcode::F2I, a); }
+
+    /**
+     * Load `bytes` (1, 2, 4 or 8) from address `addr + off`. LSIDs
+     * are assigned from the order of load/store calls: that order
+     * *is* the sequential memory semantics of the block.
+     */
+    Val load(Val addr, unsigned bytes = 8, std::int64_t off = 0);
+
+    /** Store the low `bytes` of data to `addr + off`. */
+    void store(Val addr, Val data, unsigned bytes = 8,
+               std::int64_t off = 0);
+    /// @}
+
+    /** @name Block interface */
+    /// @{
+    /** Write an architectural register at block commit (last wins). */
+    void writeReg(unsigned reg, Val v);
+
+    /** Add an exit edge to the named successor; returns its index. */
+    unsigned addExit(const std::string &successor);
+
+    /** Add a halting exit; returns its index. */
+    unsigned addExitHalt();
+
+    /** Branch to the exit selected by the value (dynamic). */
+    void branch(Val exit_index);
+
+    /** Unconditionally branch to the named successor. */
+    void branchTo(const std::string &successor);
+
+    /** Halt the program from this block. */
+    void branchHalt();
+
+    /**
+     * Two-way conditional: exit to `if_true` when cond != 0, else to
+     * `if_false`. Lowered to a BR consuming a 0/1 value directly.
+     */
+    void branchCond(Val cond, const std::string &if_true,
+                    const std::string &if_false);
+    /// @}
+
+    const std::string &name() const { return _name; }
+
+    /** Number of DSL nodes so far (pre-fanout size estimate). */
+    std::size_t numNodes() const { return _nodes.size(); }
+
+    /**
+     * Lower to a validated isa::Block.
+     * @param resolve maps successor names to BlockIds
+     */
+    isa::Block finalize(
+        const std::map<std::string, BlockId> &resolve) const;
+
+  private:
+    friend class ProgramBuilder;
+    explicit BlockBuilder(std::string name) : _name(std::move(name)) {}
+
+    enum class Kind : std::uint8_t { Inst, Read };
+
+    struct Node
+    {
+        Kind kind = Kind::Inst;
+        Opcode op = Opcode::MOVI;
+        std::int64_t imm = 0;
+        int operand[3] = {-1, -1, -1};
+        std::uint8_t reg = 0; ///< Read kind only
+    };
+
+    Val addNode(Node n);
+    void checkVal(Val v) const;
+
+    std::string _name;
+    std::vector<Node> _nodes;
+    std::map<unsigned, int> _readOf;      ///< arch reg -> Read node
+    std::map<unsigned, int> _writeOf;     ///< arch reg -> producing node
+    std::vector<unsigned> _writeOrder;    ///< write regs, first-write order
+    std::vector<std::string> _exitNames;  ///< "" means halt
+    int _branchNode = -1;
+};
+
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name = "prog")
+        : _name(std::move(name))
+    {
+    }
+
+    /** Create (or retrieve) the block with the given unique name. */
+    BlockBuilder &newBlock(const std::string &name);
+
+    void setEntry(const std::string &name) { _entry = name; }
+
+    /** Initial architectural register value. */
+    void setInitReg(unsigned reg, Word value);
+
+    /** Initial memory image, 64-bit words. */
+    void initDataWords(Addr base, const std::vector<Word> &words);
+
+    /** Initial memory image, raw bytes. */
+    void initDataBytes(Addr base, const std::vector<std::uint8_t> &bytes);
+
+    /**
+     * Finalize every block and produce a validated Program.
+     * panics (simulator-author bug) if any block fails validation.
+     */
+    isa::Program build() const;
+
+  private:
+    std::string _name;
+    std::string _entry;
+    std::vector<std::unique_ptr<BlockBuilder>> _blocks;
+    std::map<std::string, std::size_t> _blockIdx;
+    std::vector<std::pair<unsigned, Word>> _initRegs;
+    std::vector<isa::MemInit> _memInits;
+};
+
+} // namespace edge::compiler
+
+#endif // EDGE_COMPILER_BUILDER_HH

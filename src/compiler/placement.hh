@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Static instruction placement (the EDGE "scheduler"): maps each of
+ * a block's instruction slots onto a node of the execution grid,
+ * subject to per-node capacity, minimising expected operand-network
+ * hops. Placement quality directly affects simulated performance, so
+ * the placer mirrors the greedy list scheduler used by the TRIPS
+ * toolchain: topological order, pick the cheapest node with free
+ * capacity, cost = distance to producers + distance to the register
+ * file row for reads + distance to the LSQ column for memory ops +
+ * a load-balance term.
+ */
+
+#ifndef EDGE_COMPILER_PLACEMENT_HH
+#define EDGE_COMPILER_PLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/block.hh"
+
+namespace edge::compiler {
+
+/** Geometry of the execution substrate the placer targets. */
+struct GridGeom
+{
+    unsigned rows = 4;
+    unsigned cols = 4;
+    unsigned slotsPerNode = 8; ///< per frame; rows*cols*slots >= 128
+
+    unsigned numNodes() const { return rows * cols; }
+    unsigned nodeId(unsigned r, unsigned c) const { return r * cols + c; }
+    unsigned rowOf(unsigned node) const { return node / cols; }
+    unsigned colOf(unsigned node) const { return node % cols; }
+};
+
+/** Result: execution-grid node of every instruction slot. */
+struct Placement
+{
+    std::vector<std::uint16_t> nodeOf; ///< indexed by SlotId
+
+    /** Instructions mapped to each node (for capacity checks). */
+    std::vector<unsigned> perNodeCount;
+};
+
+/**
+ * Place one block onto the grid.
+ *
+ * The register file occupies a virtual row above row 0 (reads enter
+ * at the top); the LSQ / D-cache banks occupy a virtual column left
+ * of column 0 (memory requests exit to the left, replies return from
+ * the left). Deterministic: equal-cost candidates break ties toward
+ * the lowest node id.
+ */
+Placement placeBlock(const isa::Block &block, const GridGeom &geom);
+
+/** Manhattan distance between two grid nodes. */
+unsigned gridDistance(const GridGeom &geom, unsigned a, unsigned b);
+
+} // namespace edge::compiler
+
+#endif // EDGE_COMPILER_PLACEMENT_HH

@@ -1,0 +1,168 @@
+#include "compiler/ref_executor.hh"
+
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace edge::compiler {
+
+using isa::Opcode;
+using isa::TargetKind;
+
+RefExecutor::RefExecutor(isa::Program program)
+    : _prog(std::move(program)), _regs(isa::kNumArchRegs, 0)
+{
+    std::string why;
+    panic_if(!_prog.validate(&why), "RefExecutor: invalid program: %s",
+             why.c_str());
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        _regs[r] = _prog.initRegs()[r];
+    for (const auto &init : _prog.memImage())
+        _mem.writeBytes(init.base, init.bytes.data(),
+                        init.bytes.size());
+}
+
+Word
+RefExecutor::executeBlock(const isa::Block &block, BlockTrace *bt)
+{
+    const auto &insts = block.insts();
+    const std::size_t n = insts.size();
+
+    std::vector<Word> operand(n * isa::kMaxOperands, 0);
+    std::vector<std::uint8_t> have(n, 0);
+    std::vector<bool> done(n, false);
+    std::vector<Word> write_vals(block.writes().size(), 0);
+    bool have_exit = false;
+    Word exit_index = 0;
+
+    std::deque<SlotId> ready;
+    // Memory operations blocked on LSID order, indexed by LSID.
+    std::vector<SlotId> parked(block.numMemOps(), kInvalidSlot);
+    Lsid mem_next = 0;
+
+    auto arm = [&](SlotId s) {
+        const auto &in = insts[s];
+        if (have[s] != in.numOperands() || done[s])
+            return;
+        if (isa::isMem(in.op) && in.lsid != mem_next) {
+            parked[in.lsid] = s;
+        } else {
+            ready.push_back(s);
+        }
+    };
+
+    auto deliver = [&](const isa::Target &t, Word v) {
+        if (t.kind == TargetKind::Operand) {
+            operand[t.index * isa::kMaxOperands + t.operand] = v;
+            ++have[t.index];
+            arm(t.index);
+        } else if (t.kind == TargetKind::RegWrite) {
+            write_vals[t.index] = v;
+        }
+    };
+
+    // Inject register reads and zero-operand instructions.
+    for (const auto &rd : block.reads())
+        for (const auto &t : rd.targets)
+            if (t.valid())
+                deliver(t, _regs[rd.reg]);
+    for (std::size_t s = 0; s < n; ++s)
+        if (insts[s].numOperands() == 0)
+            ready.push_back(static_cast<SlotId>(s));
+
+    std::size_t executed = 0;
+    while (!ready.empty()) {
+        SlotId s = ready.front();
+        ready.pop_front();
+        if (done[s])
+            continue;
+        const auto &in = insts[s];
+        done[s] = true;
+        ++executed;
+
+        Word a = operand[s * isa::kMaxOperands + 0];
+        Word b = operand[s * isa::kMaxOperands + 1];
+        Word c = operand[s * isa::kMaxOperands + 2];
+        Word result = 0;
+
+        if (isa::isMem(in.op)) {
+            panic_if(in.lsid != mem_next, "memory ordering bug");
+            unsigned bytes = isa::opInfo(in.op).accessBytes;
+            Addr addr = isa::memEffAddr(a, in.imm);
+            if (isa::isStore(in.op)) {
+                _mem.write(addr, bytes, b);
+                if (bt)
+                    bt->memOps.push_back({true, addr,
+                                          static_cast<std::uint8_t>(bytes),
+                                          b});
+            } else {
+                result = _mem.read(addr, bytes);
+                if (bt)
+                    bt->memOps.push_back({false, addr,
+                                          static_cast<std::uint8_t>(bytes),
+                                          result});
+            }
+            ++mem_next;
+            // A memory op that was waiting on LSID order may now go.
+            if (mem_next < parked.size() &&
+                parked[mem_next] != kInvalidSlot) {
+                ready.push_back(parked[mem_next]);
+            }
+        } else if (isa::isBranch(in.op)) {
+            exit_index = isa::evalOp(in.op, a, b, c, in.imm);
+            have_exit = true;
+        } else {
+            result = isa::evalOp(in.op, a, b, c, in.imm);
+        }
+
+        if (!isa::isStore(in.op) && !isa::isBranch(in.op))
+            for (const auto &t : in.targets)
+                if (t.valid())
+                    deliver(t, result);
+    }
+
+    panic_if(executed != n,
+             "block %s: only %zu of %zu instructions executed — the "
+             "dataflow/LSID graph deadlocks",
+             block.name().c_str(), executed, n);
+    panic_if(!have_exit, "block %s produced no exit",
+             block.name().c_str());
+
+    // Block-atomic register commit.
+    for (std::size_t w = 0; w < block.writes().size(); ++w)
+        _regs[block.writes()[w].reg] = write_vals[w];
+
+    return exit_index;
+}
+
+RefExecutor::Result
+RefExecutor::run(std::uint64_t max_blocks, std::vector<BlockTrace> *trace)
+{
+    Result res;
+    BlockId cur = _prog.entry();
+    while (res.dynBlocks < max_blocks) {
+        const isa::Block &block = _prog.block(cur);
+        BlockTrace bt;
+        bt.block = cur;
+        Word exit_index =
+            executeBlock(block, trace ? &bt : nullptr);
+        panic_if(exit_index >= block.exits().size(),
+                 "block %s: exit index %llu out of range",
+                 block.name().c_str(),
+                 static_cast<unsigned long long>(exit_index));
+        bt.exitIndex = exit_index;
+        if (trace)
+            trace->push_back(std::move(bt));
+        ++res.dynBlocks;
+        res.dynInsts += block.insts().size();
+        BlockId next = block.exits()[exit_index];
+        if (next == isa::kHaltBlock) {
+            res.halted = true;
+            return res;
+        }
+        cur = next;
+    }
+    return res;
+}
+
+} // namespace edge::compiler

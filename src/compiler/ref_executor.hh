@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional (untimed) execution of an EDGE program with sequential
+ * memory semantics. Serves three roles: the golden model every
+ * timing configuration must match architecturally, the source of
+ * the per-dynamic-block memory trace that feeds the perfect
+ * dependence oracle, and the workload characterisation pass.
+ */
+
+#ifndef EDGE_COMPILER_REF_EXECUTOR_HH
+#define EDGE_COMPILER_REF_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/sparse_memory.hh"
+
+namespace edge::compiler {
+
+/** One executed memory operation, in LSID order within its block. */
+struct MemOpTrace
+{
+    bool isStore = false;
+    Addr addr = 0;
+    std::uint8_t bytes = 0;
+    Word value = 0; ///< loaded or stored value
+};
+
+/** The trace of one committed dynamic block. */
+struct BlockTrace
+{
+    BlockId block = 0;
+    Word exitIndex = 0;
+    std::vector<MemOpTrace> memOps; ///< indexed by LSID
+};
+
+class RefExecutor
+{
+  public:
+    /** The program is copied so temporaries are safe to pass. */
+    explicit RefExecutor(isa::Program program);
+
+    struct Result
+    {
+        std::uint64_t dynBlocks = 0;
+        std::uint64_t dynInsts = 0;
+        bool halted = false; ///< false => hit the block limit
+    };
+
+    /**
+     * Execute from the entry block.
+     * @param max_blocks dynamic block budget (guards against
+     *        non-terminating programs)
+     * @param trace if non-null, receives one BlockTrace per block
+     * @return dynamic counts and whether the program halted
+     */
+    Result run(std::uint64_t max_blocks,
+               std::vector<BlockTrace> *trace = nullptr);
+
+    const std::vector<Word> &regs() const { return _regs; }
+    mem::SparseMemory &memory() { return _mem; }
+    const mem::SparseMemory &memory() const { return _mem; }
+
+  private:
+    /** Execute one block; returns the taken exit index. */
+    Word executeBlock(const isa::Block &block, BlockTrace *bt);
+
+    isa::Program _prog;
+    std::vector<Word> _regs;
+    mem::SparseMemory _mem;
+};
+
+} // namespace edge::compiler
+
+#endif // EDGE_COMPILER_REF_EXECUTOR_HH

@@ -1,0 +1,297 @@
+#include "core/exec_node.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace edge::core {
+
+ExecNode::ExecNode(const CoreParams &params, NodeStats stats, SendFn send)
+    : _p(params),
+      _stats(stats),
+      _send(std::move(send)),
+      _slots(params.slotsPerNode * params.numFrames)
+{
+}
+
+ExecNode::RsEntry &
+ExecNode::at(unsigned frame, unsigned local)
+{
+    panic_if(frame >= _p.numFrames || local >= _p.slotsPerNode,
+             "RS index (%u, %u) out of range", frame, local);
+    return _slots[frame * _p.slotsPerNode + local];
+}
+
+void
+ExecNode::mapInst(unsigned frame, unsigned local, DynBlockSeq seq,
+                  SlotId slot, const isa::Instruction &inst)
+{
+    RsEntry &e = at(frame, local);
+    panic_if(e.valid, "mapping into an occupied RS slot");
+    e = RsEntry{};
+    e.valid = true;
+    e.seq = seq;
+    e.slot = slot;
+    e.op = inst.op;
+    e.imm = inst.imm;
+    e.lsid = inst.lsid;
+    e.numOps = static_cast<std::uint8_t>(inst.numOperands());
+    e.targets = inst.targets;
+}
+
+void
+ExecNode::clearFrame(unsigned frame)
+{
+    for (unsigned i = 0; i < _p.slotsPerNode; ++i)
+        _slots[frame * _p.slotsPerNode + i] = RsEntry{};
+}
+
+bool
+ExecNode::deliver(unsigned frame, unsigned local, unsigned operand,
+                  Word value, ValState state, std::uint32_t wave,
+                  std::uint16_t depth)
+{
+    RsEntry &e = at(frame, local);
+    panic_if(!e.valid, "operand delivered to an empty RS slot");
+    panic_if(operand >= e.numOps, "operand %u out of range for %s",
+             operand, isa::opName(e.op));
+
+    if (wave <= e.opWave[operand])
+        return false; // stale wave: the producer has sent newer data
+    e.opWave[operand] = wave;
+
+    bool first = !e.opSeen[operand];
+    ValState prev_state = first ? ValState::Spec : e.opState[operand];
+    bool value_changed = first || e.opVal[operand] != value;
+
+    panic_if(!first && prev_state == ValState::Final && value_changed,
+             "protocol violation: Final operand changed value "
+             "(seq %llu slot %u op %u)",
+             static_cast<unsigned long long>(e.seq), e.slot, operand);
+
+    // Final is sticky.
+    ValState next_state = state;
+    if (prev_state == ValState::Final)
+        next_state = ValState::Final;
+
+    e.opSeen[operand] = true;
+    e.opVal[operand] = value;
+    e.opState[operand] = next_state;
+
+    if (e.executed) {
+        if (value_changed) {
+            e.dirtyValue = true;
+            e.triggerDepth = std::max<std::uint16_t>(
+                e.triggerDepth, static_cast<std::uint16_t>(depth + 1));
+        } else if (prev_state != ValState::Final &&
+                   next_state == ValState::Final) {
+            e.dirtyState = true;
+            e.triggerDepth = std::max<std::uint16_t>(
+                e.triggerDepth, static_cast<std::uint16_t>(depth + 1));
+        }
+    }
+    return true;
+}
+
+NodeEvent
+ExecNode::makeEvent(Cycle done, const RsEntry &e, Word value,
+                    ValState state, std::uint16_t depth) const
+{
+    NodeEvent ev;
+    ev.when = done;
+    ev.seq = e.seq;
+    ev.slot = e.slot;
+    ev.lsid = e.lsid;
+    ev.value = value;
+    ev.state = state;
+    ev.wave = e.sendCount;
+    ev.depth = depth;
+    ev.targets = e.targets;
+    if (isa::isLoad(e.op)) {
+        ev.kind = NodeEvent::Kind::LoadRequest;
+        ev.addr = isa::memEffAddr(e.opVal[0], e.imm);
+    } else if (isa::isStore(e.op)) {
+        ev.kind = NodeEvent::Kind::StoreResolve;
+        ev.addr = isa::memEffAddr(e.opVal[0], e.imm);
+        ev.value = e.opVal[1];
+        ev.addrState = e.opState[0];
+        ev.state = e.opState[1];
+    } else if (isa::isBranch(e.op)) {
+        ev.kind = NodeEvent::Kind::Exit;
+    } else {
+        ev.kind = NodeEvent::Kind::Result;
+    }
+    return ev;
+}
+
+void
+ExecNode::execute(Cycle now, RsEntry &e, bool is_reexec)
+{
+    Cycle done = now + _p.execLatency(e.op);
+    ValState state = e.inputState();
+    std::uint16_t depth = is_reexec ? e.triggerDepth : 0;
+
+    Word value = 0;
+    Word addr_key = 0; ///< identity key for the squash comparison
+    Word data_key = 0;
+    if (isa::isLoad(e.op)) {
+        addr_key = isa::memEffAddr(e.opVal[0], e.imm);
+        state = e.opState[0];
+    } else if (isa::isStore(e.op)) {
+        addr_key = isa::memEffAddr(e.opVal[0], e.imm);
+        data_key = e.opVal[1];
+    } else {
+        value = isa::evalOp(e.op, e.opVal[0], e.opVal[1], e.opVal[2],
+                            e.imm);
+        addr_key = value;
+    }
+
+    ValState addr_state =
+        isa::isMem(e.op) ? e.opState[0] : ValState::Spec;
+    if (isa::isStore(e.op))
+        state = e.opState[1]; // data state travels separately
+
+    ++_stats.issues;
+    if (is_reexec) {
+        ++_stats.reexecs;
+        _stats.waveDepth.sample(depth);
+    }
+
+    bool identical = e.executed && e.lastValue == addr_key &&
+                     e.lastData == data_key && e.lastState == state &&
+                     e.lastAddrState == addr_state;
+    bool send = !(identical && _p.squashIdenticalValues);
+    if (identical && _p.squashIdenticalValues)
+        ++_stats.squashes;
+
+    e.executed = true;
+    e.dirtyValue = false;
+    e.dirtyState = false;
+    e.triggerDepth = 0;
+    e.lastValue = addr_key;
+    e.lastData = data_key;
+    e.lastState = state;
+    e.lastAddrState = addr_state;
+
+    if (send) {
+        ++e.sendCount;
+        done = std::max(done, e.lastSendWhen);
+        e.lastSendWhen = done;
+        _send(makeEvent(done, e, value, state, depth));
+    }
+}
+
+void
+ExecNode::upgrade(Cycle now, RsEntry &e)
+{
+    e.dirtyState = false;
+    std::uint16_t depth = e.triggerDepth;
+    e.triggerDepth = 0;
+
+    if (isa::isStore(e.op)) {
+        // Stores propagate address and data finality independently:
+        // a final address alone already un-blocks younger loads'
+        // commit waves (they learn the store cannot move onto them).
+        ValState as = e.opState[0];
+        ValState ds = e.opState[1];
+        if (as == e.lastAddrState && ds == e.lastState)
+            return;
+        e.lastAddrState = as;
+        e.lastState = ds;
+        ++_stats.upgrades;
+        ++e.sendCount;
+        Cycle when = std::max(now + 1, e.lastSendWhen);
+        e.lastSendWhen = when;
+        NodeEvent ev = makeEvent(when, e, e.lastData, ds, depth);
+        ev.addr = e.lastValue;
+        ev.statusOnly = true;
+        _send(ev);
+        return;
+    }
+
+    ValState state = isa::isLoad(e.op) ? e.opState[0] : e.inputState();
+    if (state != ValState::Final || e.lastState == ValState::Final)
+        return;
+    e.lastState = state;
+    ++_stats.upgrades;
+    ++e.sendCount;
+    Cycle when = std::max(now + 1, e.lastSendWhen);
+    e.lastSendWhen = when;
+    NodeEvent ev = makeEvent(when, e, e.lastValue, state, depth);
+    if (ev.kind == NodeEvent::Kind::LoadRequest)
+        ev.addr = e.lastValue; // lastValue holds the address key
+    ev.statusOnly = true;
+    _send(ev);
+}
+
+void
+ExecNode::tick(Cycle now)
+{
+    // ALU: one issue per cycle; oldest block first, then slot order.
+    RsEntry *best = nullptr;
+    for (RsEntry &e : _slots) {
+        if (!e.valid || !e.allSeen())
+            continue;
+        bool wants_alu = !e.executed || e.dirtyValue ||
+                         (_p.commitWaveUsesAlu && e.dirtyState);
+        if (!wants_alu)
+            continue;
+        if (!best || e.seq < best->seq ||
+            (e.seq == best->seq && e.slot < best->slot)) {
+            best = &e;
+        }
+    }
+    if (best) {
+        bool is_reexec = best->executed;
+        if (_p.commitWaveUsesAlu && best->executed && !best->dirtyValue &&
+            best->dirtyState) {
+            upgrade(now, *best);
+        } else {
+            execute(now, *best, is_reexec);
+        }
+    }
+
+    if (!_p.commitWaveUsesAlu) {
+        unsigned budget = _p.commitPortsPerNode;
+        for (RsEntry &e : _slots) {
+            if (budget == 0)
+                break;
+            if (e.valid && e.executed && !e.dirtyValue && e.dirtyState &&
+                e.allSeen()) {
+                upgrade(now, e);
+                --budget;
+            }
+        }
+    }
+}
+
+unsigned
+ExecNode::occupancy() const
+{
+    unsigned n = 0;
+    for (const RsEntry &e : _slots)
+        n += e.valid;
+    return n;
+}
+
+std::string
+ExecNode::debugState() const
+{
+    std::string out;
+    for (const RsEntry &e : _slots) {
+        if (!e.valid || e.executed)
+            continue;
+        std::string missing;
+        for (unsigned k = 0; k < e.numOps; ++k)
+            if (!e.opSeen[k])
+                missing += strfmt(" op%u", k);
+        out += strfmt("  seq %llu slot %u %s waiting:%s\n",
+                      static_cast<unsigned long long>(e.seq), e.slot,
+                      isa::opName(e.op),
+                      missing.empty() ? " (ready)" : missing.c_str());
+    }
+    return out;
+}
+
+} // namespace edge::core

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * One execution node of the grid: an integer/FP ALU fronted by
+ * `slotsPerNode * numFrames` reservation-station slots. Implements
+ * the node-side half of the DSRE protocol:
+ *
+ *  - an operand arrival with a *changed value* re-arms the slot for
+ *    a full ALU re-execution (a speculative wave passing through);
+ *  - an arrival that only upgrades Spec -> Final re-arms the slot
+ *    for a cheap state-upgrade re-send (the commit wave), which by
+ *    default uses a separate commit port rather than the ALU;
+ *  - re-sends whose value and state match the last send are
+ *    squashed (value-identity squash), configurable for ablation;
+ *  - wave numbers are per producer-link monotonic: stale (lower
+ *    wave) messages are ignored, Final is sticky.
+ */
+
+#ifndef EDGE_CORE_EXEC_NODE_HH
+#define EDGE_CORE_EXEC_NODE_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/params.hh"
+#include "isa/instruction.hh"
+
+namespace edge::core {
+
+/** What an issued instruction sends; the processor routes it. */
+struct NodeEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Result,       ///< value to the instruction's targets
+        LoadRequest,  ///< address to the LSQ
+        StoreResolve, ///< address + data to the LSQ
+        Exit,         ///< branch outcome to the control unit
+    };
+
+    Kind kind = Kind::Result;
+    Cycle when = 0; ///< completion time (message leaves the node)
+    DynBlockSeq seq = 0;
+    SlotId slot = 0;
+    Lsid lsid = 0;
+    Word value = 0; ///< result / store data / exit index
+    Addr addr = 0;  ///< loads and stores
+    ValState state = ValState::Spec;    ///< result / store *data* state
+    ValState addrState = ValState::Spec; ///< store *address* state
+    std::uint32_t wave = 0; ///< per-producer monotonic send count
+    std::uint16_t depth = 0;
+    bool statusOnly = false; ///< commit-wave upgrade (no new value)
+    std::array<isa::Target, isa::kMaxTargets> targets{};
+};
+
+/** Aggregated (across nodes) execution statistics. */
+struct NodeStats
+{
+    Counter &issues;      ///< ALU issues (first executions)
+    Counter &reexecs;     ///< ALU issues that are DSRE re-fires
+    Counter &upgrades;    ///< commit-wave state-upgrade re-sends
+    Counter &squashes;    ///< re-sends suppressed by value identity
+    Histogram &waveDepth; ///< propagation depth of each re-fire
+};
+
+class ExecNode
+{
+  public:
+    using SendFn = std::function<void(const NodeEvent &)>;
+
+    ExecNode(const CoreParams &params, NodeStats stats, SendFn send);
+
+    /** Install one instruction into (frame, local slot). */
+    void mapInst(unsigned frame, unsigned local, DynBlockSeq seq,
+                 SlotId slot, const isa::Instruction &inst);
+
+    /** Release every slot of the frame (commit or flush). */
+    void clearFrame(unsigned frame);
+
+    /**
+     * An operand message arrived for (frame, local slot).
+     * @return false if the message was stale (old wave) and dropped
+     */
+    bool deliver(unsigned frame, unsigned local, unsigned operand,
+                 Word value, ValState state, std::uint32_t wave,
+                 std::uint16_t depth);
+
+    /** Issue up to one ALU op and the commit-port budget. */
+    void tick(Cycle now);
+
+    /** Number of occupied slots (tests / deadlock dumps). */
+    unsigned occupancy() const;
+
+    /** True if some slot could still make progress (debug dumps). */
+    std::string debugState() const;
+
+  private:
+    struct RsEntry
+    {
+        bool valid = false;
+        DynBlockSeq seq = 0;
+        SlotId slot = 0;
+        isa::Opcode op = isa::Opcode::MOVI;
+        std::int64_t imm = 0;
+        Lsid lsid = 0;
+        std::uint8_t numOps = 0;
+        std::array<isa::Target, isa::kMaxTargets> targets{};
+
+        std::array<Word, isa::kMaxOperands> opVal{};
+        std::array<ValState, isa::kMaxOperands> opState{};
+        std::array<std::uint32_t, isa::kMaxOperands> opWave{};
+        std::array<bool, isa::kMaxOperands> opSeen{};
+
+        bool executed = false;
+        bool dirtyValue = false; ///< needs a full re-execution
+        bool dirtyState = false; ///< needs a state-upgrade re-send
+        Word lastValue = 0;      ///< last sent value (loads: address)
+        Word lastData = 0;       ///< stores: last sent data
+        ValState lastState = ValState::Spec;
+        ValState lastAddrState = ValState::Spec; ///< stores only
+        std::uint32_t sendCount = 0; ///< outgoing wave counter
+        Cycle lastSendWhen = 0; ///< upgrades may not overtake data
+        std::uint16_t triggerDepth = 0;
+
+        bool allSeen() const
+        {
+            for (unsigned k = 0; k < numOps; ++k)
+                if (!opSeen[k])
+                    return false;
+            return true;
+        }
+
+        ValState
+        inputState() const
+        {
+            ValState s = ValState::Final;
+            for (unsigned k = 0; k < numOps; ++k)
+                s = andState(s, opState[k]);
+            return s;
+        }
+    };
+
+    RsEntry &at(unsigned frame, unsigned local);
+
+    /** Execute one entry on the ALU; emit its event. */
+    void execute(Cycle now, RsEntry &e, bool is_reexec);
+
+    /** Send the commit-wave upgrade for an entry (no ALU). */
+    void upgrade(Cycle now, RsEntry &e);
+
+    /** Build the outgoing event for an entry's current operands. */
+    NodeEvent makeEvent(Cycle done, const RsEntry &e, Word value,
+                        ValState state, std::uint16_t depth) const;
+
+    const CoreParams &_p;
+    NodeStats _stats;
+    SendFn _send;
+    std::vector<RsEntry> _slots; ///< slotsPerNode * numFrames
+};
+
+} // namespace edge::core
+
+#endif // EDGE_CORE_EXEC_NODE_HH

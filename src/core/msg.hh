@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The operand-network message format. Every value moving through the
+ * machine — operands between instructions, register writes, load
+ * requests and replies, store resolutions, block exits — is one of
+ * these, tagged with the DSRE protocol fields (state, wave, depth).
+ */
+
+#ifndef EDGE_CORE_MSG_HH
+#define EDGE_CORE_MSG_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace edge::core {
+
+struct Msg
+{
+    enum class Kind : std::uint8_t
+    {
+        Operand,      ///< to an instruction's operand slot
+        WriteVal,     ///< to a block's register-write slot
+        LoadReq,      ///< load address to the LSQ
+        StoreResolve, ///< store address + data to the LSQ
+        ExitVal,      ///< branch outcome to the control unit
+    };
+
+    Kind kind = Kind::Operand;
+    DynBlockSeq seq = 0;  ///< dynamic block the message belongs to
+    SlotId slot = 0;      ///< consumer slot (Operand) / memop slot
+    std::uint8_t operand = 0;
+    std::uint16_t writeIdx = 0;
+    Lsid lsid = 0;
+    Word value = 0;       ///< operand value / store data / exit index
+    Addr addr = 0;        ///< memory ops only
+    ValState state = ValState::Spec;
+    ValState addrState = ValState::Spec; ///< store address state
+    std::uint32_t wave = 0;
+    std::uint16_t depth = 0;
+    /** Commit-wave (state-only) message: rides the status
+     *  network, the analogue of TRIPS's global control network. */
+    bool statusOnly = false;
+    /** Load replies are sent straight to these consumers. */
+    std::array<isa::Target, isa::kMaxTargets> targets{};
+};
+
+} // namespace edge::core
+
+#endif // EDGE_CORE_MSG_HH

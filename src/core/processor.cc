@@ -1,0 +1,582 @@
+#include "core/processor.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+static const bool kTrace = std::getenv("EDGE_TRACE") != nullptr;
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace edge::core {
+
+Processor::Processor(const MachineConfig &config,
+                     const isa::Program &program,
+                     const pred::OracleDb *oracle, StatSet &stats)
+    : _cfg(config),
+      _prog(program),
+      _oracle(oracle),
+      _stats(stats),
+      _statCommittedBlocks(stats.counter("core.committed_blocks",
+                                         "blocks committed")),
+      _statCommittedInsts(stats.counter("core.committed_insts",
+                                        "instructions committed")),
+      _statCtrlFlushes(stats.counter("core.ctrl_flushes",
+                                     "flushes from exit mispredicts")),
+      _statViolFlushes(stats.counter(
+          "core.viol_flushes", "flushes from dependence violations")),
+      _statFetchedBlocks(stats.counter("core.fetched_blocks",
+                                       "blocks fetched and mapped"))
+{
+    std::string why;
+    fatal_if(!program.validate(&why), "invalid program: %s", why.c_str());
+    fatal_if(_cfg.core.numNodes() * _cfg.core.slotsPerNode <
+                 isa::kMaxBlockInsts,
+             "grid capacity below the maximum block size");
+    fatal_if(_cfg.policy == pred::DepPolicy::Oracle && !oracle,
+             "the oracle policy needs an OracleDb");
+
+    compiler::GridGeom geom{_cfg.core.rows, _cfg.core.cols,
+                            _cfg.core.slotsPerNode};
+    _placements.reserve(program.numBlocks());
+    for (std::size_t b = 0; b < program.numBlocks(); ++b) {
+        _placements.push_back(
+            compiler::placeBlock(program.block(
+                                     static_cast<BlockId>(b)),
+                                 geom));
+    }
+
+    for (const auto &init : program.memImage())
+        _dmem.writeBytes(init.base, init.bytes.data(), init.bytes.size());
+
+    _hier = std::make_unique<mem::Hierarchy>(_cfg.mem, stats);
+
+    net::MeshParams mp;
+    mp.geom = {_cfg.core.rows + 1, _cfg.core.cols + 1};
+    mp.hopLatency = _cfg.core.hopLatency;
+    _mesh = std::make_unique<net::Mesh<Msg>>(mp, stats);
+    net::MeshParams gp = mp;
+    gp.statPrefix = "gcn";
+    _gcn = std::make_unique<net::Mesh<Msg>>(gp, stats);
+
+    _policy = pred::makeDependencePredictor(_cfg.policy, oracle, stats);
+    _nbp = std::make_unique<pred::NextBlockPredictor>(_cfg.nbp, stats);
+
+    _regs = std::make_unique<RegUnit>(
+        _cfg.core, program.initRegs(), stats,
+        [this](const RegForward &f) { routeRegForward(f); });
+
+    _lsq = std::make_unique<lsq::LoadStoreQueue>(
+        _cfg.lsq, _hier.get(), &_dmem, _policy.get(), stats,
+        [this](const lsq::LoadReply &r) { routeLoadReply(r); },
+        [this](const lsq::Violation &v) { onViolation(v); });
+
+    NodeStats ns{
+        stats.counter("core.alu_issues", "ALU issues (all executions)"),
+        stats.counter("core.alu_reexecs", "DSRE re-executions"),
+        stats.counter("core.upgrades", "commit-wave upgrade sends"),
+        stats.counter("core.squashes", "value-identity squashes"),
+        stats.histogram("core.wave_depth",
+                        "propagation depth of re-executions"),
+    };
+    for (unsigned n = 0; n < _cfg.core.numNodes(); ++n) {
+        _nodes.push_back(std::make_unique<ExecNode>(
+            _cfg.core, ns,
+            [this, n](const NodeEvent &ev) { routeNodeEvent(ev, n); }));
+    }
+
+    for (unsigned f = 0; f < _cfg.core.numFrames; ++f)
+        _freeFrames.push_back(_cfg.core.numFrames - 1 - f);
+    _nextFetch = program.entry();
+}
+
+const std::vector<Word> &
+Processor::archRegs() const
+{
+    return _regs->archRegs();
+}
+
+net::Coord
+Processor::gridCoord(unsigned node) const
+{
+    return {static_cast<std::uint16_t>(node / _cfg.core.cols + 1),
+            static_cast<std::uint16_t>(node % _cfg.core.cols + 1)};
+}
+
+net::Coord
+Processor::rfCoord(unsigned reg) const
+{
+    return {0, static_cast<std::uint16_t>(reg % _cfg.core.cols + 1)};
+}
+
+net::Coord
+Processor::lsqCoord(Addr addr) const
+{
+    unsigned bank = _hier->bankOf(addr);
+    return {static_cast<std::uint16_t>(bank % _cfg.core.rows + 1), 0};
+}
+
+Addr
+Processor::codeAddr(BlockId block) const
+{
+    // Code lives in its own region; a block occupies 512 bytes of
+    // instruction storage (128 x 4 bytes) in the I-cache's eyes.
+    return 0x40000000ull + static_cast<Addr>(block) * 512;
+}
+
+Processor::BlockCtx *
+Processor::findCtx(DynBlockSeq seq)
+{
+    for (BlockCtx &ctx : _inflight)
+        if (ctx.seq == seq)
+            return &ctx;
+    return nullptr;
+}
+
+void
+Processor::meshSend(Cycle when, net::Coord src, net::Coord dst,
+                    const Msg &msg)
+{
+    if (msg.statusOnly)
+        _gcn->send(when, src, dst, msg);
+    else
+        _mesh->send(when, src, dst, msg);
+}
+
+void
+Processor::sendToTargets(
+    Cycle when, net::Coord src, DynBlockSeq seq,
+    const std::array<isa::Target, isa::kMaxTargets> &targets, Word value,
+    ValState state, std::uint32_t wave, std::uint16_t depth,
+    bool status_only)
+{
+    BlockCtx *ctx = findCtx(seq);
+    panic_if(!ctx, "sendToTargets for a flushed block");
+    for (const isa::Target &t : targets) {
+        if (!t.valid())
+            continue;
+        Msg m;
+        m.seq = seq;
+        m.value = value;
+        m.state = state;
+        m.wave = wave;
+        m.depth = depth;
+        m.statusOnly = status_only;
+        if (t.kind == isa::TargetKind::Operand) {
+            m.kind = Msg::Kind::Operand;
+            m.slot = t.index;
+            m.operand = t.operand;
+            unsigned node = ctx->placement->nodeOf[t.index];
+            meshSend(when, src, gridCoord(node), m);
+        } else {
+            m.kind = Msg::Kind::WriteVal;
+            m.writeIdx = t.index;
+            unsigned reg = ctx->block->writes()[t.index].reg;
+            meshSend(when, src, rfCoord(reg), m);
+        }
+    }
+}
+
+void
+Processor::routeNodeEvent(const NodeEvent &ev, unsigned node)
+{
+    net::Coord src = gridCoord(node);
+    switch (ev.kind) {
+      case NodeEvent::Kind::Result:
+        sendToTargets(ev.when, src, ev.seq, ev.targets, ev.value,
+                      ev.state, ev.wave, ev.depth, ev.statusOnly);
+        return;
+      case NodeEvent::Kind::LoadRequest: {
+        Msg m;
+        m.kind = Msg::Kind::LoadReq;
+        m.seq = ev.seq;
+        m.slot = ev.slot;
+        m.lsid = ev.lsid;
+        m.addr = ev.addr;
+        m.state = ev.state;
+        m.wave = ev.wave;
+        m.depth = ev.depth;
+        m.statusOnly = ev.statusOnly;
+        m.targets = ev.targets;
+        meshSend(ev.when, src, lsqCoord(ev.addr), m);
+        return;
+      }
+      case NodeEvent::Kind::StoreResolve: {
+        Msg m;
+        m.kind = Msg::Kind::StoreResolve;
+        m.seq = ev.seq;
+        m.slot = ev.slot;
+        m.lsid = ev.lsid;
+        m.addr = ev.addr;
+        m.value = ev.value;
+        m.state = ev.state;
+        m.addrState = ev.addrState;
+        m.wave = ev.wave;
+        m.depth = ev.depth;
+        m.statusOnly = ev.statusOnly;
+        meshSend(ev.when, src, lsqCoord(ev.addr), m);
+        return;
+      }
+      case NodeEvent::Kind::Exit: {
+        Msg m;
+        m.kind = Msg::Kind::ExitVal;
+        m.seq = ev.seq;
+        m.value = ev.value;
+        m.state = ev.state;
+        m.wave = ev.wave;
+        m.depth = ev.depth;
+        m.statusOnly = ev.statusOnly;
+        meshSend(ev.when, src, ctrlCoord(), m);
+        return;
+      }
+    }
+}
+
+void
+Processor::routeLoadReply(const lsq::LoadReply &reply)
+{
+    sendToTargets(reply.when, lsqCoord(reply.addr), reply.seq,
+                  reply.targets, reply.value, reply.state, reply.wave,
+                  reply.depth, reply.statusOnly);
+}
+
+void
+Processor::routeRegForward(const RegForward &fwd)
+{
+    sendToTargets(fwd.when, rfCoord(fwd.reg), fwd.readerSeq, fwd.targets,
+                  fwd.value, fwd.state, fwd.wave, fwd.depth,
+                  fwd.statusOnly);
+}
+
+void
+Processor::deliverMsg(Cycle now, const Msg &msg)
+{
+    switch (msg.kind) {
+      case Msg::Kind::Operand: {
+        BlockCtx *ctx = findCtx(msg.seq);
+        if (!ctx)
+            return; // flushed
+        unsigned node = ctx->placement->nodeOf[msg.slot];
+        _nodes[node]->deliver(ctx->frame, ctx->localIdx[msg.slot],
+                              msg.operand, msg.value, msg.state,
+                              msg.wave, msg.depth);
+        return;
+      }
+      case Msg::Kind::WriteVal:
+        _regs->writeArrived(now, msg.seq, msg.writeIdx, msg.value,
+                            msg.state, msg.wave, msg.depth);
+        return;
+      case Msg::Kind::LoadReq:
+        _lsq->loadRequest(now, msg.seq, msg.lsid, msg.addr, msg.state,
+                          msg.wave, msg.depth, msg.targets, msg.slot);
+        return;
+      case Msg::Kind::StoreResolve:
+        _lsq->storeResolve(now, msg.seq, msg.lsid, msg.addr, msg.value,
+                           msg.addrState, msg.state, msg.wave,
+                           msg.depth);
+        return;
+      case Msg::Kind::ExitVal:
+        handleExit(now, msg);
+        return;
+    }
+}
+
+void
+Processor::handleExit(Cycle now, const Msg &msg)
+{
+    BlockCtx *ctx = findCtx(msg.seq);
+    if (!ctx)
+        return; // flushed
+    if (msg.wave <= ctx->exitWave)
+        return; // stale wave
+    ctx->exitWave = msg.wave;
+
+    bool value_changed = !ctx->exitSeen || ctx->exitValue != msg.value;
+    panic_if(ctx->exitSeen && ctx->exitState == ValState::Final &&
+                 value_changed,
+             "protocol violation: Final exit changed value");
+    ctx->exitSeen = true;
+    ctx->exitValue = msg.value;
+    if (msg.state == ValState::Final)
+        ctx->exitState = ValState::Final;
+
+    unsigned actual = static_cast<unsigned>(
+        ctx->exitValue % ctx->block->exits().size());
+    if (actual == ctx->fetchedExit)
+        return; // the fetch chain already follows this exit
+
+    // Control misspeculation: the DSRE protocol cannot selectively
+    // re-execute across a wrong control edge, so flush younger.
+    ++_statCtrlFlushes;
+    DynBlockSeq seq = ctx->seq;
+    std::uint64_t arch_idx = ctx->archIdx;
+    std::uint64_t snapshot = ctx->historySnapshot;
+    BlockId succ = ctx->block->exits()[actual];
+
+    flushFrom(seq + 1);
+    // flushFrom may invalidate ctx? It flushes strictly younger
+    // blocks, so ctx survives; refresh anyway for clarity.
+    ctx = findCtx(seq);
+    panic_if(!ctx, "exit owner vanished during flush");
+    ctx->fetchedExit = actual;
+
+    _nbp->restoreHistory(snapshot);
+    _nbp->pushSpeculativeHistory(actual);
+    redirectFetch(succ, arch_idx + 1);
+}
+
+void
+Processor::onViolation(const lsq::Violation &violation)
+{
+    // Only flush recovery routes violations here (DSRE re-sends).
+    BlockCtx *ctx = findCtx(violation.loadSeq);
+    if (!ctx)
+        return; // already squashed by an earlier violation
+    ++_statViolFlushes;
+    BlockId blk = ctx->blockId;
+    std::uint64_t arch_idx = ctx->archIdx;
+    _nbp->restoreHistory(ctx->historySnapshot);
+    flushFrom(violation.loadSeq);
+    redirectFetch(blk, arch_idx);
+}
+
+void
+Processor::flushFrom(DynBlockSeq from_seq)
+{
+    while (!_inflight.empty() && _inflight.back().seq >= from_seq) {
+        BlockCtx &ctx = _inflight.back();
+        for (auto &node : _nodes)
+            node->clearFrame(ctx.frame);
+        _freeFrames.push_back(ctx.frame);
+        _inflight.pop_back();
+    }
+    _lsq->flushFrom(from_seq);
+    _regs->flushFrom(from_seq);
+    _fetchBusy = false; // cancel any in-progress fetch
+    _fetchHalted = false;
+}
+
+void
+Processor::redirectFetch(BlockId next, std::uint64_t arch_idx)
+{
+    if (next == isa::kHaltBlock) {
+        _fetchHalted = true;
+        return;
+    }
+    _nextFetch = next;
+    _nextArchIdx = arch_idx;
+    _fetchHalted = false;
+}
+
+void
+Processor::fetchTick(Cycle now)
+{
+    if (_halted)
+        return;
+    if (_fetchBusy) {
+        if (now >= _fetchReady && !_freeFrames.empty())
+            mapFetchedBlock(now);
+        return;
+    }
+    if (_fetchHalted || _freeFrames.empty())
+        return;
+    _fetchBlock = _nextFetch;
+    _fetchBusy = true;
+    Cycle ic = _hier->instFetch(now, codeAddr(_fetchBlock));
+    auto n = static_cast<unsigned>(
+        _prog.block(_fetchBlock).insts().size());
+    _fetchReady =
+        ic + (n + _cfg.core.fetchWidth - 1) / _cfg.core.fetchWidth;
+}
+
+void
+Processor::mapFetchedBlock(Cycle now)
+{
+    unsigned frame = _freeFrames.back();
+    _freeFrames.pop_back();
+
+    BlockId bid = _fetchBlock;
+    const isa::Block &b = _prog.block(bid);
+
+    BlockCtx ctx;
+    ctx.seq = _nextSeq++;
+    ctx.blockId = bid;
+    ctx.archIdx = _nextArchIdx++;
+    ctx.frame = frame;
+    ctx.block = &b;
+    ctx.placement = &_placements[bid];
+    ctx.localIdx.assign(b.insts().size(), 0);
+
+    std::vector<std::uint16_t> node_fill(_cfg.core.numNodes(), 0);
+    for (std::size_t s = 0; s < b.insts().size(); ++s) {
+        unsigned node = ctx.placement->nodeOf[s];
+        std::uint16_t local = node_fill[node]++;
+        panic_if(local >= _cfg.core.slotsPerNode,
+                 "placement overflows node %u", node);
+        ctx.localIdx[s] = local;
+        _nodes[node]->mapInst(frame, local, ctx.seq,
+                              static_cast<SlotId>(s), b.insts()[s]);
+    }
+
+    unsigned e = std::min<unsigned>(
+        _nbp->predict(bid),
+        static_cast<unsigned>(b.exits().size()) - 1);
+    ctx.predictedExit = ctx.fetchedExit = e;
+    ctx.historySnapshot = _nbp->pushSpeculativeHistory(e);
+
+    BlockId succ = b.exits()[e];
+    DynBlockSeq seq = ctx.seq;
+    if (kTrace && seq < 40)
+        std::fprintf(stderr, "map seq=%llu blk=%u cyc=%llu\n",
+                     (unsigned long long)seq, bid,
+                     (unsigned long long)now);
+    // The context must be visible before the LSQ / register unit
+    // map the block: register reads can forward immediately.
+    _inflight.push_back(std::move(ctx));
+    ++_statFetchedBlocks;
+    _lsq->mapBlock(seq, _inflight.back().archIdx, bid, b);
+    _regs->mapBlock(now, seq, b);
+
+    if (succ == isa::kHaltBlock)
+        _fetchHalted = true;
+    else
+        _nextFetch = succ;
+    _fetchBusy = false;
+}
+
+void
+Processor::commitTick(Cycle now)
+{
+    if (_inflight.empty())
+        return;
+    BlockCtx &ctx = _inflight.front();
+    bool need_final = _cfg.lsq.recovery == lsq::Recovery::Dsre;
+
+    bool exit_ok = ctx.exitSeen &&
+                   (!need_final || ctx.exitState == ValState::Final);
+    bool writes_ok = _regs->blockWritesFinal(ctx.seq, need_final);
+    bool mem_ok = _lsq->blockMemFinal(ctx.seq);
+    if (kTrace) {
+        if (exit_ok && !ctx.dbgExitOk) ctx.dbgExitOk = now;
+        if (writes_ok && !ctx.dbgWritesOk) ctx.dbgWritesOk = now;
+        if (mem_ok && !ctx.dbgMemOk) ctx.dbgMemOk = now;
+    }
+    if (!exit_ok || !writes_ok || !mem_ok)
+        return;
+
+    auto actual = static_cast<unsigned>(
+        ctx.exitValue % ctx.block->exits().size());
+    panic_if(actual != ctx.fetchedExit,
+             "committing block whose exit disagrees with the fetch "
+             "chain (exit %u vs %u)", actual, ctx.fetchedExit);
+
+    if (_cfg.checkCommittedPath && _oracle &&
+        ctx.archIdx < _oracle->numBlocks()) {
+        panic_if(_oracle->blockAt(ctx.archIdx) != ctx.blockId,
+                 "committed path diverges from the reference at "
+                 "architectural block %llu",
+                 static_cast<unsigned long long>(ctx.archIdx));
+        panic_if(_oracle->exitAt(ctx.archIdx) != actual,
+                 "committed exit diverges from the reference at "
+                 "architectural block %llu",
+                 static_cast<unsigned long long>(ctx.archIdx));
+    }
+
+    _nbp->update(ctx.blockId, actual, ctx.historySnapshot);
+    _nbp->recordOutcome(actual == ctx.predictedExit);
+
+    _regs->commitBlock(ctx.seq);
+    _lsq->commitBlock(now, ctx.seq);
+    for (auto &node : _nodes)
+        node->clearFrame(ctx.frame);
+    _freeFrames.push_back(ctx.frame);
+
+    if (kTrace && ctx.seq < 40)
+        std::fprintf(stderr,
+                     "commit seq=%llu cyc=%llu exitOk=%llu "
+                     "writesOk=%llu memOk=%llu\n",
+                     (unsigned long long)ctx.seq,
+                     (unsigned long long)now,
+                     (unsigned long long)ctx.dbgExitOk,
+                     (unsigned long long)ctx.dbgWritesOk,
+                     (unsigned long long)ctx.dbgMemOk);
+    ++_statCommittedBlocks;
+    _statCommittedInsts += ctx.block->insts().size();
+    ++_committedBlocks;
+    _committedInsts += ctx.block->insts().size();
+    _lastCommit = now;
+
+    BlockId succ = ctx.block->exits()[actual];
+    _inflight.pop_front();
+
+    if (succ == isa::kHaltBlock)
+        _halted = true;
+}
+
+void
+Processor::watchdogDump(Cycle now)
+{
+    std::string dump = strfmt(
+        "no commit for %llu cycles (cycle %llu); committed %llu; "
+        "fetchBusy=%d fetchHalted=%d halted=%d freeFrames=%zu "
+        "nextFetch=%u mesh=%zu; in flight:\n",
+        static_cast<unsigned long long>(now - _lastCommit),
+        static_cast<unsigned long long>(now),
+        static_cast<unsigned long long>(_committedBlocks), _fetchBusy,
+        _fetchHalted, _halted, _freeFrames.size(), _nextFetch,
+        _mesh->inFlight());
+    dump += strfmt("  fetchBlock=%u fetchReady=%llu\n", _fetchBlock,
+                   static_cast<unsigned long long>(_fetchReady));
+    for (const BlockCtx &ctx : _inflight) {
+        dump += strfmt(
+            "  seq %llu block %u (%s) frame %u exitSeen=%d\n",
+            static_cast<unsigned long long>(ctx.seq), ctx.blockId,
+            ctx.block->name().c_str(), ctx.frame, ctx.exitSeen);
+    }
+    if (!_inflight.empty()) {
+        const BlockCtx &o = _inflight.front();
+        bool nf = _cfg.lsq.recovery == lsq::Recovery::Dsre;
+        dump += strfmt(
+            "oldest: exitSeen=%d exitFinal=%d writesOk=%d memOk=%d\n",
+            o.exitSeen, o.exitState == ValState::Final,
+            _regs->blockWritesFinal(o.seq, nf),
+            _lsq->blockMemFinal(o.seq));
+    }
+    dump += strfmt("lsq non-final entries:\n%s",
+                   _lsq->debugState().c_str());
+    for (unsigned n = 0; n < _nodes.size(); ++n) {
+        std::string s = _nodes[n]->debugState();
+        if (!s.empty())
+            dump += strfmt("node %u:\n%s", n, s.c_str());
+    }
+    panic("deadlock watchdog fired:\n%s", dump.c_str());
+}
+
+Processor::Result
+Processor::run(Cycle max_cycles)
+{
+    while (!_halted && _cycle < max_cycles) {
+        _mesh->deliver(_cycle, [this](net::Coord, Msg &&m) {
+            deliverMsg(_cycle, m);
+        });
+        _gcn->deliver(_cycle, [this](net::Coord, Msg &&m) {
+            deliverMsg(_cycle, m);
+        });
+        for (auto &node : _nodes)
+            node->tick(_cycle);
+        fetchTick(_cycle);
+        commitTick(_cycle);
+        if (_cycle - _lastCommit > _cfg.core.watchdogCycles)
+            watchdogDump(_cycle);
+        ++_cycle;
+    }
+    Result res;
+    res.cycles = _cycle;
+    res.committedBlocks = _committedBlocks;
+    res.committedInsts = _committedInsts;
+    res.halted = _halted;
+    return res;
+}
+
+} // namespace edge::core

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The EDGE processor: a grid of execution nodes, register tiles,
+ * LSQ / D-cache banks, an operand micronetwork, a next-block
+ * predictor, and the block-atomic fetch/map/execute/commit pipeline.
+ * Supports two misspeculation recovery mechanisms — classic pipeline
+ * flush, and the paper's distributed selective re-execution (DSRE)
+ * protocol with speculative waves and a trailing commit wave.
+ */
+
+#ifndef EDGE_CORE_PROCESSOR_HH
+#define EDGE_CORE_PROCESSOR_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "compiler/placement.hh"
+#include "core/exec_node.hh"
+#include "core/msg.hh"
+#include "core/params.hh"
+#include "core/reg_unit.hh"
+#include "lsq/lsq.hh"
+#include "mem/hierarchy.hh"
+#include "mem/sparse_memory.hh"
+#include "net/mesh.hh"
+#include "predictor/dependence.hh"
+#include "predictor/next_block.hh"
+#include "predictor/oracle.hh"
+
+namespace edge::core {
+
+/** Everything configurable about one simulated machine. */
+struct MachineConfig
+{
+    CoreParams core;
+    mem::HierarchyParams mem;
+    lsq::LsqParams lsq;
+    pred::NextBlockParams nbp;
+    pred::DepPolicy policy = pred::DepPolicy::Blind;
+    /**
+     * Cross-check the committed path against the reference trace
+     * (catches control/commit bugs; requires an OracleDb).
+     */
+    bool checkCommittedPath = true;
+};
+
+class Processor
+{
+  public:
+    /**
+     * @param config machine configuration
+     * @param program validated program to run
+     * @param oracle committed-path database; required for the Oracle
+     *        policy and the committed-path cross-check, may be null
+     *        otherwise
+     * @param stats statistics sink (must outlive the processor)
+     */
+    Processor(const MachineConfig &config, const isa::Program &program,
+              const pred::OracleDb *oracle, StatSet &stats);
+
+    struct Result
+    {
+        Cycle cycles = 0;
+        std::uint64_t committedBlocks = 0;
+        std::uint64_t committedInsts = 0;
+        bool halted = false;
+    };
+
+    /** Run until the program halts or the cycle budget is spent. */
+    Result run(Cycle max_cycles);
+
+    /** Architectural register state (for golden-model comparison). */
+    const std::vector<Word> &archRegs() const;
+
+    /** Architectural memory state (for golden-model comparison). */
+    const mem::SparseMemory &memory() const { return _dmem; }
+
+    const MachineConfig &config() const { return _cfg; }
+
+  private:
+    struct BlockCtx
+    {
+        DynBlockSeq seq = 0;
+        BlockId blockId = 0;
+        std::uint64_t archIdx = 0;
+        unsigned frame = 0;
+        const isa::Block *block = nullptr;
+        const compiler::Placement *placement = nullptr;
+        std::vector<std::uint16_t> localIdx; ///< per slot, node-local
+
+        unsigned predictedExit = 0; ///< original prediction (stats)
+        unsigned fetchedExit = 0;   ///< exit the fetch chain follows
+        std::uint64_t historySnapshot = 0;
+
+        // Debug (EDGE_TRACE): first cycle each commit condition held.
+        Cycle dbgExitOk = 0, dbgWritesOk = 0, dbgMemOk = 0;
+
+        bool exitSeen = false;
+        Word exitValue = 0;
+        ValState exitState = ValState::Spec;
+        std::uint32_t exitWave = 0;
+    };
+
+    // --- geometry helpers -------------------------------------------------
+    net::Coord gridCoord(unsigned node) const;
+    net::Coord rfCoord(unsigned reg) const;
+    net::Coord lsqCoord(Addr addr) const;
+    net::Coord ctrlCoord() const { return {0, 0}; }
+    Addr codeAddr(BlockId block) const;
+
+    // --- pipeline stages --------------------------------------------------
+    void deliverMsg(Cycle now, const Msg &msg);
+    void handleExit(Cycle now, const Msg &msg);
+    void routeNodeEvent(const NodeEvent &ev, unsigned node);
+    void routeLoadReply(const lsq::LoadReply &reply);
+    void routeRegForward(const RegForward &fwd);
+    void sendToTargets(Cycle when, net::Coord src, DynBlockSeq seq,
+                       const std::array<isa::Target, isa::kMaxTargets>
+                           &targets,
+                       Word value, ValState state, std::uint32_t wave,
+                       std::uint16_t depth, bool status_only);
+
+    /** Pick the operand or status mesh and send. */
+    void meshSend(Cycle when, net::Coord src, net::Coord dst,
+                  const Msg &msg);
+    void onViolation(const lsq::Violation &violation);
+
+    void fetchTick(Cycle now);
+    void mapFetchedBlock(Cycle now);
+    void commitTick(Cycle now);
+
+    /** Squash every block with seq >= from_seq. */
+    void flushFrom(DynBlockSeq from_seq);
+
+    /** Redirect fetch to the given block / architectural index. */
+    void redirectFetch(BlockId next, std::uint64_t arch_idx);
+
+    BlockCtx *findCtx(DynBlockSeq seq);
+
+    [[noreturn]] void watchdogDump(Cycle now);
+
+    // --- configuration & substrate ----------------------------------------
+    MachineConfig _cfg;
+    const isa::Program &_prog;
+    const pred::OracleDb *_oracle;
+    StatSet &_stats;
+
+    std::vector<compiler::Placement> _placements; ///< per static block
+    mem::SparseMemory _dmem;
+    std::unique_ptr<mem::Hierarchy> _hier;
+    std::unique_ptr<net::Mesh<Msg>> _mesh; ///< operand network
+    /** Status network for commit-wave messages (TRIPS GCN). */
+    std::unique_ptr<net::Mesh<Msg>> _gcn;
+    std::unique_ptr<pred::DependencePredictor> _policy;
+    std::unique_ptr<pred::NextBlockPredictor> _nbp;
+    std::unique_ptr<RegUnit> _regs;
+    std::unique_ptr<lsq::LoadStoreQueue> _lsq;
+    std::vector<std::unique_ptr<ExecNode>> _nodes;
+
+    // --- dynamic state -----------------------------------------------------
+    std::deque<BlockCtx> _inflight; ///< oldest first
+    std::vector<unsigned> _freeFrames;
+    DynBlockSeq _nextSeq = 1;
+    std::uint64_t _nextArchIdx = 0;
+    BlockId _nextFetch = 0;
+    bool _fetchBusy = false;
+    bool _fetchHalted = false;
+    Cycle _fetchReady = 0;
+    BlockId _fetchBlock = 0;
+    bool _halted = false;
+    Cycle _cycle = 0;
+    Cycle _lastCommit = 0;
+    std::uint64_t _committedBlocks = 0;
+    std::uint64_t _committedInsts = 0;
+
+    // --- statistics ---------------------------------------------------------
+    Counter &_statCommittedBlocks;
+    Counter &_statCommittedInsts;
+    Counter &_statCtrlFlushes;
+    Counter &_statViolFlushes;
+    Counter &_statFetchedBlocks;
+};
+
+} // namespace edge::core
+
+#endif // EDGE_CORE_PROCESSOR_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * An EDGE hyperblock: the unit of fetch, map, and (atomic) commit.
+ * A block carries up to kMaxBlockInsts dataflow instructions, a
+ * register-read interface that injects architectural register values
+ * into the dataflow graph, a register-write interface that collects
+ * block outputs, an exit table of successor blocks, and LSID-ordered
+ * memory operations.
+ */
+
+#ifndef EDGE_ISA_BLOCK_HH
+#define EDGE_ISA_BLOCK_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace edge::isa {
+
+/** A register-read interface slot: inject arch reg into the graph. */
+struct RegRead
+{
+    std::uint8_t reg = 0;
+    std::array<Target, kMaxTargets> targets{};
+};
+
+/** A register-write interface slot: one block output. */
+struct RegWrite
+{
+    std::uint8_t reg = 0;
+};
+
+/**
+ * Special exit value: the program halts when a block branches to an
+ * exit whose successor is kHaltBlock.
+ */
+inline constexpr BlockId kHaltBlock = kInvalidBlock;
+
+/** One static hyperblock. */
+class Block
+{
+  public:
+    explicit Block(std::string name = "") : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+    void setName(std::string n) { _name = std::move(n); }
+
+    std::vector<Instruction> &insts() { return _insts; }
+    const std::vector<Instruction> &insts() const { return _insts; }
+
+    std::vector<RegRead> &reads() { return _reads; }
+    const std::vector<RegRead> &reads() const { return _reads; }
+
+    std::vector<RegWrite> &writes() { return _writes; }
+    const std::vector<RegWrite> &writes() const { return _writes; }
+
+    /** Successor block per exit index; kHaltBlock terminates. */
+    std::vector<BlockId> &exits() { return _exits; }
+    const std::vector<BlockId> &exits() const { return _exits; }
+
+    /** Number of memory operations (== number of distinct LSIDs). */
+    unsigned numMemOps() const;
+
+    /** Number of store instructions. */
+    unsigned numStores() const;
+
+    /** Slot of the unique branch instruction (panics if unvalidated). */
+    SlotId branchSlot() const;
+
+    /**
+     * Structural validation. Checks every ISA limit, that each
+     * instruction operand is wired by exactly one producer, that
+     * each write slot has exactly one producer, that LSIDs are dense
+     * and in slot order, and that exactly one branch exists.
+     *
+     * @param why on failure, receives a human-readable reason
+     * @return true iff the block is well-formed
+     */
+    bool validate(std::string *why = nullptr) const;
+
+    /** Multi-line disassembly for debugging. */
+    std::string disassemble() const;
+
+  private:
+    std::string _name;
+    std::vector<Instruction> _insts;
+    std::vector<RegRead> _reads;
+    std::vector<RegWrite> _writes;
+    std::vector<BlockId> _exits;
+};
+
+} // namespace edge::isa
+
+#endif // EDGE_ISA_BLOCK_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * One EDGE instruction with direct target encoding: instead of
+ * naming source registers, an instruction names the operand slots of
+ * the (up to two) consumers of its result.
+ */
+
+#ifndef EDGE_ISA_INSTRUCTION_HH
+#define EDGE_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace edge::isa {
+
+/** Architectural limits, modelled on the TRIPS prototype ISA. */
+inline constexpr unsigned kMaxBlockInsts = 128;
+inline constexpr unsigned kMaxBlockMemOps = 32;
+inline constexpr unsigned kMaxBlockReads = 32;
+inline constexpr unsigned kMaxBlockWrites = 32;
+inline constexpr unsigned kMaxBlockExits = 8;
+inline constexpr unsigned kMaxTargets = 2;
+inline constexpr unsigned kMaxOperands = 3;
+inline constexpr unsigned kNumArchRegs = 64;
+
+/** What a produced value is delivered to. */
+enum class TargetKind : std::uint8_t
+{
+    None,     ///< unused target slot
+    Operand,  ///< operand `operand` of instruction slot `index`
+    RegWrite, ///< the block's register-write slot `index`
+};
+
+/** A single outgoing arc of an instruction (or register read). */
+struct Target
+{
+    TargetKind kind = TargetKind::None;
+    std::uint16_t index = 0;  ///< consumer slot or write index
+    std::uint8_t operand = 0; ///< operand position (Operand kind only)
+
+    static Target
+    toOperand(std::uint16_t slot, std::uint8_t op)
+    {
+        return {TargetKind::Operand, slot, op};
+    }
+
+    static Target
+    toWrite(std::uint16_t write_idx)
+    {
+        return {TargetKind::RegWrite, write_idx, 0};
+    }
+
+    bool valid() const { return kind != TargetKind::None; }
+
+    bool
+    operator==(const Target &o) const
+    {
+        return kind == o.kind && index == o.index && operand == o.operand;
+    }
+};
+
+/** One static EDGE instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::MOVI;
+    std::int64_t imm = 0;
+    /** LSID for loads/stores: program order of memory ops in block. */
+    Lsid lsid = 0;
+    std::array<Target, kMaxTargets> targets{};
+
+    unsigned numOperands() const { return opInfo(op).numOps; }
+
+    unsigned
+    numTargets() const
+    {
+        unsigned n = 0;
+        for (const auto &t : targets)
+            if (t.valid())
+                ++n;
+        return n;
+    }
+};
+
+} // namespace edge::isa
+
+#endif // EDGE_ISA_INSTRUCTION_HH

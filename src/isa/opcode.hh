@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The EDGE instruction set: opcodes, their static properties, and
+ * their functional semantics. The ISA follows the TRIPS prototype in
+ * spirit: fixed-size blocks of dataflow instructions with direct
+ * target encoding, explicit register read/write interface
+ * instructions, LSID-ordered loads and stores, and one taken exit per
+ * block.
+ */
+
+#ifndef EDGE_ISA_OPCODE_HH
+#define EDGE_ISA_OPCODE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace edge::isa {
+
+/** Every EDGE opcode the simulator implements. */
+enum class Opcode : std::uint8_t
+{
+    // Moves / immediates.
+    MOV,    ///< op0 -> result
+    MOVI,   ///< imm -> result (no operands)
+
+    // Integer arithmetic and logic (two register operands).
+    ADD, SUB, MUL, DIVS, DIVU, REMU,
+    AND, OR, XOR, SHL, SHR, SRA,
+
+    // Immediate forms (op0 OP imm).
+    ADDI, MULI, ANDI, ORI, XORI, SHLI, SHRI, SRAI,
+
+    // Integer comparisons, producing 0 or 1.
+    TEQ, TNE, TLT, TLE, TLTU, TLEU,
+    TEQI, TNEI, TLTI, TLTUI,
+
+    // Select: op0 ? op1 : op2.
+    SEL,
+
+    // Floating point (operands are IEEE doubles in Word bits).
+    FADD, FSUB, FMUL, FDIV,
+    FEQ, FLT, FLE,
+    I2F,    ///< signed int -> double
+    F2I,    ///< double -> signed int (trunc)
+
+    // Memory. Effective address = op0 + imm. Loads zero-extend.
+    LDB, LDH, LDW, LDD,
+    STB, STH, STW, STD, ///< op0 + imm = address, op1 = data
+
+    // Control: choose the block's taken exit.
+    BR,     ///< exit index = op0
+    BRO,    ///< exit index = imm (no operands)
+
+    NUM_OPCODES,
+};
+
+/** Functional-unit class used for execution latency and occupancy. */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    Mem,
+    Ctrl,
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    const char *name;       ///< mnemonic for the disassembler
+    std::uint8_t numOps;    ///< dataflow operands consumed (0..3)
+    bool hasImm;            ///< uses the immediate field
+    FuClass fu;             ///< functional-unit class
+    std::uint8_t accessBytes; ///< memory access size (0 if not mem)
+    bool isLoad;
+    bool isStore;
+    bool isBranch;
+};
+
+/** Static properties lookup. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic shorthand. */
+inline const char *opName(Opcode op) { return opInfo(op).name; }
+
+inline bool isLoad(Opcode op) { return opInfo(op).isLoad; }
+inline bool isStore(Opcode op) { return opInfo(op).isStore; }
+inline bool isMem(Opcode op) { return isLoad(op) || isStore(op); }
+inline bool isBranch(Opcode op) { return opInfo(op).isBranch; }
+
+/**
+ * Functional semantics of every non-memory, non-branch opcode.
+ * Division by zero yields 0 and INT64_MIN / -1 yields INT64_MIN so
+ * speculative execution with garbage operands is always defined.
+ *
+ * @param op the opcode (must not be a load or store)
+ * @param a operand 0 (or unused)
+ * @param b operand 1 (or unused)
+ * @param c operand 2 (only SEL)
+ * @param imm the instruction's immediate
+ * @return the produced word (for BR, the chosen exit index)
+ */
+Word evalOp(Opcode op, Word a, Word b, Word c, std::int64_t imm);
+
+/**
+ * Effective address of a memory opcode: base + immediate offset.
+ */
+inline Addr
+memEffAddr(Word base, std::int64_t imm)
+{
+    return base + static_cast<Addr>(imm);
+}
+
+} // namespace edge::isa
+
+#endif // EDGE_ISA_OPCODE_HH

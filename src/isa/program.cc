@@ -1,0 +1,96 @@
+#include "isa/program.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace edge::isa {
+
+BlockId
+Program::addBlock(Block block)
+{
+    auto id = static_cast<BlockId>(_blocks.size());
+    if (!block.name().empty()) {
+        panic_if(_byName.count(block.name()),
+                 "duplicate block name '%s'", block.name().c_str());
+        _byName[block.name()] = id;
+    }
+    _blocks.push_back(std::move(block));
+    return id;
+}
+
+Block &
+Program::block(BlockId id)
+{
+    panic_if(id >= _blocks.size(), "block id %u out of range", id);
+    return _blocks[id];
+}
+
+const Block &
+Program::block(BlockId id) const
+{
+    panic_if(id >= _blocks.size(), "block id %u out of range", id);
+    return _blocks[id];
+}
+
+BlockId
+Program::blockByName(const std::string &name) const
+{
+    auto it = _byName.find(name);
+    panic_if(it == _byName.end(), "no block named '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Program::validate(std::string *why) const
+{
+    if (_blocks.empty()) {
+        if (why)
+            *why = "program has no blocks";
+        return false;
+    }
+    if (_entry >= _blocks.size()) {
+        if (why)
+            *why = "entry block out of range";
+        return false;
+    }
+    for (std::size_t i = 0; i < _blocks.size(); ++i) {
+        std::string reason;
+        if (!_blocks[i].validate(&reason)) {
+            if (why)
+                *why = strfmt("block %zu (%s): %s", i,
+                              _blocks[i].name().c_str(), reason.c_str());
+            return false;
+        }
+        for (BlockId succ : _blocks[i].exits()) {
+            if (succ != kHaltBlock && succ >= _blocks.size()) {
+                if (why)
+                    *why = strfmt("block %zu exit to bad block %u", i, succ);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::size_t
+Program::staticInsts() const
+{
+    std::size_t n = 0;
+    for (const auto &b : _blocks)
+        n += b.insts().size();
+    return n;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::string out = strfmt("program %s (entry block %u):\n",
+                             _name.c_str(), _entry);
+    for (std::size_t i = 0; i < _blocks.size(); ++i) {
+        out += strfmt("[%zu] ", i);
+        out += _blocks[i].disassemble();
+    }
+    return out;
+}
+
+} // namespace edge::isa

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A Program is an ordered collection of hyperblocks plus an entry
+ * block, the initial architectural register state, and an initial
+ * memory image. It is the unit handed to both the functional
+ * reference executor and the timing simulator.
+ */
+
+#ifndef EDGE_ISA_PROGRAM_HH
+#define EDGE_ISA_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/block.hh"
+
+namespace edge::isa {
+
+/** A contiguous chunk of the initial memory image. */
+struct MemInit
+{
+    Addr base = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+class Program
+{
+  public:
+    explicit Program(std::string name = "prog") : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    /** Append a block; returns its BlockId. */
+    BlockId addBlock(Block block);
+
+    Block &block(BlockId id);
+    const Block &block(BlockId id) const;
+
+    std::size_t numBlocks() const { return _blocks.size(); }
+
+    BlockId entry() const { return _entry; }
+    void setEntry(BlockId id) { _entry = id; }
+
+    /** Look a block up by name (panics if absent). */
+    BlockId blockByName(const std::string &name) const;
+
+    /** Initial architectural register values (indexed by reg). */
+    std::vector<Word> &initRegs() { return _initRegs; }
+    const std::vector<Word> &initRegs() const { return _initRegs; }
+
+    /** Initial memory image chunks. */
+    std::vector<MemInit> &memImage() { return _memImage; }
+    const std::vector<MemInit> &memImage() const { return _memImage; }
+
+    /**
+     * Validate every block and every exit edge.
+     * @param why receives the failing block and reason on failure
+     */
+    bool validate(std::string *why = nullptr) const;
+
+    /** Total static instruction count across all blocks. */
+    std::size_t staticInsts() const;
+
+    /** Full program disassembly. */
+    std::string disassemble() const;
+
+  private:
+    std::string _name;
+    std::vector<Block> _blocks;
+    std::map<std::string, BlockId> _byName;
+    std::vector<Word> _initRegs = std::vector<Word>(kNumArchRegs, 0);
+    std::vector<MemInit> _memImage;
+    BlockId _entry = 0;
+};
+
+} // namespace edge::isa
+
+#endif // EDGE_ISA_PROGRAM_HH

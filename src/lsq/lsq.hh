@@ -1,0 +1,320 @@
+/**
+ * @file
+ * The load/store queue: the component the DSRE protocol revolves
+ * around. It tracks every in-flight memory operation in (dynamic
+ * block, LSID) program order, performs byte-accurate store-to-load
+ * forwarding, detects dependence violations when a store resolves
+ * under an already-performed younger load, and drives both recovery
+ * mechanisms:
+ *
+ *  - flush recovery: report the violation so the core can flush the
+ *    offending load's block and everything younger;
+ *  - DSRE recovery: simply re-send the load's corrected value as a
+ *    new speculative wave, letting the dataflow graph selectively
+ *    re-execute only the dependent instructions.
+ *
+ * It also originates the commit wave: a load's value becomes Final
+ * exactly when its address is Final and no older in-flight store is
+ * still unresolved or non-final; the LSQ sends state-upgrade replies
+ * as that frontier advances.
+ *
+ * Physically the LSQ is banked (one bank per grid row, co-located
+ * with the L1D banks); we model bank port contention and routing but
+ * keep the search structure logically unified, a simplification
+ * documented in DESIGN.md.
+ */
+
+#ifndef EDGE_LSQ_LSQ_HH
+#define EDGE_LSQ_LSQ_HH
+
+#include <array>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/block.hh"
+#include "mem/hierarchy.hh"
+#include "mem/sparse_memory.hh"
+#include "predictor/dependence.hh"
+
+namespace edge::lsq {
+
+/** How misspeculation is repaired. */
+enum class Recovery
+{
+    Flush, ///< flush the load's block and younger, refetch
+    Dsre,  ///< distributed selective re-execution (the paper)
+};
+
+const char *recoveryName(Recovery recovery);
+
+struct LsqParams
+{
+    Recovery recovery = Recovery::Dsre;
+    unsigned lsqLatency = 1; ///< bank search latency (cycles)
+    /**
+     * Under flush recovery, treat any store resolving under an
+     * already-performed overlapping younger load as a violation
+     * (address-based detection, like real flush machines). When
+     * false, only value-changing conflicts count (idealised).
+     */
+    bool addrBasedViolations = true;
+    /**
+     * DSRE storm throttle: after this many corrective resends of one
+     * load instance, further corrections are deferred until the
+     * value is Final (it then rides the commit wave). Bounds the
+     * wave amplification of deep same-address store chains; 0
+     * disables the budget (ablation).
+     */
+    unsigned maxResendsPerLoad = 4;
+    /**
+     * Charge a full LSQ bank port for commit-wave (status-only)
+     * upgrade replies. Off by default: upgrades carry no data, so
+     * hardware can batch them on a narrow status path. Ablation
+     * knob for the commit-wave cost experiment.
+     */
+    bool chargeUpgradePorts = false;
+
+    /**
+     * Second application of the DSRE protocol (the paper evaluates
+     * dependence speculation as "one application"): value-predict
+     * loads that miss far enough in the cache hierarchy. The LSQ
+     * replies immediately with the last value seen at the address
+     * (Spec), and the real value rides behind as a corrective wave
+     * (or a cheap upgrade when the prediction was right). Requires
+     * DSRE recovery.
+     */
+    bool valuePredictMisses = false;
+    /** Only predict when the access takes longer than this. */
+    unsigned vpLatencyThreshold = 8;
+    /** Entries in the direct-mapped last-value table. */
+    std::size_t vpTableSize = 1024;
+};
+
+/** A load reply / resend / upgrade the core must put on the network. */
+struct LoadReply
+{
+    Cycle when = 0;            ///< earliest cycle the reply may leave
+    Addr addr = 0;             ///< for bank routing
+    DynBlockSeq seq = 0;
+    SlotId slot = 0;           ///< the load instruction's slot
+    Lsid lsid = 0;
+    Word value = 0;
+    ValState state = ValState::Spec;
+    std::uint32_t wave = 0;
+    std::uint16_t depth = 0;
+    bool statusOnly = false; ///< commit-wave upgrade (same value)
+    std::array<isa::Target, isa::kMaxTargets> targets{};
+};
+
+/** A detected dependence violation (flush recovery consumes this). */
+struct Violation
+{
+    DynBlockSeq loadSeq = 0;
+    BlockId loadBlock = 0;
+    Lsid loadLsid = 0;
+    DynBlockSeq storeSeq = 0;
+    BlockId storeBlock = 0;
+    Lsid storeLsid = 0;
+};
+
+class LoadStoreQueue
+{
+  public:
+    using ReplyFn = std::function<void(const LoadReply &)>;
+    using ViolationFn = std::function<void(const Violation &)>;
+
+    /**
+     * @param params configuration
+     * @param hierarchy timing for D-cache accesses (not owned)
+     * @param memory architectural memory contents (not owned)
+     * @param policy active dependence policy (not owned)
+     * @param stats counters
+     * @param reply invoked for every load reply/resend/upgrade
+     * @param violation invoked on every detected violation (flush
+     *        recovery decides what to do with it; DSRE only counts)
+     */
+    LoadStoreQueue(const LsqParams &params, mem::Hierarchy *hierarchy,
+                   mem::SparseMemory *memory,
+                   pred::DependencePredictor *policy, StatSet &stats,
+                   ReplyFn reply, ViolationFn violation);
+
+    /** A block entered the window: allocate its LSID entries. */
+    void mapBlock(DynBlockSeq seq, std::uint64_t arch_idx,
+                  BlockId block_id, const isa::Block &block);
+
+    /**
+     * A load's address arrived (first execution, an address-changing
+     * re-execution, or a state upgrade of the address).
+     */
+    void loadRequest(Cycle now, DynBlockSeq seq, Lsid lsid, Addr addr,
+                     ValState addr_state, std::uint32_t wave,
+                     std::uint16_t depth,
+                     const std::array<isa::Target, isa::kMaxTargets>
+                         &targets, SlotId slot);
+
+    /** A store's address and data arrived (or changed / upgraded). */
+    void storeResolve(Cycle now, DynBlockSeq seq, Lsid lsid, Addr addr,
+                      Word data, ValState addr_state,
+                      ValState data_state, std::uint32_t wave,
+                      std::uint16_t depth);
+
+    /** All memory ops of the block performed / resolved and Final? */
+    bool blockMemFinal(DynBlockSeq seq) const;
+
+    /** Commit: drain stores to memory/D-cache and free the entries. */
+    void commitBlock(Cycle now, DynBlockSeq seq);
+
+    /** Squash every block with seq >= from_seq. */
+    void flushFrom(DynBlockSeq from_seq);
+
+    /** In-flight blocks currently tracked (for asserts/tests). */
+    std::size_t numBlocks() const { return _blocks.size(); }
+
+    /** Total violations detected so far. */
+    std::uint64_t violations() const { return _violations.value(); }
+
+    /** Human-readable dump of non-final entries (deadlock debug). */
+    std::string debugState() const;
+
+    /** Value predictions issued / proven correct (vp extension). */
+    std::uint64_t vpPredictions() const { return _vpPredictions.value(); }
+    std::uint64_t vpCorrect() const { return _vpCorrect.value(); }
+
+  private:
+    using MemKey = std::pair<DynBlockSeq, Lsid>;
+
+    struct MemEntry
+    {
+        // Static properties, filled at map time.
+        bool isStore = false;
+        std::uint8_t bytes = 0;
+        SlotId slot = 0;
+
+        // Store state. Address and data finality travel separately:
+        // a load can finalise once every older store has a Final
+        // address, even while non-overlapping store *data* is still
+        // speculative.
+        bool resolved = false;
+        Addr addr = 0;
+        Word data = 0;
+        ValState state = ValState::Spec;  ///< data state
+        ValState addrSt = ValState::Spec; ///< address state
+
+        /** Drop stale (cross-network reordered) incoming messages. */
+        std::uint32_t inWave = 0;
+
+        // Load state.
+        bool addrKnown = false;    ///< a request has arrived
+        bool performed = false;
+        bool waiting = false;      ///< held back by the policy
+        bool deferred = false;     ///< resend budget exhausted
+        std::uint8_t resends = 0;  ///< corrective resends so far
+        ValState addrState = ValState::Spec;
+        Word lastValue = 0;
+        ValState lastState = ValState::Spec;
+        /** A later reply (e.g. a status upgrade) must never arrive
+         *  before an earlier data reply on the same link. */
+        Cycle lastReplyWhen = 0;
+        std::uint32_t replyWave = 0;
+        std::uint16_t depth = 0;
+        std::array<isa::Target, isa::kMaxTargets> targets{};
+        /** Store-set dependence captured when the block mapped. */
+        pred::CapturedDep dep;
+    };
+
+    struct BlockEntry
+    {
+        std::uint64_t archIdx = 0;
+        BlockId blockId = 0;
+        std::vector<MemEntry> ops; ///< indexed by LSID
+    };
+
+    MemEntry &entry(MemKey key);
+    const MemEntry *find(MemKey key) const;
+    BlockId blockIdOf(DynBlockSeq seq) const;
+
+    /** Current forwarded/loaded value of a performed load. */
+    Word computeLoadValue(MemKey key, const MemEntry &e) const;
+
+    /** True when every byte can come only from final sources. */
+    bool loadIsFinal(MemKey key, const MemEntry &e) const;
+
+    /** Older unresolved stores, oldest first (policy query input). */
+    std::vector<pred::UnresolvedStore> olderUnresolved(MemKey key) const;
+
+    /** Try to issue a load now (policy permitting); send the reply. */
+    void tryIssueLoad(Cycle now, MemKey key, MemEntry &e);
+
+    /** Actually perform the load and send (or re-send) its reply. */
+    void performLoad(Cycle now, MemKey key, MemEntry &e,
+                     bool is_resend, std::uint16_t depth);
+
+    /**
+     * A store changed: scan younger performed loads overlapping
+     * either range for value changes (violations), and waiting loads
+     * for issue opportunities.
+     */
+    void storeChanged(Cycle now, MemKey store_key, Addr old_addr,
+                      unsigned old_bytes, bool had_old,
+                      std::uint16_t depth);
+
+    /** Advance the commit wave: upgrade now-final performed loads. */
+    void sweepFinality(Cycle now);
+
+    /** Charge a bank port; returns the cycle processing may start. */
+    Cycle bankPort(Cycle now, Addr addr);
+
+    LsqParams _p;
+    /** DSRE carries Spec/Final states; flush recovery does not. */
+    bool _spec;
+    mem::Hierarchy *_hier;
+    mem::SparseMemory *_mem;
+    pred::DependencePredictor *_policy;
+    ReplyFn _reply;
+    ViolationFn _violation;
+
+    std::map<DynBlockSeq, BlockEntry> _blocks;
+    std::set<MemKey> _nonFinalStores; ///< unresolved or Spec stores
+    std::set<MemKey> _specLoads;      ///< performed, reply still Spec
+    std::set<MemKey> _waitingLoads;   ///< held back by the policy
+    std::vector<Cycle> _bankFree;     ///< per-bank port availability
+
+    /** Last-value table for the miss value-prediction extension. */
+    struct VpEntry
+    {
+        Addr addr = ~Addr{0};
+        Word value = 0;
+    };
+    std::vector<VpEntry> _vpTable;
+
+    /**
+     * Forward-progress guarantee for flush recovery: a dynamic load
+     * (architectural block index, LSID) that caused a violation is
+     * replayed conservatively exactly once after the flush — the
+     * moral equivalent of the Alpha 21264 store-wait bit. Without
+     * it, a blindly speculating flush machine livelocks on
+     * intra-block store-to-load aliases (the deterministic replay
+     * violates identically forever).
+     */
+    std::set<std::pair<std::uint64_t, Lsid>> _replayHolds;
+
+    Counter &_loads;
+    Counter &_stores;
+    Counter &_forwards;
+    Counter &_violations;
+    Counter &_resends;
+    Counter &_upgrades;
+    Counter &_policyHolds;
+    Counter &_replayWaits;
+    Counter &_deferrals;
+    Counter &_vpPredictions;
+    Counter &_vpCorrect;
+    Histogram &_violationDistance;
+};
+
+} // namespace edge::lsq
+
+#endif // EDGE_LSQ_LSQ_HH

@@ -1,0 +1,155 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace edge::mem {
+
+namespace {
+
+bool
+isPow2(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params, MemLevel *below, StatSet &stats)
+    : _p(params),
+      _below(below),
+      _hits(stats.counter(_p.name + ".hits", "demand hits")),
+      _misses(stats.counter(_p.name + ".misses", "demand misses")),
+      _mshrMerges(stats.counter(_p.name + ".mshr_merges",
+                                "misses merged into an in-flight MSHR")),
+      _mshrStalls(stats.counter(_p.name + ".mshr_stalls",
+                                "requests delayed by a full MSHR file")),
+      _writebacks(stats.counter(_p.name + ".writebacks",
+                                "dirty lines written back"))
+{
+    fatal_if(_p.lineBytes == 0 || !isPow2(_p.lineBytes),
+             "%s: line size must be a power of two", _p.name.c_str());
+    fatal_if(_p.assoc == 0 || _p.numBanks == 0 || _p.numMshrs == 0,
+             "%s: assoc, banks and MSHRs must be nonzero", _p.name.c_str());
+    _numSets = _p.sizeBytes / (_p.lineBytes * _p.assoc);
+    fatal_if(_numSets == 0 || !isPow2(_numSets),
+             "%s: set count (%zu) must be a nonzero power of two",
+             _p.name.c_str(), _numSets);
+    _lines.assign(_numSets * _p.assoc, Line{});
+    _bankNextFree.assign(_p.numBanks, 0);
+}
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return (line_addr / _p.lineBytes) & (_numSets - 1);
+}
+
+Cycle
+Cache::bankReady(Cycle now, Addr line_addr)
+{
+    std::size_t bank = (line_addr / _p.lineBytes) % _p.numBanks;
+    Cycle start = std::max(now, _bankNextFree[bank]);
+    _bankNextFree[bank] = start + 1;
+    return start;
+}
+
+void
+Cache::invalidateAll()
+{
+    std::fill(_lines.begin(), _lines.end(), Line{});
+    _mshrs.clear();
+    std::fill(_bankNextFree.begin(), _bankNextFree.end(), 0);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    Addr la = lineAddr(addr);
+    std::size_t set = setIndex(la);
+    for (unsigned w = 0; w < _p.assoc; ++w) {
+        const Line &l = _lines[set * _p.assoc + w];
+        if (l.valid && l.tag == la)
+            return true;
+    }
+    return false;
+}
+
+Cycle
+Cache::access(Cycle now, Addr addr, bool write)
+{
+    Addr la = lineAddr(addr);
+    Cycle start = bankReady(now, la);
+    std::size_t set = setIndex(la);
+
+    // Tag lookup.
+    Line *hit_line = nullptr;
+    for (unsigned w = 0; w < _p.assoc; ++w) {
+        Line &l = _lines[set * _p.assoc + w];
+        if (l.valid && l.tag == la) {
+            hit_line = &l;
+            break;
+        }
+    }
+    if (hit_line) {
+        // A hit on a still-filling line waits for the fill.
+        Cycle done = std::max(start + _p.hitLatency, hit_line->fillReady);
+        hit_line->lastUse = done;
+        hit_line->dirty = hit_line->dirty || write;
+        ++_hits;
+        return done;
+    }
+    ++_misses;
+
+    // Retire completed MSHRs, then merge or allocate.
+    std::erase_if(_mshrs, [&](const Mshr &m) { return m.ready <= start; });
+    for (const Mshr &m : _mshrs) {
+        if (m.lineAddr == la) {
+            ++_mshrMerges;
+            return std::max(m.ready, start + _p.hitLatency);
+        }
+    }
+    Cycle issue = start;
+    if (_mshrs.size() >= _p.numMshrs) {
+        // Wait for the earliest outstanding miss to retire.
+        auto it = std::min_element(
+            _mshrs.begin(), _mshrs.end(),
+            [](const Mshr &a, const Mshr &b) { return a.ready < b.ready; });
+        issue = std::max(issue, it->ready);
+        _mshrs.erase(it);
+        ++_mshrStalls;
+    }
+
+    // Choose a victim: invalid way first, else LRU.
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < _p.assoc; ++w) {
+        Line &l = _lines[set * _p.assoc + w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+    if (victim->valid && victim->dirty) {
+        ++_writebacks;
+        if (_below)
+            (void)_below->access(issue, victim->tag, true);
+    }
+
+    Cycle fill = _below ? _below->access(issue, la, false)
+                        : issue + _p.hitLatency;
+    Cycle done = std::max(fill, start + _p.hitLatency);
+
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = la;
+    victim->lastUse = done;
+    victim->fillReady = fill;
+
+    _mshrs.push_back({la, fill});
+    return done;
+}
+
+} // namespace edge::mem

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Set-associative writeback cache with LRU replacement, a finite
+ * MSHR file with miss merging, and banked tag ports, in the
+ * timestamp style described in mem_level.hh.
+ */
+
+#ifndef EDGE_MEM_CACHE_HH
+#define EDGE_MEM_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/mem_level.hh"
+
+namespace edge::mem {
+
+struct CacheParams
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = 64;
+    unsigned hitLatency = 2;   ///< cycles from request to data on a hit
+    unsigned numMshrs = 16;    ///< outstanding distinct line misses
+    unsigned numBanks = 1;     ///< tag/data banks (1 access per cycle each)
+};
+
+class Cache : public MemLevel
+{
+  public:
+    /**
+     * @param params geometry and latency
+     * @param below next level (not owned); must outlive this cache
+     * @param stats stat set to register counters into
+     */
+    Cache(const CacheParams &params, MemLevel *below, StatSet &stats);
+
+    Cycle access(Cycle now, Addr addr, bool write) override;
+
+    /** Drop all tags and in-flight state (used on machine reset). */
+    void invalidateAll();
+
+    /** True if the line holding addr is currently present and filled. */
+    bool probe(Addr addr) const;
+
+    const CacheParams &params() const { return _p; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        Cycle lastUse = 0;   ///< LRU timestamp
+        Cycle fillReady = 0; ///< data arrives at this cycle
+    };
+
+    struct Mshr
+    {
+        Addr lineAddr = 0;
+        Cycle ready = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr & ~Addr(_p.lineBytes - 1); }
+    std::size_t setIndex(Addr line_addr) const;
+    Cycle bankReady(Cycle now, Addr line_addr);
+
+    CacheParams _p;
+    MemLevel *_below;
+    std::size_t _numSets;
+    std::vector<Line> _lines;          ///< numSets * assoc
+    std::vector<Mshr> _mshrs;          ///< in-flight line misses
+    std::vector<Cycle> _bankNextFree;  ///< per-bank port availability
+
+    Counter &_hits;
+    Counter &_misses;
+    Counter &_mshrMerges;
+    Counter &_mshrStalls;
+    Counter &_writebacks;
+};
+
+} // namespace edge::mem
+
+#endif // EDGE_MEM_CACHE_HH

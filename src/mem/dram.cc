@@ -1,0 +1,27 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace edge::mem {
+
+Dram::Dram(const DramParams &params, StatSet &stats)
+    : _p(params),
+      _reads(stats.counter(_p.name + ".reads", "line reads")),
+      _writes(stats.counter(_p.name + ".writes", "line writes"))
+{
+}
+
+Cycle
+Dram::access(Cycle now, Addr addr, bool write)
+{
+    Cycle start = std::max(now, _channelFree);
+    _channelFree = start + _p.cyclesPerLine;
+    if (write) {
+        ++_writes;
+        return start + _p.cyclesPerLine; // posted write
+    }
+    ++_reads;
+    return start + _p.latency;
+}
+
+} // namespace edge::mem

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Simple main-memory model: fixed access latency plus a bandwidth
+ * limit modelled as a single channel that transfers one line every
+ * `cyclesPerLine` cycles.
+ */
+
+#ifndef EDGE_MEM_DRAM_HH
+#define EDGE_MEM_DRAM_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "mem/mem_level.hh"
+
+namespace edge::mem {
+
+struct DramParams
+{
+    std::string name = "dram";
+    unsigned latency = 100;       ///< fixed access latency (cycles)
+    unsigned cyclesPerLine = 4;   ///< channel occupancy per transfer
+};
+
+class Dram : public MemLevel
+{
+  public:
+    Dram(const DramParams &params, StatSet &stats);
+
+    Cycle access(Cycle now, Addr addr, bool write) override;
+
+    /** Reset channel state (used on machine reset). */
+    void reset() { _channelFree = 0; }
+
+  private:
+    DramParams _p;
+    Cycle _channelFree = 0;
+    Counter &_reads;
+    Counter &_writes;
+};
+
+} // namespace edge::mem
+
+#endif // EDGE_MEM_DRAM_HH

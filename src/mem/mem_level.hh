@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Abstract interface of one level of the timing memory hierarchy.
+ *
+ * The hierarchy uses a timestamp model: a level is asked "a request
+ * for line X arrives at cycle T; when is the data available?" and
+ * answers with a completion cycle, updating its internal tag, MSHR
+ * and bandwidth state. This keeps the model deterministic and cheap
+ * while still capturing hit/miss latency, MSHR merging, limited
+ * MSHRs, port contention and writeback traffic.
+ */
+
+#ifndef EDGE_MEM_MEM_LEVEL_HH
+#define EDGE_MEM_MEM_LEVEL_HH
+
+#include "common/types.hh"
+
+namespace edge::mem {
+
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Access `addr` at cycle `now`.
+     * @param now cycle at which the request reaches this level
+     * @param addr byte address (the level works on whole lines)
+     * @param write true for a write/dirty fill, false for a read
+     * @return the cycle at which the requested data is available
+     */
+    virtual Cycle access(Cycle now, Addr addr, bool write) = 0;
+};
+
+} // namespace edge::mem
+
+#endif // EDGE_MEM_MEM_LEVEL_HH

@@ -1,0 +1,81 @@
+#include "mem/sparse_memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace edge::mem {
+
+const SparseMemory::Page *
+SparseMemory::findPage(Addr addr) const
+{
+    auto it = _pages.find(addr >> kPageShift);
+    return it == _pages.end() ? nullptr : &it->second;
+}
+
+SparseMemory::Page &
+SparseMemory::touchPage(Addr addr)
+{
+    Page &p = _pages[addr >> kPageShift];
+    if (p.empty())
+        p.assign(kPageBytes, 0);
+    return p;
+}
+
+Word
+SparseMemory::read(Addr addr, unsigned bytes) const
+{
+    panic_if(bytes == 0 || bytes > 8, "bad access size %u", bytes);
+    Word value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+        Addr a = addr + i;
+        const Page *p = findPage(a);
+        std::uint8_t byte = p ? (*p)[a & (kPageBytes - 1)] : 0;
+        value |= static_cast<Word>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+SparseMemory::write(Addr addr, unsigned bytes, Word value)
+{
+    panic_if(bytes == 0 || bytes > 8, "bad access size %u", bytes);
+    for (unsigned i = 0; i < bytes; ++i) {
+        Addr a = addr + i;
+        touchPage(a)[a & (kPageBytes - 1)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+SparseMemory::writeBytes(Addr addr, const std::uint8_t *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        touchPage(addr + i)[(addr + i) & (kPageBytes - 1)] = data[i];
+}
+
+bool
+SparseMemory::equals(const SparseMemory &other) const
+{
+    static const Page kZeroPage(kPageBytes, 0);
+    auto page_equal = [](const Page *a, const Page *b) {
+        const Page &pa = a ? *a : kZeroPage;
+        const Page &pb = b ? *b : kZeroPage;
+        return pa == pb;
+    };
+    for (const auto &kv : _pages) {
+        auto it = other._pages.find(kv.first);
+        if (!page_equal(&kv.second,
+                        it == other._pages.end() ? nullptr : &it->second))
+            return false;
+    }
+    for (const auto &kv : other._pages) {
+        if (_pages.count(kv.first))
+            continue; // already compared above
+        if (!page_equal(nullptr, &kv.second))
+            return false;
+    }
+    return true;
+}
+
+} // namespace edge::mem

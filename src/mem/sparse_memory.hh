@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Byte-accurate sparse functional memory. Backs both the reference
+ * executor and the timing simulator's architectural memory state;
+ * the timing caches (cache.hh) model latency only, never data, so a
+ * single source of truth exists for values.
+ */
+
+#ifndef EDGE_MEM_SPARSE_MEMORY_HH
+#define EDGE_MEM_SPARSE_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace edge::mem {
+
+/** Flat 64-bit byte-addressable memory, allocated in 4 KiB pages. */
+class SparseMemory
+{
+  public:
+    /** Read `bytes` (1..8) starting at addr, little-endian, 0-fill. */
+    Word read(Addr addr, unsigned bytes) const;
+
+    /** Write the low `bytes` (1..8) of value at addr, little-endian. */
+    void write(Addr addr, unsigned bytes, Word value);
+
+    /** Bulk initialisation helper. */
+    void writeBytes(Addr addr, const std::uint8_t *data, std::size_t n);
+
+    /** Number of touched pages (for tests / memory accounting). */
+    std::size_t pagesTouched() const { return _pages.size(); }
+
+    /**
+     * Compare contents with another memory. Because pages are
+     * allocated lazily, untouched bytes compare equal to zero.
+     * @return true iff every byte matches
+     */
+    bool equals(const SparseMemory &other) const;
+
+  private:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr std::size_t kPageBytes = std::size_t{1} << kPageShift;
+
+    using Page = std::vector<std::uint8_t>;
+
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<Addr, Page> _pages;
+};
+
+} // namespace edge::mem
+
+#endif // EDGE_MEM_SPARSE_MEMORY_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The operand micronetwork: a 2-D mesh carrying single-flit operand
+ * messages between execution nodes, the register-file row and the
+ * LSQ/D-cache column. Timing model: X-Y routing, one message per
+ * link per cycle (greedy reservation in send order, which is
+ * deterministic because the core ticks components in a fixed order),
+ * `hopLatency` cycles per traversed link, zero-cost local bypass
+ * when source == destination.
+ *
+ * Mesh is a class template over the payload so the network layer
+ * stays independent of core message formats.
+ */
+
+#ifndef EDGE_NET_MESH_HH
+#define EDGE_NET_MESH_HH
+
+#include <algorithm>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "net/route.hh"
+
+namespace edge::net {
+
+struct MeshParams
+{
+    MeshGeom geom;
+    unsigned hopLatency = 1; ///< cycles per link traversal
+    std::string statPrefix = "net"; ///< counter namespace
+};
+
+template <typename Payload>
+class Mesh
+{
+  public:
+    Mesh(const MeshParams &params, StatSet &stats)
+        : _p(params),
+          _linkFree(numLinks(_p.geom), 0),
+          _sent(stats.counter(_p.statPrefix + ".messages",
+                              "messages sent")),
+          _hops(stats.counter(_p.statPrefix + ".hops",
+                              "total link traversals")),
+          _queued(stats.counter(_p.statPrefix + ".queue_cycles",
+                                "cycles spent waiting for links"))
+    {
+    }
+
+    /**
+     * Inject a message at cycle `now`; it becomes visible to the
+     * destination's deliver phase at the returned cycle.
+     */
+    Cycle
+    send(Cycle now, Coord src, Coord dst, Payload payload)
+    {
+        ++_sent;
+        Cycle t = now;
+        if (!(src == dst)) {
+            for (LinkId link : routeXY(_p.geom, src, dst)) {
+                Cycle start = std::max(t, _linkFree[link]);
+                _queued += start - t;
+                _linkFree[link] = start + 1;
+                t = start + _p.hopLatency;
+                ++_hops;
+            }
+        }
+        _inFlight.push(Event{t, _nextSeq++, dst, std::move(payload)});
+        return t;
+    }
+
+    /**
+     * Deliver every message that has arrived by cycle `now`.
+     * @param fn invoked as fn(Coord dst, Payload &&msg) in a
+     *        deterministic (arrival time, send order) order
+     */
+    template <typename Fn>
+    void
+    deliver(Cycle now, Fn &&fn)
+    {
+        while (!_inFlight.empty() && _inFlight.top().arrival <= now) {
+            Event ev = _inFlight.top();
+            _inFlight.pop();
+            fn(ev.dst, std::move(ev.payload));
+        }
+    }
+
+    bool empty() const { return _inFlight.empty(); }
+    std::size_t inFlight() const { return _inFlight.size(); }
+
+    /** Drop all in-flight traffic and link state (machine reset). */
+    void
+    reset()
+    {
+        _inFlight = {};
+        std::fill(_linkFree.begin(), _linkFree.end(), 0);
+    }
+
+    const MeshParams &params() const { return _p; }
+
+  private:
+    struct Event
+    {
+        Cycle arrival;
+        std::uint64_t seq; ///< tie-break for deterministic delivery
+        Coord dst;
+        Payload payload;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return arrival != o.arrival ? arrival > o.arrival
+                                        : seq > o.seq;
+        }
+    };
+
+    MeshParams _p;
+    std::vector<Cycle> _linkFree;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        _inFlight;
+    std::uint64_t _nextSeq = 0;
+
+    Counter &_sent;
+    Counter &_hops;
+    Counter &_queued;
+};
+
+} // namespace edge::net
+
+#endif // EDGE_NET_MESH_HH

@@ -1,0 +1,73 @@
+#include "predictor/next_block.hh"
+
+#include "common/logging.hh"
+
+namespace edge::pred {
+
+NextBlockPredictor::NextBlockPredictor(const NextBlockParams &params,
+                                       StatSet &stats)
+    : _p(params),
+      _table(_p.tableSize),
+      _historyMask((std::uint64_t{1} << _p.historyBits) - 1),
+      _lookups(stats.counter("nbp.lookups", "next-block predictions")),
+      _correct(stats.counter("nbp.correct", "correct predictions")),
+      _wrong(stats.counter("nbp.wrong", "mispredicted block exits"))
+{
+    fatal_if(_p.tableSize == 0 || (_p.tableSize & (_p.tableSize - 1)),
+             "next-block predictor table must be a power of two");
+}
+
+std::size_t
+NextBlockPredictor::index(BlockId block, std::uint64_t history) const
+{
+    std::uint64_t h = static_cast<std::uint64_t>(block) * 0x9e3779b1ULL;
+    return (h ^ history) & (_p.tableSize - 1);
+}
+
+unsigned
+NextBlockPredictor::predict(BlockId block)
+{
+    ++_lookups;
+    return _table[index(block, _history)].exitIndex;
+}
+
+std::uint64_t
+NextBlockPredictor::pushSpeculativeHistory(unsigned exit_index)
+{
+    std::uint64_t snapshot = _history;
+    _history = ((_history << 2) | (exit_index & 3)) & _historyMask;
+    return snapshot;
+}
+
+void
+NextBlockPredictor::restoreHistory(std::uint64_t snapshot)
+{
+    _history = snapshot;
+}
+
+void
+NextBlockPredictor::update(BlockId block, unsigned taken_exit,
+                           std::uint64_t history_at_predict)
+{
+    Entry &e = _table[index(block, history_at_predict)];
+    if (e.exitIndex == taken_exit) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else if (e.confidence > 0) {
+        --e.confidence;
+    } else {
+        e.exitIndex = static_cast<std::uint8_t>(taken_exit);
+        e.confidence = 1;
+    }
+}
+
+void
+NextBlockPredictor::recordOutcome(bool correct)
+{
+    if (correct)
+        ++_correct;
+    else
+        ++_wrong;
+}
+
+} // namespace edge::pred

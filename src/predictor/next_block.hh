@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Next-block (exit) predictor. EDGE blocks have one taken exit out
+ * of a small static exit table, so control prediction means
+ * predicting the exit *index* of each fetched block. We use a
+ * gshare-indexed table of exit predictions with 2-bit hysteresis
+ * plus a global exit-history register, which is the moral
+ * equivalent of the TRIPS prototype's exit predictor.
+ */
+
+#ifndef EDGE_PREDICTOR_NEXT_BLOCK_HH
+#define EDGE_PREDICTOR_NEXT_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace edge::pred {
+
+struct NextBlockParams
+{
+    std::size_t tableSize = 4096; ///< entries (power of two)
+    unsigned historyBits = 10;    ///< global exit-history length
+};
+
+class NextBlockPredictor
+{
+  public:
+    NextBlockPredictor(const NextBlockParams &params, StatSet &stats);
+
+    /** Predicted exit index for fetching `block` now. */
+    unsigned predict(BlockId block);
+
+    /**
+     * Speculatively update the history as the fetch engine follows
+     * the predicted path. Returns a snapshot for later repair.
+     */
+    std::uint64_t pushSpeculativeHistory(unsigned exit_index);
+
+    /** Restore history to a snapshot (on flush / mispredict). */
+    void restoreHistory(std::uint64_t snapshot);
+
+    /**
+     * Train with the architecturally taken exit of `block`.
+     * @param history_at_predict the history snapshot returned when
+     *        this block's prediction was made (indexes the same
+     *        table entry the prediction read)
+     */
+    void update(BlockId block, unsigned taken_exit,
+                std::uint64_t history_at_predict);
+
+    /** Record prediction outcome (for the stat counters). */
+    void recordOutcome(bool correct);
+
+  private:
+    struct Entry
+    {
+        std::uint8_t exitIndex = 0;
+        std::uint8_t confidence = 0; ///< 2-bit hysteresis
+    };
+
+    std::size_t index(BlockId block, std::uint64_t history) const;
+
+    NextBlockParams _p;
+    std::vector<Entry> _table;
+    std::uint64_t _history = 0;
+    std::uint64_t _historyMask;
+
+    Counter &_lookups;
+    Counter &_correct;
+    Counter &_wrong;
+};
+
+} // namespace edge::pred
+
+#endif // EDGE_PREDICTOR_NEXT_BLOCK_HH

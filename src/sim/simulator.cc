@@ -1,0 +1,207 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace edge::sim {
+
+namespace {
+
+core::MachineConfig
+baseConfig()
+{
+    core::MachineConfig cfg;
+    // TRIPS-prototype-like defaults already live in the param
+    // structs; nothing machine-specific to override here.
+    return cfg;
+}
+
+} // namespace
+
+core::MachineConfig
+Configs::conservative()
+{
+    core::MachineConfig cfg = baseConfig();
+    cfg.policy = pred::DepPolicy::Conservative;
+    cfg.lsq.recovery = lsq::Recovery::Flush;
+    return cfg;
+}
+
+core::MachineConfig
+Configs::blindFlush()
+{
+    core::MachineConfig cfg = baseConfig();
+    cfg.policy = pred::DepPolicy::Blind;
+    cfg.lsq.recovery = lsq::Recovery::Flush;
+    return cfg;
+}
+
+core::MachineConfig
+Configs::storeSetsFlush()
+{
+    core::MachineConfig cfg = baseConfig();
+    cfg.policy = pred::DepPolicy::StoreSets;
+    cfg.lsq.recovery = lsq::Recovery::Flush;
+    return cfg;
+}
+
+core::MachineConfig
+Configs::dsre()
+{
+    core::MachineConfig cfg = baseConfig();
+    cfg.policy = pred::DepPolicy::Blind;
+    cfg.lsq.recovery = lsq::Recovery::Dsre;
+    return cfg;
+}
+
+core::MachineConfig
+Configs::storeSetsDsre()
+{
+    core::MachineConfig cfg = baseConfig();
+    cfg.policy = pred::DepPolicy::StoreSets;
+    cfg.lsq.recovery = lsq::Recovery::Dsre;
+    return cfg;
+}
+
+core::MachineConfig
+Configs::oracle()
+{
+    core::MachineConfig cfg = baseConfig();
+    cfg.policy = pred::DepPolicy::Oracle;
+    cfg.lsq.recovery = lsq::Recovery::Flush;
+    return cfg;
+}
+
+core::MachineConfig
+Configs::dsreVp()
+{
+    core::MachineConfig cfg = dsre();
+    cfg.lsq.valuePredictMisses = true;
+    return cfg;
+}
+
+core::MachineConfig
+Configs::byName(const std::string &name)
+{
+    if (name == "conservative")
+        return conservative();
+    if (name == "blind-flush")
+        return blindFlush();
+    if (name == "storesets-flush")
+        return storeSetsFlush();
+    if (name == "dsre")
+        return dsre();
+    if (name == "storesets-dsre")
+        return storeSetsDsre();
+    if (name == "oracle")
+        return oracle();
+    if (name == "dsre-vp")
+        return dsreVp();
+    fatal("unknown machine configuration '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+Configs::allNames()
+{
+    static const std::vector<std::string> names = {
+        "conservative",   "blind-flush", "storesets-flush",
+        "dsre",           "storesets-dsre", "dsre-vp",
+        "oracle",
+    };
+    return names;
+}
+
+Simulator::Simulator(isa::Program program, core::MachineConfig config,
+                     std::uint64_t ref_max_blocks)
+    : _prog(std::move(program)),
+      _cfg(config),
+      _refMaxBlocks(ref_max_blocks)
+{
+    std::string why;
+    fatal_if(!_prog.validate(&why), "Simulator: invalid program: %s",
+             why.c_str());
+}
+
+void
+Simulator::ensureReference()
+{
+    if (_refDone)
+        return;
+    _ref = std::make_unique<compiler::RefExecutor>(_prog);
+    std::vector<compiler::BlockTrace> trace;
+    compiler::RefExecutor::Result r = _ref->run(_refMaxBlocks, &trace);
+    fatal_if(!r.halted,
+             "reference execution of %s hit the %llu-block budget; "
+             "the program may not terminate",
+             _prog.name().c_str(),
+             static_cast<unsigned long long>(_refMaxBlocks));
+    _refBlocks = r.dynBlocks;
+    _refInsts = r.dynInsts;
+    _oracleDb = std::make_unique<pred::OracleDb>(trace);
+    _refDone = true;
+}
+
+std::uint64_t
+Simulator::refDynInsts()
+{
+    ensureReference();
+    return _refInsts;
+}
+
+std::uint64_t
+Simulator::refDynBlocks()
+{
+    ensureReference();
+    return _refBlocks;
+}
+
+const pred::OracleDb &
+Simulator::oracleDb()
+{
+    ensureReference();
+    return *_oracleDb;
+}
+
+RunResult
+Simulator::run(Cycle max_cycles)
+{
+    ensureReference();
+    _stats = std::make_unique<StatSet>(_prog.name());
+
+    core::Processor proc(_cfg, _prog, _oracleDb.get(), *_stats);
+    core::Processor::Result r = proc.run(max_cycles);
+
+    RunResult out;
+    out.cycles = r.cycles;
+    out.committedBlocks = r.committedBlocks;
+    out.committedInsts = r.committedInsts;
+    out.halted = r.halted;
+
+    out.violations = _stats->counterValue("lsq.violations");
+    out.resends = _stats->counterValue("lsq.resends");
+    out.reexecs = _stats->counterValue("core.alu_reexecs");
+    out.upgrades = _stats->counterValue("core.upgrades");
+    out.ctrlFlushes = _stats->counterValue("core.ctrl_flushes");
+    out.violFlushes = _stats->counterValue("core.viol_flushes");
+    out.aluIssues = _stats->counterValue("core.alu_issues");
+    out.loads = _stats->counterValue("lsq.loads");
+    out.stores = _stats->counterValue("lsq.stores");
+    out.forwards = _stats->counterValue("lsq.forwards");
+    out.policyHolds = _stats->counterValue("lsq.policy_holds");
+    out.deferrals = _stats->counterValue("lsq.deferrals");
+    out.squashes = _stats->counterValue("core.squashes");
+
+    // Golden-model verification: committed register and memory state
+    // must match the functional reference exactly.
+    bool regs_match = true;
+    for (unsigned i = 0; i < isa::kNumArchRegs; ++i)
+        regs_match = regs_match &&
+                     proc.archRegs()[i] == _ref->regs()[i];
+    bool mem_match = proc.memory().equals(_ref->memory());
+    bool counts_match = r.halted &&
+                        r.committedBlocks == _refBlocks &&
+                        r.committedInsts == _refInsts;
+    out.archMatch = regs_match && mem_match && counts_match;
+    return out;
+}
+
+} // namespace edge::sim

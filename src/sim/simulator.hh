@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The top-level user-facing API. A Simulator takes a validated EDGE
+ * program and a MachineConfig, runs the functional reference
+ * execution (which doubles as the oracle database and golden model),
+ * then runs the timing simulation and verifies that the committed
+ * architectural state matches the reference bit for bit.
+ *
+ * Typical use:
+ * @code
+ *   isa::Program prog = wl::buildKernel("gzipish", {});
+ *   sim::Simulator s(prog, sim::Configs::dsre());
+ *   sim::RunResult r = s.run();
+ *   printf("IPC %.2f\n", r.ipc());
+ * @endcode
+ */
+
+#ifndef EDGE_SIM_SIMULATOR_HH
+#define EDGE_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "core/processor.hh"
+
+namespace edge::sim {
+
+/** Outcome of one timing run, plus the paper-relevant metrics. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    std::uint64_t committedBlocks = 0;
+    std::uint64_t committedInsts = 0;
+    bool halted = false;    ///< program ran to completion
+    bool archMatch = false; ///< registers + memory match the reference
+
+    std::uint64_t violations = 0;
+    std::uint64_t resends = 0;
+    std::uint64_t reexecs = 0;
+    std::uint64_t upgrades = 0;
+    std::uint64_t ctrlFlushes = 0;
+    std::uint64_t violFlushes = 0;
+    std::uint64_t aluIssues = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t forwards = 0;
+    std::uint64_t policyHolds = 0;
+    std::uint64_t deferrals = 0;
+    std::uint64_t squashes = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0
+                   ? 0.0
+                   : static_cast<double>(committedInsts) /
+                         static_cast<double>(cycles);
+    }
+
+    /** Fraction of ALU work that is DSRE re-execution. */
+    double
+    reexecFraction() const
+    {
+        return aluIssues == 0
+                   ? 0.0
+                   : static_cast<double>(reexecs) /
+                         static_cast<double>(aluIssues);
+    }
+};
+
+/** Canned machine configurations matching the paper's mechanisms. */
+struct Configs
+{
+    /** Conservative loads, no speculation: the safe baseline. */
+    static core::MachineConfig conservative();
+    /** Blind speculation with flush recovery. */
+    static core::MachineConfig blindFlush();
+    /** Store-set prediction with flush recovery (best predictor). */
+    static core::MachineConfig storeSetsFlush();
+    /** Blind speculation with DSRE recovery (the paper's proposal). */
+    static core::MachineConfig dsre();
+    /** Store-set prediction with DSRE recovery (an extension). */
+    static core::MachineConfig storeSetsDsre();
+    /** Perfect oracle load issue (upper bound). */
+    static core::MachineConfig oracle();
+    /**
+     * DSRE plus miss value prediction — the second application of
+     * the protocol (extension beyond the paper's evaluation).
+     */
+    static core::MachineConfig dsreVp();
+
+    /** The config named by one of {conservative, blind-flush,
+     * storesets-flush, dsre, storesets-dsre, oracle}. */
+    static core::MachineConfig byName(const std::string &name);
+
+    /** All mechanism names in presentation order. */
+    static const std::vector<std::string> &allNames();
+};
+
+class Simulator
+{
+  public:
+    /**
+     * @param program the program to run (copied)
+     * @param config machine configuration
+     * @param ref_max_blocks budget for the reference pre-execution
+     */
+    Simulator(isa::Program program, core::MachineConfig config,
+              std::uint64_t ref_max_blocks = 50'000'000);
+
+    /**
+     * Run the timing simulation (reference runs lazily first).
+     * @param max_cycles timing-simulation cycle budget
+     */
+    RunResult run(Cycle max_cycles = 500'000'000);
+
+    /** Reference (functional) dynamic instruction count. */
+    std::uint64_t refDynInsts();
+
+    /** Reference dynamic block count. */
+    std::uint64_t refDynBlocks();
+
+    /** The oracle / golden database (reference runs lazily first). */
+    const pred::OracleDb &oracleDb();
+
+    /** Statistics of the last timing run. */
+    const StatSet &stats() const { return *_stats; }
+
+    const isa::Program &program() const { return _prog; }
+
+  private:
+    void ensureReference();
+
+    isa::Program _prog;
+    core::MachineConfig _cfg;
+    std::uint64_t _refMaxBlocks;
+
+    bool _refDone = false;
+    std::uint64_t _refBlocks = 0;
+    std::uint64_t _refInsts = 0;
+    std::unique_ptr<compiler::RefExecutor> _ref;
+    std::unique_ptr<pred::OracleDb> _oracleDb;
+    std::unique_ptr<StatSet> _stats;
+};
+
+} // namespace edge::sim
+
+#endif // EDGE_SIM_SIMULATOR_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ammpish — models 188.ammp's molecular-dynamics position updates:
+ * an interaction list names atoms whose positions are read, nudged
+ * by a floating-point force term, and written back. Data-dependent
+ * FP read-modify-write with realistic atom reuse: the dependent
+ * slice behind each load is a multi-cycle FP chain, making flush
+ * recovery especially expensive relative to selective re-execution.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildAmmpish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kList = 0x10000;
+    constexpr Addr kPos = 0x80000;
+    constexpr unsigned kNumAtoms = 96;
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("ammpish");
+    {
+        Rng rng(kp.seed * 0xb492 + 23);
+        std::vector<Word> list(n);
+        for (auto &w : list)
+            w = rng.below(kNumAtoms);
+        pb.initDataWords(kList, list);
+        std::vector<Word> pos(kNumAtoms);
+        for (auto &p : pos)
+            p = doubleToWord(rng.uniform() * 10.0);
+        pb.initDataWords(kPos, pos);
+    }
+    pb.setInitReg(1, 0); // i
+    pb.setInitReg(2, n);
+    pb.setInitReg(5, doubleToWord(0.0)); // energy accumulator
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val acc = loop.readReg(5);
+
+        Val atom = loop.load(loop.addi(loop.shli(i, 3), kList), 8);
+        Val paddr = loop.addi(loop.shli(atom, 3), kPos);
+        Val p = loop.load(paddr, 8); // LSID 1
+        // A few FP ops emulate the force evaluation: the dependent
+        // slice behind the load is long.
+        Val f = loop.fmul(p, loop.fimm(0.999755859375));
+        Val g = loop.fadd(f, loop.fimm(0.001953125));
+        loop.store(paddr, g, 8); // LSID 2: the RMW write-back
+
+        loop.writeReg(5, loop.fadd(acc, g));
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

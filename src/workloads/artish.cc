@@ -1,0 +1,84 @@
+/**
+ * @file
+ * artish — models 179.art's neural-network inner products: pure
+ * streaming floating-point multiply-accumulate over weight and
+ * input vectors, with one result store per block that nothing ever
+ * reloads. Effectively alias-free: the interesting comparison is
+ * how much the conservative policy loses by stalling streaming
+ * loads behind the (irrelevant) result stores.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildArtish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kW = 0x100000;
+    constexpr Addr kX = 0x200000;
+    constexpr Addr kY = 0x300000;
+    constexpr unsigned kUnroll = 4;
+    constexpr unsigned kVecMask = 4095; // 4096-element vectors
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("artish");
+    {
+        Rng rng(kp.seed * 0x2545 + 13);
+        std::vector<Word> w(kVecMask + 1), x(kVecMask + 1);
+        for (std::size_t i = 0; i <= kVecMask; ++i) {
+            w[i] = doubleToWord(rng.uniform() - 0.5);
+            x[i] = doubleToWord(rng.uniform());
+        }
+        pb.initDataWords(kW, w);
+        pb.initDataWords(kX, x);
+    }
+    pb.setInitReg(1, 0); // i
+    pb.setInitReg(2, n);
+    pb.setInitReg(5, doubleToWord(0.0)); // FP accumulator
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val acc = loop.readReg(5);
+
+        // Four-way unrolled dot-product step.
+        Val base = loop.andi(loop.muli(i, kUnroll), kVecMask);
+        Val off = loop.shli(base, 3);
+        Val sum = acc;
+        for (unsigned u = 0; u < kUnroll; ++u) {
+            Val wv = loop.load(loop.addi(off, kW), 8, u * 8);
+            Val xv = loop.load(loop.addi(off, kX), 8, u * 8);
+            sum = loop.fadd(sum, loop.fmul(wv, xv));
+        }
+        // Result store: streaming, never reloaded.
+        loop.store(loop.addi(loop.shli(loop.andi(i, kVecMask), 3), kY),
+                   sum, 8);
+
+        loop.writeReg(5, sum);
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        // Store the bits of the accumulated dot product.
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * bzip2ish — models 256.bzip2's byte-frequency counting phase: a
+ * histogram increment per input symbol. The load/increment/store is
+ * a genuine read-modify-write dependence chain *through memory*;
+ * with a skewed symbol distribution the same counter is touched by
+ * several in-flight blocks at once, so blind speculation violates
+ * constantly, flush recovery thrashes, and the store-set predictor
+ * learns to serialise. DSRE instead re-executes just the short
+ * increment slice, which is the behaviour the paper's headline
+ * speedup comes from.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildBzip2ish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kIn = 0x10000;
+    constexpr Addr kCount = 0x30000;
+    constexpr unsigned kSyms = 64;
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("bzip2ish");
+    {
+        Rng rng(kp.seed * 0x85eb + 3);
+        std::vector<Word> in(n);
+        for (auto &w : in) {
+            // AND of two uniforms skews toward small symbols, like
+            // the byte histogram of compressible text.
+            w = (rng.below(kSyms) & rng.below(kSyms));
+        }
+        pb.initDataWords(kIn, in);
+        pb.initDataWords(kCount, std::vector<Word>(kSyms, 0));
+    }
+    pb.setInitReg(1, 0); // i
+    pb.setInitReg(2, n);
+    pb.setInitReg(5, 0); // checksum accumulator
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val acc = loop.readReg(5);
+
+        Val sym = loop.load(loop.addi(loop.shli(i, 3), kIn), 8);
+        Val caddr = loop.addi(loop.shli(sym, 3), kCount);
+        Val c = loop.load(caddr, 8);     // LSID 1
+        // The update is a weighted rescale (as in bzip2's frequency
+        // normalisation), so the store's data chain is several
+        // cycles deep and the RMW window is realistically wide.
+        Val upd = loop.addi(loop.muli(c, 31), 7);
+        loop.store(caddr, loop.andi(upd, 0xffffffff), 8); // LSID 2
+
+        loop.writeReg(5, loop.add(acc, c));
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        // Fold a few counters into the output so the histogram state
+        // is architecturally observable.
+        Val c0 = done.load(done.imm(kCount), 8);
+        Val c1 = done.load(done.imm(kCount + 8), 8);
+        Val c2 = done.load(done.imm(kCount + 16), 8);
+        Val sum = done.add(done.add(c0, c1), c2);
+        done.store(done.imm(kOut), done.add(sum, done.readReg(5)), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * craftyish — models 186.crafty's search loop: dense 64-bit bitboard
+ * manipulation feeding a transposition-table probe and update. The
+ * table store's data folds in the probed entry (replace-if-deeper
+ * policy), so like the hash chains of gzip the store resolves late
+ * while the next probe to the same bucket issues early — the
+ * data-dependent alias pattern with a deep integer slice behind it.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildCraftyish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kMoves = 0x10000; // precomputed "move" words
+    constexpr Addr kTt = 0x50000;    // transposition table
+    constexpr unsigned kTtMask = 63; // 64 buckets: reuse is frequent
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("craftyish");
+    {
+        Rng rng(kp.seed * 0x1f3a + 31);
+        std::vector<Word> moves(n);
+        for (auto &m : moves)
+            m = rng.next();
+        pb.initDataWords(kMoves, moves);
+        pb.initDataWords(kTt, std::vector<Word>(kTtMask + 1, 0));
+    }
+    pb.setInitReg(1, 0);                  // i
+    pb.setInitReg(2, n);
+    pb.setInitReg(3, 0x0123456789abcdefull); // board hash
+    pb.setInitReg(5, 0);                  // score accumulator
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val hash = loop.readReg(3);
+        Val acc = loop.readReg(5);
+
+        // Bitboard update: a dense chain of logic ops on the move.
+        Val mv = loop.load(loop.addi(loop.shli(i, 3), kMoves), 8);
+        Val h1 = loop.bxor(hash, mv);
+        Val h2 = loop.bxor(h1, loop.shri(h1, 29));
+        Val h3 = loop.muli(h2, -7046029254386353131LL); // mix64
+        Val h4 = loop.bxor(h3, loop.shri(h3, 32));
+
+        // Transposition-table probe and replace-if-better update:
+        // the store data depends on the probe load.
+        Val slot = loop.addi(
+            loop.shli(loop.andi(h4, kTtMask), 3), kTt);
+        Val entry = loop.load(slot, 8);            // LSID 1
+        Val better = loop.tltu(entry, h4);
+        Val newent = loop.sel(better, h4, entry);
+        loop.store(slot, newent, 8);               // LSID 2
+
+        loop.writeReg(3, h4);
+        loop.writeReg(5, loop.add(acc, loop.andi(entry, 0xffff)));
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

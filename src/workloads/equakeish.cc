@@ -1,0 +1,88 @@
+/**
+ * @file
+ * equakeish — models 183.equake's sparse matrix-vector product:
+ * each row gathers three (value, column) pairs, multiplies against
+ * the gathered x entries, and stores the row result. Heavy
+ * indirection and FP latency with essentially no store-to-load
+ * aliasing; the y-store stream is disjoint from every gather.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildEquakeish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kCol = 0x100000;
+    constexpr Addr kVal = 0x200000;
+    constexpr Addr kX = 0x300000;
+    constexpr Addr kY = 0x400000;
+    constexpr unsigned kNnzPerRow = 3;
+    constexpr unsigned kXMask = 2047;
+    constexpr unsigned kRowMask = 8191;
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("equakeish");
+    {
+        Rng rng(kp.seed * 0x7f4a + 19);
+        std::size_t nnz = (static_cast<std::size_t>(
+                               std::min<std::uint64_t>(n, kRowMask + 1)) +
+                           1) * kNnzPerRow;
+        std::vector<Word> col(nnz), val(nnz), x(kXMask + 1);
+        for (auto &c : col)
+            c = rng.below(kXMask + 1);
+        for (auto &v : val)
+            v = doubleToWord(rng.uniform() * 2.0 - 1.0);
+        for (auto &xi : x)
+            xi = doubleToWord(rng.uniform());
+        pb.initDataWords(kCol, col);
+        pb.initDataWords(kVal, val);
+        pb.initDataWords(kX, x);
+    }
+    pb.setInitReg(1, 0); // row
+    pb.setInitReg(2, n);
+    pb.setInitReg(5, doubleToWord(0.0));
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val acc = loop.readReg(5);
+
+        Val row = loop.andi(i, kRowMask);
+        Val base = loop.shli(loop.muli(row, kNnzPerRow), 3);
+        Val sum = loop.fimm(0.0);
+        for (unsigned k = 0; k < kNnzPerRow; ++k) {
+            Val c = loop.load(loop.addi(base, kCol), 8, k * 8);
+            Val a = loop.load(loop.addi(base, kVal), 8, k * 8);
+            Val xv = loop.load(loop.addi(loop.shli(c, 3), kX), 8);
+            sum = loop.fadd(sum, loop.fmul(a, xv));
+        }
+        loop.store(loop.addi(loop.shli(row, 3), kY), sum, 8);
+
+        loop.writeReg(5, loop.fadd(acc, sum));
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * gapish — models 254.gap's workspace ("bag") allocator: objects are
+ * bump-allocated into a small arena that wraps, and each new object
+ * links to a recently created one. Wrapping means allocation stores
+ * land on addresses that in-flight readers of older objects are
+ * still loading — aliasing at a characteristic distance set by the
+ * arena size, a pattern that trains dependence predictors well but
+ * over-serialises them.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildGapish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kArena = 0x40000;
+    constexpr unsigned kArenaMask = 255; // 256 cells, wraps quickly
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("gapish");
+    {
+        Rng rng(kp.seed * 0x4d2b + 37);
+        std::vector<Word> arena(kArenaMask + 1);
+        for (auto &w : arena)
+            w = rng.below(1 << 16);
+        pb.initDataWords(kArena, arena);
+    }
+    pb.setInitReg(1, 0); // i (also the bump pointer)
+    pb.setInitReg(2, n);
+    pb.setInitReg(5, 1); // running object "handle"
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val h = loop.readReg(5);
+
+        // Read a "parent" object allocated a data-dependent number
+        // of steps ago (wraps around the arena).
+        Val back = loop.addi(loop.andi(h, 31), 1);
+        Val pidx = loop.andi(loop.sub(i, back), kArenaMask);
+        Val parent =
+            loop.load(loop.addi(loop.shli(pidx, 3), kArena), 8);
+
+        // Allocate: bump-store the new object, whose payload links
+        // to the parent (store data depends on the load).
+        Val idx = loop.andi(i, kArenaMask);
+        Val obj = loop.addi(loop.add(parent, loop.shli(h, 1)), 3);
+        loop.store(loop.addi(loop.shli(idx, 3), kArena),
+                   loop.andi(obj, 0xffffff), 8);
+
+        loop.writeReg(5, loop.ori(loop.andi(obj, 0xffff), 1));
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * gccish — models 176.gcc's IR rewriting passes: walk a linked list
+ * of instruction nodes, classify each (two-way data-dependent
+ * control), and conditionally rewrite an operand field. Mixes
+ * pointer chasing (serial loads), moderate exit misprediction, and
+ * sparse conditional stores whose addresses alias later re-walks of
+ * the same node ring.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <numeric>
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildGccish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kNodes = 0x30000; // 24-byte IR nodes
+    constexpr unsigned kNumNodes = 96; // small ring: re-walked often
+    constexpr unsigned kRec = 24;
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("gccish");
+    {
+        Rng rng(kp.seed * 0x9b97 + 47);
+        // A shuffled ring of IR nodes: [next, opcode, operand].
+        std::vector<unsigned> perm(kNumNodes);
+        std::iota(perm.begin(), perm.end(), 0u);
+        for (unsigned i = kNumNodes - 1; i > 0; --i) {
+            unsigned j = static_cast<unsigned>(rng.below(i));
+            std::swap(perm[i], perm[j]);
+        }
+        std::vector<Word> nodes(kNumNodes * 3);
+        for (unsigned i = 0; i < kNumNodes; ++i) {
+            nodes[i * 3 + 0] = kNodes + perm[i] * kRec;
+            nodes[i * 3 + 1] = rng.chance(6, 10) ? 0 : 1; // class
+            nodes[i * 3 + 2] = rng.below(4096);           // operand
+        }
+        pb.initDataWords(kNodes, nodes);
+    }
+    pb.setInitReg(1, kNodes); // current node
+    pb.setInitReg(2, n);
+    pb.setInitReg(3, 0); // i
+    pb.setInitReg(5, 0); // rewrite count
+
+    // Walk + classify: the exit depends on the node's class field.
+    auto &walk = pb.newBlock("walk");
+    {
+        Val p = walk.readReg(1);
+        Val cls = walk.load(p, 8, 8);
+        walk.branchCond(walk.teqi(cls, 0), "simplify", "keep");
+    }
+
+    // Rewrite pass: fold the operand (load + store to the node the
+    // next ring walk will reload).
+    auto &simplify = pb.newBlock("simplify");
+    {
+        Val p = simplify.readReg(1);
+        Val nn = simplify.readReg(2);
+        Val i = simplify.readReg(3);
+        Val cnt = simplify.readReg(5);
+        Val next = simplify.load(p, 8, 0);   // LSID 0
+        Val opnd = simplify.load(p, 8, 16);  // LSID 1
+        Val folded = simplify.andi(
+            simplify.addi(simplify.shri(opnd, 1), 17), 4095);
+        simplify.store(p, folded, 8, 16);    // LSID 2: rewrite
+        simplify.writeReg(5, simplify.addi(cnt, 1));
+        simplify.writeReg(1, next);
+        Val i2 = simplify.addi(i, 1);
+        simplify.writeReg(3, i2);
+        simplify.branchCond(simplify.tlt(i2, nn), "walk", "done");
+    }
+
+    // Keep pass: just advance.
+    auto &keep = pb.newBlock("keep");
+    {
+        Val p = keep.readReg(1);
+        Val nn = keep.readReg(2);
+        Val i = keep.readReg(3);
+        Val next = keep.load(p, 8, 0);
+        keep.writeReg(1, next);
+        Val i2 = keep.addi(i, 1);
+        keep.writeReg(3, i2);
+        keep.branchCond(keep.tlt(i2, nn), "walk", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("walk");
+    return pb.build();
+}
+
+} // namespace edge::wl

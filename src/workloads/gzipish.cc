@@ -1,0 +1,94 @@
+/**
+ * @file
+ * gzipish — models 164.gzip's deflate inner loop. An LZ77-style
+ * hash table maps a hash of the current input word to the most
+ * recent position that hashed the same way. Every iteration probes
+ * the table (load) and then installs its own position (store to the
+ * *same* slot), so whenever the input repeats within the window the
+ * next probe aliases an in-flight store at a data-dependent address
+ * — the canonical hard case for dependence prediction.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildGzipish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kIn = 0x10000;
+    constexpr Addr kHash = 0x40000;
+    constexpr unsigned kHashBits = 6; // 64 entries: aliases common
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("gzipish");
+
+    // Input: small alphabet so hash slots are revisited quickly,
+    // like the repetitive byte runs deflate feeds on.
+    {
+        Rng rng(kp.seed * 0x9e37 + 7);
+        std::vector<Word> in(n + 1);
+        for (auto &w : in)
+            w = rng.below(48);
+        pb.initDataWords(kIn, in);
+        pb.initDataWords(kHash,
+                         std::vector<Word>(std::size_t{1} << kHashBits,
+                                           0));
+    }
+    pb.setInitReg(1, 0); // i
+    pb.setInitReg(2, n); // trip count
+    pb.setInitReg(5, 0); // match accumulator
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val acc = loop.readReg(5);
+
+        // Current input word and its hash slot.
+        Val w = loop.load(loop.addi(loop.shli(i, 3), kIn), 8);
+        Val h = loop.andi(loop.shri(loop.muli(w, 2654435761), 4),
+                          (1u << kHashBits) - 1);
+        Val haddr = loop.addi(loop.shli(h, 3), kHash);
+
+        // Probe the chain head, then install the new head. As in
+        // deflate's hash chains the stored record folds in the old
+        // head (prev-pointer), so the store's *data* resolves only
+        // after the probe load returns — younger blocks re-probing
+        // the same slot race it, which is exactly the window
+        // dependence prediction struggles with.
+        Val cand_rec = loop.load(haddr, 8);
+        Val cand = loop.andi(cand_rec, 0xffffffff);
+        Val rec = loop.bor(loop.shli(loop.andi(cand, 0xffff), 32), i);
+        loop.store(haddr, rec, 8);
+
+        // Compare the candidate position's word with ours (the
+        // "match" test); candidate indices are prior i values or 0.
+        Val cw = loop.load(loop.addi(loop.shli(cand, 3), kIn), 8);
+        Val hit = loop.teq(cw, w);
+        loop.writeReg(5, loop.add(acc, hit));
+
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * mcfish — models 181.mcf's arc-list pointer chasing. Each
+ * iteration dereferences the current node for its successor and its
+ * cost, updates a bookkeeping field, and follows the chain. The
+ * node list is a random permutation cycle, so stores essentially
+ * never alias the chase loads inside the window: blind speculation
+ * is always right, and any policy that delays loads for the
+ * bookkeeping stores (conservative, mistrained predictors) pays the
+ * full serialisation cost of the chain.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <numeric>
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildMcfish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kNodes = 0x20000; // 24-byte records
+    constexpr unsigned kNumNodes = 1024;
+    constexpr unsigned kRec = 24;
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("mcfish");
+    {
+        // A single random cycle over all nodes (Sattolo's algorithm)
+        // so the chase never short-circuits.
+        Rng rng(kp.seed * 0xc2b2 + 11);
+        std::vector<unsigned> perm(kNumNodes);
+        std::iota(perm.begin(), perm.end(), 0u);
+        for (unsigned i = kNumNodes - 1; i > 0; --i) {
+            unsigned j = static_cast<unsigned>(rng.below(i));
+            std::swap(perm[i], perm[j]);
+        }
+        std::vector<Word> nodes(kNumNodes * 3, 0);
+        for (unsigned i = 0; i < kNumNodes; ++i) {
+            nodes[i * 3 + 0] = kNodes + perm[i] * kRec; // next ptr
+            nodes[i * 3 + 1] = rng.below(1000);         // cost
+            nodes[i * 3 + 2] = 0;                       // potential
+        }
+        pb.initDataWords(kNodes, nodes);
+    }
+    pb.setInitReg(1, kNodes); // current node pointer
+    pb.setInitReg(2, n);
+    pb.setInitReg(3, 0); // i
+    pb.setInitReg(5, 0); // cost accumulator
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val p = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val i = loop.readReg(3);
+        Val acc = loop.readReg(5);
+
+        Val next = loop.load(p, 8, 0);  // LSID 0: the chase load
+        Val cost = loop.load(p, 8, 8);  // LSID 1
+        // Bookkeeping write to the *potential* field: ambiguous to
+        // a predictor, architecturally never read by the chase.
+        loop.store(p, loop.add(cost, i), 8, 16); // LSID 2
+
+        loop.writeReg(5, loop.add(acc, cost));
+        loop.writeReg(1, next);
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(3, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * parserish — models 197.parser's recursive-descent evaluation:
+ * an explicit expression stack is spilled and refilled through
+ * memory, and a biased two-way token dispatch exercises the block
+ * exit predictor. The pops load exactly what the pushes just stored
+ * at stack-pointer-relative addresses, so store-to-load forwarding
+ * distance is short and deterministic — a case where the store-set
+ * predictor does well and DSRE must at least match it.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildParserish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kIn = 0x10000;
+    constexpr Addr kStackTop = 0x60000; // grows down
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("parserish");
+    {
+        Rng rng(kp.seed * 0x27d4 + 17);
+        std::vector<Word> in(n);
+        for (auto &w : in)
+            w = rng.chance(7, 10) ? 0 : 1; // 70/30 token bias
+        pb.initDataWords(kIn, in);
+    }
+    pb.setInitReg(1, 0);          // i
+    pb.setInitReg(2, n);
+    pb.setInitReg(4, kStackTop);  // sp
+    pb.setInitReg(5, 1);          // value accumulator
+
+    // Dispatch block: fetch the token, pick the operator block.
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val tok = loop.load(loop.addi(loop.shli(i, 3), kIn), 8);
+        loop.branchCond(loop.teqi(tok, 0), "op_add", "op_mul");
+    }
+
+    // Both operator blocks push two operands, reload them (the
+    // spill/fill), combine, and store the partial result back.
+    auto emit_op = [&](const std::string &name, bool is_add) {
+        auto &b = pb.newBlock(name);
+        Val i = b.readReg(1);
+        Val nn = b.readReg(2);
+        Val acc = b.readReg(5);
+
+        // The stack pointer walks a bounded region as evaluation
+        // depth changes (stride coprime with the region so frames
+        // at the same depth recur across the window, like real
+        // nested-expression spills).
+        Val depth = b.andi(b.muli(i, 48), 127);
+        Val sp1 = b.sub(b.imm(kStackTop - 16), depth);
+
+        // Spill two temporaries...
+        Val t1 = b.addi(acc, is_add ? 3 : 5);
+        Val t2 = b.xori(acc, 0x2b);
+        b.store(sp1, t1, 8, 0); // LSID 1
+        b.store(sp1, t2, 8, 8); // LSID 2
+        // ...and refill them: the pops alias the pushes just above
+        // (intra-block), and frames at recurring depths alias
+        // across in-flight blocks.
+        Val a = b.load(sp1, 8, 0); // LSID 3
+        Val c = b.load(sp1, 8, 8); // LSID 4
+        Val v = is_add ? b.add(a, c) : b.mul(b.ori(a, 1), c);
+        b.writeReg(5, b.andi(v, 0xffffffff));
+
+        Val i2 = b.addi(i, 1);
+        b.writeReg(1, i2);
+        b.branchCond(b.tlt(i2, nn), "loop", "done");
+    };
+    emit_op("op_add", true);
+    emit_op("op_mul", false);
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * swimish — models 171.swim's shallow-water stencil: an in-place
+ * 3-point FP relaxation sweep. Each iteration loads a[i-1], a[i],
+ * a[i+1] and stores a[i]; when the sweep position of in-flight
+ * blocks overlaps, loads alias the stores of the immediately older
+ * block at a *fixed, deterministic* distance — the friendliest case
+ * for dependence prediction (one static pair, always true), so store
+ * sets should close most of the flush machine's gap here.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildSwimish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kGrid = 0x100000;
+    constexpr unsigned kMask = 1023; // 1024-point periodic grid
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("swimish");
+    {
+        Rng rng(kp.seed * 0x7a6e + 43);
+        std::vector<Word> grid(kMask + 1);
+        for (auto &g : grid)
+            g = doubleToWord(rng.uniform() * 4.0 - 2.0);
+        pb.initDataWords(kGrid, grid);
+    }
+    pb.setInitReg(1, 1); // i (skip the boundary point)
+    pb.setInitReg(2, n);
+    pb.setInitReg(5, doubleToWord(0.0)); // residual accumulator
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val acc = loop.readReg(5);
+
+        Val idx = loop.andi(i, kMask);
+        Val base = loop.addi(loop.shli(idx, 3), kGrid);
+        // The west load reads the point the previous iteration just
+        // stored: a guaranteed one-block-distance dependence.
+        Val w = loop.load(base, 8, -8); // LSID 0: a[i-1]
+        Val c = loop.load(base, 8, 0);  // LSID 1: a[i]
+        Val e = loop.load(base, 8, 8);  // LSID 2: a[i+1]
+
+        Val lap = loop.fsub(loop.fadd(w, e),
+                            loop.fmul(c, loop.fimm(2.0)));
+        Val next = loop.fadd(c, loop.fmul(lap, loop.fimm(0.25)));
+        loop.store(base, next, 8); // LSID 3: in-place update
+
+        loop.writeReg(5, loop.fadd(acc, lap));
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

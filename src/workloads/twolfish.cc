@@ -1,0 +1,87 @@
+/**
+ * @file
+ * twolfish — models 300.twolf's cell-swap perturbation: each step
+ * picks two pseudo-random cells and exchanges them (two loads, two
+ * stores at data-dependent addresses). Aliases across in-flight
+ * blocks follow birthday statistics over the cell array, so
+ * violations are real but rare: blind speculation plus cheap (DSRE)
+ * recovery is close to oracle, while flush recovery pays a full
+ * window refill for every rare collision.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildTwolfish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kCells = 0x20000;
+    constexpr Addr kPairs = 0x60000;
+    constexpr unsigned kMask = 127; // 128 cells: collisions matter
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("twolfish");
+    {
+        Rng rng(kp.seed * 0x51ed + 5);
+        std::vector<Word> cells(kMask + 1);
+        for (auto &c : cells)
+            c = rng.below(1 << 20);
+        pb.initDataWords(kCells, cells);
+        // The swap worklist: both cell indices packed in one word,
+        // like twolf's precomputed perturbation schedule.
+        std::vector<Word> pairs(n);
+        for (auto &p : pairs)
+            p = rng.below(kMask + 1) | (rng.below(kMask + 1) << 32);
+        pb.initDataWords(kPairs, pairs);
+    }
+    pb.setInitReg(1, 0);             // i
+    pb.setInitReg(2, n);
+    pb.setInitReg(5, 0);             // accumulator
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val acc = loop.readReg(5);
+
+        // The two cell indices come from the precomputed worklist,
+        // so swap loads issue early while the older swaps' stores
+        // (whose data are the loaded cell values) resolve late:
+        // the realistic race dependence prediction must cover.
+        Val pair = loop.load(loop.addi(loop.shli(i, 3), kPairs), 8);
+        Val a = loop.andi(pair, kMask);
+        Val b = loop.andi(loop.shri(pair, 32), kMask);
+        Val aa = loop.addi(loop.shli(a, 3), kCells);
+        Val ba = loop.addi(loop.shli(b, 3), kCells);
+
+        Val xa = loop.load(aa, 8); // LSID 1
+        Val xb = loop.load(ba, 8); // LSID 2
+        loop.store(aa, xb, 8);     // LSID 3
+        loop.store(ba, xa, 8);     // LSID 4
+
+        loop.writeReg(5, loop.add(acc, xa));
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * vortexish — models 255.vortex's object-store record traffic:
+ * four-word records are copied between pseudo-randomly chosen heap
+ * slots. Most copies are disjoint, but occasionally source and
+ * destination windows overlap across in-flight blocks, producing
+ * bursty multi-byte aliases that stress byte-accurate forwarding.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildVortexish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kHeap = 0x20000;
+    constexpr Addr kSched = 0x60000;
+    constexpr unsigned kRecMask = 63; // 64 records of 32 bytes
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("vortexish");
+    {
+        Rng rng(kp.seed * 0x94d0 + 29);
+        std::vector<Word> heap((kRecMask + 1) * 4);
+        for (auto &w : heap)
+            w = rng.next() & 0xffffffff;
+        pb.initDataWords(kHeap, heap);
+        // Copy schedule: (src, dst) record ids per iteration.
+        std::vector<Word> sched(n);
+        for (auto &s : sched)
+            s = rng.below(kRecMask + 1) |
+                (rng.below(kRecMask + 1) << 32);
+        pb.initDataWords(kSched, sched);
+    }
+    pb.setInitReg(1, 0);           // i
+    pb.setInitReg(2, n);
+    pb.setInitReg(5, 0);           // checksum
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val acc = loop.readReg(5);
+
+        Val s1 = loop.load(loop.addi(loop.shli(i, 3), kSched), 8);
+        Val src_i = loop.andi(s1, kRecMask);
+        Val dst_i = loop.andi(loop.shri(s1, 32), kRecMask);
+        Val src = loop.addi(loop.shli(src_i, 5), kHeap);
+        Val dst = loop.addi(loop.shli(dst_i, 5), kHeap);
+
+        // Copy the whole record: loads first (sequential semantics
+        // of memcpy with potential overlap favours reading all
+        // fields before writing).
+        Val w0 = loop.load(src, 8, 0);
+        Val w1 = loop.load(src, 8, 8);
+        Val w2 = loop.load(src, 8, 16);
+        Val w3 = loop.load(src, 8, 24);
+        loop.store(dst, w0, 8, 0);
+        loop.store(dst, w1, 8, 8);
+        loop.store(dst, w2, 8, 16);
+        loop.store(dst, w3, 8, 24);
+
+        loop.writeReg(5, loop.add(acc, loop.bxor(w0, w3)));
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

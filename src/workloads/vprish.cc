@@ -1,0 +1,77 @@
+/**
+ * @file
+ * vprish — models 175.vpr's placement cost updates: a precomputed
+ * net array is walked linearly, each entry naming a node whose
+ * timing slack is read, adjusted and written back. The indirection
+ * makes the RMW addresses data-dependent, and net fan-in causes a
+ * moderate rate of node reuse inside the window.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+
+namespace edge::wl {
+
+isa::Program
+buildVprish(const KernelParams &kp)
+{
+    using compiler::ProgramBuilder;
+    using compiler::Val;
+
+    constexpr Addr kOut = 0x1000;
+    constexpr Addr kNet = 0x10000;
+    constexpr Addr kNodes = 0x80000;
+    constexpr unsigned kNumNodes = 96; // reuse is common
+
+    const std::uint64_t n = std::max<std::uint64_t>(kp.iterations, 1);
+
+    ProgramBuilder pb("vprish");
+    {
+        Rng rng(kp.seed * 0x6c62 + 41);
+        std::vector<Word> net(n);
+        for (auto &w : net)
+            w = rng.below(kNumNodes);
+        pb.initDataWords(kNet, net);
+        std::vector<Word> nodes(kNumNodes);
+        for (auto &w : nodes)
+            w = rng.below(10000);
+        pb.initDataWords(kNodes, nodes);
+    }
+    pb.setInitReg(1, 0); // i
+    pb.setInitReg(2, n);
+    pb.setInitReg(5, 0); // cost accumulator
+
+    auto &loop = pb.newBlock("loop");
+    {
+        Val i = loop.readReg(1);
+        Val nn = loop.readReg(2);
+        Val acc = loop.readReg(5);
+
+        // Indirect node lookup, then the slack read-modify-write.
+        Val idx = loop.load(loop.addi(loop.shli(i, 3), kNet), 8);
+        Val naddr = loop.addi(loop.shli(idx, 3), kNodes);
+        Val slack = loop.load(naddr, 8);             // LSID 1
+        // Timing-cost recompute: the multiply deepens the RMW data
+        // chain the way vpr's criticality update does.
+        Val upd = loop.addi(loop.shri(loop.muli(slack, 13), 3), 7);
+        loop.store(naddr, loop.andi(upd, 0xffff), 8); // LSID 2
+
+        loop.writeReg(5, loop.add(acc, slack));
+        Val i2 = loop.addi(i, 1);
+        loop.writeReg(1, i2);
+        loop.branchCond(loop.tlt(i2, nn), "loop", "done");
+    }
+
+    auto &done = pb.newBlock("done");
+    {
+        done.store(done.imm(kOut), done.readReg(5), 8);
+        done.branchHalt();
+    }
+
+    pb.setEntry("loop");
+    return pb.build();
+}
+
+} // namespace edge::wl

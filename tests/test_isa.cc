@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit tests for the EDGE ISA layer: opcode metadata, the
+ * functional semantics of every opcode (parameterised sweep),
+ * block validation rules, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "isa/block.hh"
+#include "isa/opcode.hh"
+#include "isa/program.hh"
+
+namespace edge::isa {
+namespace {
+
+TEST(OpInfo, TableIsComplete)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NUM_OPCODES);
+         ++i) {
+        const OpInfo &info = opInfo(static_cast<Opcode>(i));
+        EXPECT_NE(info.name, nullptr);
+        EXPECT_LE(info.numOps, 3u);
+        if (info.isLoad || info.isStore)
+            EXPECT_GT(info.accessBytes, 0u);
+        else
+            EXPECT_EQ(info.accessBytes, 0u);
+        EXPECT_FALSE(info.isLoad && info.isStore);
+    }
+}
+
+TEST(OpInfo, MemoryOpcodeClassification)
+{
+    EXPECT_TRUE(isLoad(Opcode::LDB));
+    EXPECT_TRUE(isLoad(Opcode::LDD));
+    EXPECT_TRUE(isStore(Opcode::STW));
+    EXPECT_TRUE(isMem(Opcode::STB));
+    EXPECT_FALSE(isMem(Opcode::ADD));
+    EXPECT_TRUE(isBranch(Opcode::BR));
+    EXPECT_TRUE(isBranch(Opcode::BRO));
+    EXPECT_EQ(opInfo(Opcode::LDH).accessBytes, 2u);
+    EXPECT_EQ(opInfo(Opcode::STD).accessBytes, 8u);
+}
+
+struct EvalCase
+{
+    Opcode op;
+    Word a, b, c;
+    std::int64_t imm;
+    Word expect;
+};
+
+class EvalOpTest : public ::testing::TestWithParam<EvalCase>
+{
+};
+
+TEST_P(EvalOpTest, ProducesExpectedValue)
+{
+    const EvalCase &t = GetParam();
+    EXPECT_EQ(evalOp(t.op, t.a, t.b, t.c, t.imm), t.expect)
+        << opName(t.op);
+}
+
+constexpr Word kNeg1 = ~Word{0};
+constexpr Word kMinS = Word{1} << 63;
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EvalOpTest,
+    ::testing::Values(
+        EvalCase{Opcode::MOV, 7, 0, 0, 0, 7},
+        EvalCase{Opcode::MOVI, 0, 0, 0, -2,
+                 static_cast<Word>(std::int64_t{-2})},
+        EvalCase{Opcode::ADD, 3, 4, 0, 0, 7},
+        EvalCase{Opcode::SUB, 3, 4, 0, 0, kNeg1},
+        EvalCase{Opcode::MUL, 5, 6, 0, 0, 30},
+        EvalCase{Opcode::DIVS, kNeg1, 1, 0, 0, kNeg1}, // -1 / 1
+        EvalCase{Opcode::DIVS, 10, 0, 0, 0, 0},        // div by zero
+        EvalCase{Opcode::DIVS, kMinS, kNeg1, 0, 0, kMinS}, // overflow
+        EvalCase{Opcode::DIVU, 10, 3, 0, 0, 3},
+        EvalCase{Opcode::DIVU, 10, 0, 0, 0, 0},
+        EvalCase{Opcode::REMU, 10, 3, 0, 0, 1},
+        EvalCase{Opcode::REMU, 10, 0, 0, 0, 0},
+        EvalCase{Opcode::AND, 0b1100, 0b1010, 0, 0, 0b1000},
+        EvalCase{Opcode::OR, 0b1100, 0b1010, 0, 0, 0b1110},
+        EvalCase{Opcode::XOR, 0b1100, 0b1010, 0, 0, 0b0110},
+        EvalCase{Opcode::SHL, 1, 65, 0, 0, 2},   // shift mod 64
+        EvalCase{Opcode::SHR, kMinS, 63, 0, 0, 1},
+        EvalCase{Opcode::SRA, kMinS, 63, 0, 0, kNeg1},
+        EvalCase{Opcode::ADDI, 10, 0, 0, -3, 7},
+        EvalCase{Opcode::MULI, 10, 0, 0, 3, 30},
+        EvalCase{Opcode::ANDI, 0xff, 0, 0, 0x0f, 0x0f},
+        EvalCase{Opcode::ORI, 0xf0, 0, 0, 0x0f, 0xff},
+        EvalCase{Opcode::XORI, 0xff, 0, 0, 0x0f, 0xf0},
+        EvalCase{Opcode::SHLI, 1, 0, 0, 4, 16},
+        EvalCase{Opcode::SHRI, 16, 0, 0, 4, 1},
+        EvalCase{Opcode::SRAI, kMinS, 0, 0, 63, kNeg1},
+        EvalCase{Opcode::TEQ, 4, 4, 0, 0, 1},
+        EvalCase{Opcode::TNE, 4, 4, 0, 0, 0},
+        EvalCase{Opcode::TLT, kNeg1, 0, 0, 0, 1}, // -1 < 0 signed
+        EvalCase{Opcode::TLE, 4, 4, 0, 0, 1},
+        EvalCase{Opcode::TLTU, kNeg1, 0, 0, 0, 0}, // max unsigned
+        EvalCase{Opcode::TLEU, 3, 4, 0, 0, 1},
+        EvalCase{Opcode::TEQI, 5, 0, 0, 5, 1},
+        EvalCase{Opcode::TNEI, 5, 0, 0, 5, 0},
+        EvalCase{Opcode::TLTI, kNeg1, 0, 0, 0, 1},
+        EvalCase{Opcode::TLTUI, 3, 0, 0, 4, 1},
+        EvalCase{Opcode::SEL, 1, 10, 20, 0, 10},
+        EvalCase{Opcode::SEL, 0, 10, 20, 0, 20},
+        EvalCase{Opcode::BR, 2, 0, 0, 0, 2},
+        EvalCase{Opcode::BRO, 0, 0, 0, 3, 3}));
+
+TEST(EvalOp, FloatingPointSemantics)
+{
+    Word a = doubleToWord(1.5), b = doubleToWord(2.5);
+    EXPECT_EQ(wordToDouble(evalOp(Opcode::FADD, a, b, 0, 0)), 4.0);
+    EXPECT_EQ(wordToDouble(evalOp(Opcode::FSUB, a, b, 0, 0)), -1.0);
+    EXPECT_EQ(wordToDouble(evalOp(Opcode::FMUL, a, b, 0, 0)), 3.75);
+    EXPECT_EQ(wordToDouble(evalOp(Opcode::FDIV, a, b, 0, 0)), 0.6);
+    EXPECT_EQ(evalOp(Opcode::FEQ, a, a, 0, 0), 1u);
+    EXPECT_EQ(evalOp(Opcode::FLT, a, b, 0, 0), 1u);
+    EXPECT_EQ(evalOp(Opcode::FLE, b, b, 0, 0), 1u);
+    EXPECT_EQ(wordToDouble(evalOp(Opcode::I2F, static_cast<Word>(-3),
+                                  0, 0, 0)),
+              -3.0);
+    EXPECT_EQ(evalOp(Opcode::F2I, doubleToWord(-3.7), 0, 0, 0),
+              static_cast<Word>(std::int64_t{-3}));
+}
+
+TEST(EvalOp, F2iClampsUnrepresentable)
+{
+    // Speculative garbage must never invoke UB in the host.
+    EXPECT_EQ(evalOp(Opcode::F2I, doubleToWord(1e300), 0, 0, 0), 0u);
+    EXPECT_EQ(evalOp(Opcode::F2I,
+                     doubleToWord(std::numeric_limits<double>::
+                                      quiet_NaN()),
+                     0, 0, 0),
+              0u);
+}
+
+TEST(EvalOp, EffectiveAddress)
+{
+    EXPECT_EQ(memEffAddr(100, -4), 96u);
+    EXPECT_EQ(memEffAddr(100, 4), 104u);
+}
+
+// ---------------------------------------------------------------------------
+// Block validation.
+// ---------------------------------------------------------------------------
+
+/** Minimal well-formed block: `movi 1 -> br` (exit from a value). */
+Block
+validBlock()
+{
+    Block b("t");
+    Instruction movi;
+    movi.op = Opcode::MOVI;
+    movi.imm = 0;
+    movi.targets[0] = Target::toOperand(1, 0);
+    b.insts().push_back(movi);
+    Instruction br;
+    br.op = Opcode::BR;
+    b.insts().push_back(br);
+    b.exits().push_back(kHaltBlock);
+    return b;
+}
+
+TEST(BlockValidate, AcceptsMinimalBlock)
+{
+    std::string why;
+    EXPECT_TRUE(validBlock().validate(&why)) << why;
+}
+
+TEST(BlockValidate, RejectsEmptyBlock)
+{
+    Block b("t");
+    b.exits().push_back(kHaltBlock);
+    EXPECT_FALSE(b.validate());
+}
+
+TEST(BlockValidate, RejectsMissingBranch)
+{
+    Block b = validBlock();
+    b.insts()[1].op = Opcode::MOVI; // overwrite the branch
+    b.insts()[0].targets[0] = Target{};
+    EXPECT_FALSE(b.validate());
+}
+
+TEST(BlockValidate, RejectsTwoBranches)
+{
+    Block b = validBlock();
+    Instruction bro;
+    bro.op = Opcode::BRO;
+    b.insts().push_back(bro);
+    EXPECT_FALSE(b.validate());
+}
+
+TEST(BlockValidate, RejectsUnwiredOperand)
+{
+    Block b = validBlock();
+    b.insts()[0].targets[0] = Target{}; // br operand now unwired
+    std::string why;
+    EXPECT_FALSE(b.validate(&why));
+    EXPECT_NE(why.find("producers"), std::string::npos);
+}
+
+TEST(BlockValidate, RejectsDoublyWiredOperand)
+{
+    Block b = validBlock();
+    Instruction extra;
+    extra.op = Opcode::MOVI;
+    extra.targets[0] = Target::toOperand(1, 0); // second producer
+    b.insts().push_back(extra);
+    EXPECT_FALSE(b.validate());
+}
+
+TEST(BlockValidate, RejectsNonDenseLsids)
+{
+    Block b = validBlock();
+    Instruction ld;
+    ld.op = Opcode::LDD;
+    ld.lsid = 1; // should be 0
+    b.insts().push_back(ld);
+    b.insts()[0].targets[1] = Target::toOperand(2, 0);
+    EXPECT_FALSE(b.validate());
+    b.insts()[2].lsid = 0;
+    std::string why;
+    EXPECT_TRUE(b.validate(&why)) << why;
+}
+
+TEST(BlockValidate, RejectsStoreWithTargets)
+{
+    Block b = validBlock();
+    Instruction st;
+    st.op = Opcode::STD;
+    st.lsid = 0;
+    st.targets[0] = Target::toOperand(0, 0);
+    b.insts().push_back(st);
+    EXPECT_FALSE(b.validate());
+}
+
+TEST(BlockValidate, RejectsDuplicateRegisterWrite)
+{
+    Block b = validBlock();
+    b.writes().push_back(RegWrite{5});
+    b.writes().push_back(RegWrite{5});
+    b.insts()[0].targets[1] = Target::toWrite(0);
+    Instruction movi;
+    movi.op = Opcode::MOVI;
+    movi.targets[0] = Target::toWrite(1);
+    b.insts().push_back(movi);
+    std::string why;
+    EXPECT_FALSE(b.validate(&why));
+    EXPECT_NE(why.find("written twice"), std::string::npos);
+}
+
+TEST(BlockValidate, RejectsReadWithoutTargets)
+{
+    Block b = validBlock();
+    b.reads().push_back(RegRead{3, {}});
+    EXPECT_FALSE(b.validate());
+}
+
+TEST(BlockValidate, RejectsTooManyInstructions)
+{
+    Block b = validBlock();
+    for (unsigned i = 0; i < kMaxBlockInsts; ++i) {
+        Instruction movi;
+        movi.op = Opcode::MOVI;
+        b.insts().push_back(movi);
+    }
+    EXPECT_FALSE(b.validate());
+}
+
+TEST(BlockValidate, RejectsTargetOutOfRange)
+{
+    Block b = validBlock();
+    b.insts()[0].targets[1] = Target::toOperand(99, 0);
+    EXPECT_FALSE(b.validate());
+}
+
+TEST(Block, Disassembly)
+{
+    Block b = validBlock();
+    std::string d = b.disassemble();
+    EXPECT_NE(d.find("movi"), std::string::npos);
+    EXPECT_NE(d.find("br"), std::string::npos);
+    EXPECT_NE(d.find("halt"), std::string::npos);
+}
+
+TEST(Program, ValidatesBlocksAndEdges)
+{
+    Program p("t");
+    p.addBlock(validBlock());
+    std::string why;
+    EXPECT_TRUE(p.validate(&why)) << why;
+
+    Block bad = validBlock();
+    bad.setName("bad");
+    bad.exits()[0] = 42; // dangling successor
+    p.addBlock(bad);
+    EXPECT_FALSE(p.validate(&why));
+    EXPECT_NE(why.find("exit"), std::string::npos);
+}
+
+TEST(Program, LooksUpBlocksByName)
+{
+    Program p("t");
+    Block b = validBlock();
+    b.setName("entry");
+    BlockId id = p.addBlock(b);
+    EXPECT_EQ(p.blockByName("entry"), id);
+    EXPECT_EQ(p.staticInsts(), 2u);
+}
+
+} // namespace
+} // namespace edge::isa

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Unit tests for the load/store queue — the DSRE protocol's core
+ * component — exercised directly through its message interface with
+ * captured replies: forwarding (including byte-accurate partial
+ * overlap), violation detection, DSRE resends vs flush violations,
+ * the commit wave (finality upgrades), policy holds, the replay
+ * hold and resend-budget mechanisms, commit draining, and flushes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "compiler/builder.hh"
+#include "lsq/lsq.hh"
+
+namespace edge::lsq {
+namespace {
+
+using isa::Target;
+
+/**
+ * Fixture: an LSQ over a tiny hierarchy with captured outputs, plus
+ * a canned block shape: every mapped block has LSID 0 = 8-byte load
+ * (slot 0) and LSID 1 = 8-byte store (slot 1).
+ */
+class LsqTest : public ::testing::Test
+{
+  protected:
+    explicit LsqTest(Recovery recovery = Recovery::Dsre,
+                     pred::DepPolicy policy = pred::DepPolicy::Blind)
+        : hier(mem::HierarchyParams{}, stats),
+          policyPtr(pred::makeDependencePredictor(policy, nullptr,
+                                                  stats))
+    {
+        LsqParams p;
+        p.recovery = recovery;
+        lsq = std::make_unique<LoadStoreQueue>(
+            p, &hier, &memory, policyPtr.get(), stats,
+            [this](const LoadReply &r) { replies.push_back(r); },
+            [this](const Violation &v) { violations.push_back(v); });
+
+        // The canned two-memop block.
+        compiler::ProgramBuilder pb("t");
+        auto &b = pb.newBlock("blk");
+        compiler::Val a = b.readReg(1);
+        compiler::Val x = b.load(a, 8);
+        b.store(b.readReg(2), x, 8);
+        b.branchHalt();
+        prog = std::make_unique<isa::Program>(pb.build());
+    }
+
+    void
+    map(DynBlockSeq seq)
+    {
+        lsq->mapBlock(seq, seq, 0, prog->block(0));
+    }
+
+    void
+    sendLoad(Cycle now, DynBlockSeq seq, Addr addr,
+             ValState st = ValState::Spec, std::uint32_t wave = 1)
+    {
+        std::array<Target, isa::kMaxTargets> tgts{};
+        tgts[0] = Target::toOperand(1, 1);
+        lsq->loadRequest(now, seq, 0, addr, st, wave, 0, tgts, 0);
+    }
+
+    void
+    sendStore(Cycle now, DynBlockSeq seq, Addr addr, Word data,
+              ValState ast = ValState::Final,
+              ValState dst = ValState::Final, std::uint32_t wave = 1)
+    {
+        lsq->storeResolve(now, seq, 1, addr, data, ast, dst, wave, 0);
+    }
+
+    const LoadReply &
+    lastReply()
+    {
+        EXPECT_FALSE(replies.empty());
+        return replies.back();
+    }
+
+    StatSet stats{"t"};
+    mem::SparseMemory memory;
+    mem::Hierarchy hier;
+    std::unique_ptr<pred::DependencePredictor> policyPtr;
+    std::unique_ptr<LoadStoreQueue> lsq;
+    std::unique_ptr<isa::Program> prog;
+    std::vector<LoadReply> replies;
+    std::vector<Violation> violations;
+};
+
+class LsqFlushTest : public LsqTest
+{
+  protected:
+    LsqFlushTest() : LsqTest(Recovery::Flush) {}
+};
+
+class LsqConservativeTest : public LsqTest
+{
+  protected:
+    LsqConservativeTest()
+        : LsqTest(Recovery::Flush, pred::DepPolicy::Conservative)
+    {
+    }
+};
+
+TEST_F(LsqTest, LoadReadsMemoryWhenNoStoresMatch)
+{
+    memory.write(0x100, 8, 77);
+    map(1);
+    sendLoad(0, 1, 0x100);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(lastReply().value, 77u);
+    EXPECT_GT(lastReply().when, 0u);
+}
+
+TEST_F(LsqTest, ForwardsFromYoungestOlderStore)
+{
+    memory.write(0x100, 8, 1);
+    map(1);
+    map(2);
+    map(3);
+    sendStore(0, 1, 0x100, 10);
+    sendStore(0, 2, 0x100, 20);
+    sendLoad(1, 3, 0x100);
+    EXPECT_EQ(lastReply().value, 20u); // youngest older wins
+}
+
+TEST_F(LsqTest, SameBlockOlderStoreForwards)
+{
+    map(1);
+    sendStore(0, 1, 0x200, 42);
+    // LSID 0 load is OLDER than the LSID 1 store: no forwarding.
+    sendLoad(1, 1, 0x200);
+    EXPECT_EQ(lastReply().value, 0u);
+}
+
+TEST_F(LsqTest, PartialOverlapMergesBytes)
+{
+    memory.write(0x100, 8, 0x1111111111111111ull);
+    map(1);
+    map(2);
+    lsq->storeResolve(0, 1, 1, 0x104, 0xAABBCCDD, ValState::Final,
+                      ValState::Final, 1, 0); // 4-byte... entry is 8B
+    sendLoad(1, 2, 0x100);
+    // The store covers bytes [0x104, 0x10c); the load reads
+    // [0x100, 0x108): upper half comes from the store's low half.
+    EXPECT_EQ(lastReply().value, 0xAABBCCDD11111111ull);
+}
+
+TEST_F(LsqTest, ViolationTriggersResendWithNewValue)
+{
+    memory.write(0x100, 8, 5);
+    map(1);
+    map(2);
+    sendLoad(0, 2, 0x100); // speculates: reads memory, 5
+    EXPECT_EQ(lastReply().value, 5u);
+    sendStore(3, 1, 0x100, 99); // older store changes the value
+    ASSERT_EQ(replies.size(), 2u);
+    EXPECT_EQ(lastReply().value, 99u);
+    EXPECT_GT(lastReply().wave, replies[0].wave);
+    EXPECT_EQ(lsq->violations(), 1u);
+    EXPECT_TRUE(violations.empty()); // DSRE: no flush requested
+}
+
+TEST_F(LsqTest, SameValueStoreCausesNoResend)
+{
+    memory.write(0x100, 8, 99);
+    map(1);
+    map(2);
+    sendLoad(0, 2, 0x100);
+    sendStore(3, 1, 0x100, 99); // silent store
+    EXPECT_EQ(replies.size(), 1u);
+    EXPECT_EQ(lsq->violations(), 0u);
+}
+
+TEST_F(LsqTest, CommitWaveUpgradesSpecLoads)
+{
+    memory.write(0x100, 8, 7);
+    map(1);
+    map(2);
+    // Load in block 2 with a Final address but an unresolved older
+    // store: the reply must be speculative.
+    sendLoad(0, 2, 0x100, ValState::Final);
+    EXPECT_EQ(lastReply().state, ValState::Spec);
+    // The older store resolves Final to a disjoint address: the
+    // load's value was right all along; an upgrade follows.
+    sendStore(5, 1, 0x900, 1);
+    ASSERT_EQ(replies.size(), 2u);
+    EXPECT_EQ(lastReply().state, ValState::Final);
+    EXPECT_EQ(lastReply().value, 7u);
+    EXPECT_TRUE(lastReply().statusOnly);
+}
+
+TEST_F(LsqTest, SpecAddressBlocksFinality)
+{
+    memory.write(0x100, 8, 7);
+    map(1);
+    sendLoad(0, 1, 0x100, ValState::Spec);
+    EXPECT_EQ(lastReply().state, ValState::Spec);
+    // Address upgrade arrives: now the load can finalise (no older
+    // stores at all).
+    sendLoad(2, 1, 0x100, ValState::Final, 2);
+    EXPECT_EQ(lastReply().state, ValState::Final);
+}
+
+TEST_F(LsqTest, StoreAddrFinalityEnablesLoadFinality)
+{
+    memory.write(0x100, 8, 7);
+    map(1);
+    map(2);
+    sendLoad(0, 2, 0x100, ValState::Final);
+    // Store resolves to a disjoint address with Final address but
+    // SPEC data: the load can still finalise (data irrelevant).
+    sendStore(5, 1, 0x900, 1, ValState::Final, ValState::Spec);
+    EXPECT_EQ(lastReply().state, ValState::Final);
+}
+
+TEST_F(LsqTest, OverlappingSpecDataBlocksFinality)
+{
+    memory.write(0x100, 8, 7);
+    map(1);
+    map(2);
+    sendLoad(0, 2, 0x100, ValState::Final);
+    std::size_t before = replies.size();
+    // Overlapping store with Final addr but Spec data: forwarded
+    // bytes could still change, so no upgrade to Final.
+    sendStore(5, 1, 0x100, 7, ValState::Final, ValState::Spec);
+    for (std::size_t i = before; i < replies.size(); ++i)
+        EXPECT_EQ(replies[i].state, ValState::Spec);
+    EXPECT_FALSE(lsq->blockMemFinal(2));
+}
+
+TEST_F(LsqTest, ResendBudgetDefersToCommitWave)
+{
+    memory.write(0x100, 8, 0);
+    map(1);
+    map(2);
+    map(3);
+    map(4);
+    map(5);
+    map(6);
+    map(7);
+    // Young load speculates early.
+    sendLoad(0, 7, 0x100, ValState::Final);
+    // Six older stores resolve one by one, each changing the value;
+    // the budget (4) forces deferral after the fourth resend.
+    for (DynBlockSeq s = 1; s <= 6; ++s) {
+        lsq->storeResolve(s, s, 1, 0x100, 100 + s, ValState::Final,
+                          ValState::Final, 1, 0);
+    }
+    EXPECT_GT(stats.counterValue("lsq.deferrals"), 0u);
+    // Once everything is final, the last reply carries the correct
+    // final value (youngest older store = block 6).
+    EXPECT_EQ(lastReply().value, 106u);
+    EXPECT_EQ(lastReply().state, ValState::Final);
+}
+
+TEST_F(LsqTest, BlockMemFinalRequiresEverything)
+{
+    map(1);
+    EXPECT_FALSE(lsq->blockMemFinal(1)); // nothing arrived
+    sendLoad(0, 1, 0x100, ValState::Final);
+    EXPECT_FALSE(lsq->blockMemFinal(1)); // store missing
+    sendStore(1, 1, 0x200, 9);
+    EXPECT_TRUE(lsq->blockMemFinal(1));
+}
+
+TEST_F(LsqTest, CommitDrainsStoresToMemory)
+{
+    map(1);
+    sendLoad(0, 1, 0x100, ValState::Final);
+    sendStore(1, 1, 0x300, 1234);
+    lsq->commitBlock(10, 1);
+    EXPECT_EQ(memory.read(0x300, 8), 1234u);
+    EXPECT_EQ(lsq->numBlocks(), 0u);
+}
+
+TEST_F(LsqTest, FlushDropsBlocksAndStaleMessages)
+{
+    map(1);
+    map(2);
+    lsq->flushFrom(2);
+    EXPECT_EQ(lsq->numBlocks(), 1u);
+    // Stale messages for the flushed block are ignored.
+    sendLoad(5, 2, 0x100);
+    EXPECT_TRUE(replies.empty());
+}
+
+TEST_F(LsqTest, StaleWavesAreDropped)
+{
+    memory.write(0x100, 8, 7);
+    memory.write(0x200, 8, 9);
+    map(1);
+    sendLoad(0, 1, 0x200, ValState::Spec, /*wave=*/5);
+    EXPECT_EQ(lastReply().value, 9u);
+    // A reordered older request must not roll the address back.
+    sendLoad(1, 1, 0x100, ValState::Spec, /*wave=*/3);
+    EXPECT_EQ(replies.size(), 1u);
+}
+
+TEST_F(LsqFlushTest, ViolationRequestsFlush)
+{
+    memory.write(0x100, 8, 5);
+    map(1);
+    map(2);
+    sendLoad(0, 2, 0x100);
+    sendStore(3, 1, 0x100, 99);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].loadSeq, 2u);
+    EXPECT_EQ(violations[0].storeSeq, 1u);
+    // Flush recovery: the LSQ does not resend.
+    EXPECT_EQ(replies.size(), 1u);
+}
+
+TEST_F(LsqFlushTest, AddressOverlapAloneViolatesUnderFlush)
+{
+    memory.write(0x100, 8, 99);
+    map(1);
+    map(2);
+    sendLoad(0, 2, 0x100);
+    sendStore(3, 1, 0x100, 99); // same value, still a violation
+    EXPECT_EQ(violations.size(), 1u);
+}
+
+TEST_F(LsqFlushTest, RepliesAreAlwaysFinalUnderFlush)
+{
+    map(1);
+    map(2);
+    sendLoad(0, 2, 0x100, ValState::Spec);
+    EXPECT_EQ(lastReply().state, ValState::Final);
+}
+
+TEST_F(LsqFlushTest, ReplayHoldForcesConservativeRetry)
+{
+    memory.write(0x100, 8, 5);
+    map(1);
+    map(2);
+    sendLoad(0, 2, 0x100);
+    sendStore(3, 1, 0x100, 99); // violation -> flush requested
+    ASSERT_EQ(violations.size(), 1u);
+    lsq->flushFrom(2);
+    replies.clear();
+
+    // An older block with an unresolved store re-enters the window,
+    // then the violating load's block is refetched at the same
+    // architectural index (4 -> older, 5 -> the replayed instance).
+    lsq->mapBlock(4, 4, 0, prog->block(0));
+    lsq->mapBlock(5, 2, 0, prog->block(0)); // archIdx 2 again
+    std::array<Target, isa::kMaxTargets> tgts{};
+    tgts[0] = Target::toOperand(1, 1);
+    // The one-shot replay hold makes the load wait for block 4's
+    // unresolved store even under the blind policy.
+    lsq->loadRequest(10, 5, 0, 0x100, ValState::Final, 1, 0, tgts, 0);
+    EXPECT_TRUE(replies.empty());
+    EXPECT_GT(stats.counterValue("lsq.replay_waits"), 0u);
+    // Resolving the older store releases the hold.
+    lsq->storeResolve(12, 4, 1, 0x800, 1, ValState::Final,
+                      ValState::Final, 1, 0);
+    ASSERT_FALSE(replies.empty());
+    EXPECT_EQ(lastReply().value, 99u); // forwarded from block 1
+}
+
+TEST_F(LsqConservativeTest, LoadsWaitForOlderStores)
+{
+    memory.write(0x100, 8, 5);
+    map(1);
+    map(2);
+    sendLoad(0, 2, 0x100, ValState::Final);
+    EXPECT_TRUE(replies.empty()); // block 1's store unresolved
+    EXPECT_GT(stats.counterValue("lsq.policy_holds"), 0u);
+    sendStore(3, 1, 0x500, 1); // resolve releases the hold
+    ASSERT_FALSE(replies.empty());
+    EXPECT_EQ(lastReply().value, 5u);
+    EXPECT_EQ(lsq->violations(), 0u);
+}
+
+} // namespace
+} // namespace edge::lsq

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the operand micronetwork: X-Y routing properties
+ * (checked exhaustively over all coordinate pairs), hop counting,
+ * mesh delivery latency, local bypass, link contention, delivery
+ * determinism and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.hh"
+#include "net/mesh.hh"
+#include "net/route.hh"
+
+namespace edge::net {
+namespace {
+
+using CoordPair = std::tuple<int, int, int, int>;
+
+class RouteAllPairs : public ::testing::TestWithParam<CoordPair>
+{
+};
+
+TEST_P(RouteAllPairs, PathLengthEqualsManhattanDistance)
+{
+    auto [r0, c0, r1, c1] = GetParam();
+    MeshGeom geom{5, 5};
+    Coord src{static_cast<std::uint16_t>(r0),
+              static_cast<std::uint16_t>(c0)};
+    Coord dst{static_cast<std::uint16_t>(r1),
+              static_cast<std::uint16_t>(c1)};
+    auto path = routeXY(geom, src, dst);
+    EXPECT_EQ(path.size(), hopCount(src, dst));
+    // Links must be distinct (no loops under dimension order).
+    std::set<LinkId> unique(path.begin(), path.end());
+    EXPECT_EQ(unique.size(), path.size());
+    for (LinkId l : path)
+        EXPECT_LT(l, numLinks(geom));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exhaustive, RouteAllPairs,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 5),
+                       ::testing::Range(0, 5), ::testing::Range(0, 5)));
+
+TEST(Route, HopCountIsSymmetric)
+{
+    Coord a{0, 4}, b{3, 1};
+    EXPECT_EQ(hopCount(a, b), hopCount(b, a));
+    EXPECT_EQ(hopCount(a, b), 6u);
+    EXPECT_EQ(hopCount(a, a), 0u);
+}
+
+TEST(Route, SharedPrefixForSameColumnTargets)
+{
+    // X-then-Y: routes to the same column share the X leg.
+    MeshGeom geom{5, 5};
+    auto p1 = routeXY(geom, {0, 0}, {3, 2});
+    auto p2 = routeXY(geom, {0, 0}, {4, 2});
+    ASSERT_GE(p1.size(), 2u);
+    EXPECT_EQ(p1[0], p2[0]);
+    EXPECT_EQ(p1[1], p2[1]);
+}
+
+TEST(Mesh, DeliversAfterHopLatency)
+{
+    StatSet stats("t");
+    MeshParams p;
+    p.hopLatency = 1;
+    Mesh<int> mesh(p, stats);
+    Cycle arrival = mesh.send(10, {0, 0}, {0, 3}, 42);
+    EXPECT_EQ(arrival, 13u); // 3 hops x 1 cycle
+
+    int got = -1;
+    mesh.deliver(12, [&](Coord, int &&v) { got = v; });
+    EXPECT_EQ(got, -1); // not yet
+    mesh.deliver(13, [&](Coord, int &&v) { got = v; });
+    EXPECT_EQ(got, 42);
+    EXPECT_TRUE(mesh.empty());
+}
+
+TEST(Mesh, LocalBypassIsFree)
+{
+    StatSet stats("t");
+    Mesh<int> mesh(MeshParams{}, stats);
+    EXPECT_EQ(mesh.send(7, {2, 2}, {2, 2}, 1), 7u);
+    EXPECT_EQ(stats.counterValue("net.hops"), 0u);
+}
+
+TEST(Mesh, HopLatencyScales)
+{
+    StatSet stats("t");
+    MeshParams p;
+    p.hopLatency = 3;
+    Mesh<int> mesh(p, stats);
+    EXPECT_EQ(mesh.send(0, {0, 0}, {2, 2}, 0), 12u); // 4 hops x 3
+}
+
+TEST(Mesh, LinkContentionSerialises)
+{
+    StatSet stats("t");
+    Mesh<int> mesh(MeshParams{}, stats);
+    // Two messages wanting the same first link in the same cycle.
+    Cycle a = mesh.send(0, {0, 0}, {0, 1}, 1);
+    Cycle b = mesh.send(0, {0, 0}, {0, 1}, 2);
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u); // waited one cycle for the link
+    EXPECT_EQ(stats.counterValue("net.queue_cycles"), 1u);
+}
+
+TEST(Mesh, DisjointPathsDoNotContend)
+{
+    StatSet stats("t");
+    Mesh<int> mesh(MeshParams{}, stats);
+    Cycle a = mesh.send(0, {0, 0}, {0, 1}, 1);
+    Cycle b = mesh.send(0, {1, 0}, {1, 1}, 2);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(stats.counterValue("net.queue_cycles"), 0u);
+}
+
+TEST(Mesh, DeliveryOrderIsArrivalThenSendOrder)
+{
+    StatSet stats("t");
+    Mesh<int> mesh(MeshParams{}, stats);
+    mesh.send(0, {0, 0}, {0, 2}, 1); // 2 hops -> arrives 2
+    mesh.send(0, {4, 1}, {4, 2}, 2); // 1 hop  -> arrives 1
+    mesh.send(1, {3, 1}, {3, 2}, 3); // 1 hop  -> arrives 2
+    std::vector<int> order;
+    mesh.deliver(10, [&](Coord, int &&v) { order.push_back(v); });
+    EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(Mesh, StatPrefixSeparatesInstances)
+{
+    StatSet stats("t");
+    MeshParams p1;
+    MeshParams p2;
+    p2.statPrefix = "gcn";
+    Mesh<int> a(p1, stats), b(p2, stats);
+    a.send(0, {0, 0}, {0, 1}, 1);
+    EXPECT_EQ(stats.counterValue("net.messages"), 1u);
+    EXPECT_EQ(stats.counterValue("gcn.messages"), 0u);
+}
+
+TEST(Mesh, ResetDropsTraffic)
+{
+    StatSet stats("t");
+    Mesh<int> mesh(MeshParams{}, stats);
+    mesh.send(0, {0, 0}, {4, 4}, 9);
+    EXPECT_EQ(mesh.inFlight(), 1u);
+    mesh.reset();
+    EXPECT_TRUE(mesh.empty());
+    int got = -1;
+    mesh.deliver(100, [&](Coord, int &&v) { got = v; });
+    EXPECT_EQ(got, -1);
+}
+
+} // namespace
+} // namespace edge::net
