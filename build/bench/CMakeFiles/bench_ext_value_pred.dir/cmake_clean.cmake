@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_value_pred.dir/bench_ext_value_pred.cc.o"
+  "CMakeFiles/bench_ext_value_pred.dir/bench_ext_value_pred.cc.o.d"
+  "bench_ext_value_pred"
+  "bench_ext_value_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_value_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

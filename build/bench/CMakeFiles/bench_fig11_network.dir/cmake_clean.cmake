@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_network.dir/bench_fig11_network.cc.o"
+  "CMakeFiles/bench_fig11_network.dir/bench_fig11_network.cc.o.d"
+  "bench_fig11_network"
+  "bench_fig11_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

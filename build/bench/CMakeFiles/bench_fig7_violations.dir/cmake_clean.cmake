@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_violations.dir/bench_fig7_violations.cc.o"
+  "CMakeFiles/bench_fig7_violations.dir/bench_fig7_violations.cc.o.d"
+  "bench_fig7_violations"
+  "bench_fig7_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

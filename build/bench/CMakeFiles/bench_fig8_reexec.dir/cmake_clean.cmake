@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_reexec.dir/bench_fig8_reexec.cc.o"
+  "CMakeFiles/bench_fig8_reexec.dir/bench_fig8_reexec.cc.o.d"
+  "bench_fig8_reexec"
+  "bench_fig8_reexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_reexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/edge_bench_util.dir/bench_util.cc.o.d"
+  "libedge_bench_util.a"
+  "libedge_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

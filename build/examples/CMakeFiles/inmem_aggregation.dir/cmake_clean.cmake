@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inmem_aggregation.dir/inmem_aggregation.cpp.o"
+  "CMakeFiles/inmem_aggregation.dir/inmem_aggregation.cpp.o.d"
+  "inmem_aggregation"
+  "inmem_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inmem_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

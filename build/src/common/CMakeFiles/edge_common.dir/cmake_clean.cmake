@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_common.dir/logging.cc.o"
+  "CMakeFiles/edge_common.dir/logging.cc.o.d"
+  "CMakeFiles/edge_common.dir/stats.cc.o"
+  "CMakeFiles/edge_common.dir/stats.cc.o.d"
+  "CMakeFiles/edge_common.dir/strutil.cc.o"
+  "CMakeFiles/edge_common.dir/strutil.cc.o.d"
+  "libedge_common.a"
+  "libedge_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_compiler.dir/builder.cc.o"
+  "CMakeFiles/edge_compiler.dir/builder.cc.o.d"
+  "CMakeFiles/edge_compiler.dir/placement.cc.o"
+  "CMakeFiles/edge_compiler.dir/placement.cc.o.d"
+  "CMakeFiles/edge_compiler.dir/ref_executor.cc.o"
+  "CMakeFiles/edge_compiler.dir/ref_executor.cc.o.d"
+  "libedge_compiler.a"
+  "libedge_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_core.dir/exec_node.cc.o"
+  "CMakeFiles/edge_core.dir/exec_node.cc.o.d"
+  "CMakeFiles/edge_core.dir/processor.cc.o"
+  "CMakeFiles/edge_core.dir/processor.cc.o.d"
+  "CMakeFiles/edge_core.dir/reg_unit.cc.o"
+  "CMakeFiles/edge_core.dir/reg_unit.cc.o.d"
+  "libedge_core.a"
+  "libedge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

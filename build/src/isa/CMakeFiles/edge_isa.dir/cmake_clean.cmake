@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_isa.dir/block.cc.o"
+  "CMakeFiles/edge_isa.dir/block.cc.o.d"
+  "CMakeFiles/edge_isa.dir/opcode.cc.o"
+  "CMakeFiles/edge_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/edge_isa.dir/program.cc.o"
+  "CMakeFiles/edge_isa.dir/program.cc.o.d"
+  "libedge_isa.a"
+  "libedge_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

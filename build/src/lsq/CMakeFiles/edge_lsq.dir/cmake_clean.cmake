@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_lsq.dir/lsq.cc.o"
+  "CMakeFiles/edge_lsq.dir/lsq.cc.o.d"
+  "libedge_lsq.a"
+  "libedge_lsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

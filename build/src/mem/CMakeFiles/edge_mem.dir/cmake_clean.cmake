@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_mem.dir/cache.cc.o"
+  "CMakeFiles/edge_mem.dir/cache.cc.o.d"
+  "CMakeFiles/edge_mem.dir/dram.cc.o"
+  "CMakeFiles/edge_mem.dir/dram.cc.o.d"
+  "CMakeFiles/edge_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/edge_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/edge_mem.dir/sparse_memory.cc.o"
+  "CMakeFiles/edge_mem.dir/sparse_memory.cc.o.d"
+  "libedge_mem.a"
+  "libedge_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_net.dir/route.cc.o"
+  "CMakeFiles/edge_net.dir/route.cc.o.d"
+  "libedge_net.a"
+  "libedge_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/dependence.cc" "src/predictor/CMakeFiles/edge_predictor.dir/dependence.cc.o" "gcc" "src/predictor/CMakeFiles/edge_predictor.dir/dependence.cc.o.d"
+  "/root/repo/src/predictor/next_block.cc" "src/predictor/CMakeFiles/edge_predictor.dir/next_block.cc.o" "gcc" "src/predictor/CMakeFiles/edge_predictor.dir/next_block.cc.o.d"
+  "/root/repo/src/predictor/oracle.cc" "src/predictor/CMakeFiles/edge_predictor.dir/oracle.cc.o" "gcc" "src/predictor/CMakeFiles/edge_predictor.dir/oracle.cc.o.d"
+  "/root/repo/src/predictor/store_sets.cc" "src/predictor/CMakeFiles/edge_predictor.dir/store_sets.cc.o" "gcc" "src/predictor/CMakeFiles/edge_predictor.dir/store_sets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/edge_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/edge_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/edge_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

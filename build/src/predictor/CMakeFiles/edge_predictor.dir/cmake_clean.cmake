@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_predictor.dir/dependence.cc.o"
+  "CMakeFiles/edge_predictor.dir/dependence.cc.o.d"
+  "CMakeFiles/edge_predictor.dir/next_block.cc.o"
+  "CMakeFiles/edge_predictor.dir/next_block.cc.o.d"
+  "CMakeFiles/edge_predictor.dir/oracle.cc.o"
+  "CMakeFiles/edge_predictor.dir/oracle.cc.o.d"
+  "CMakeFiles/edge_predictor.dir/store_sets.cc.o"
+  "CMakeFiles/edge_predictor.dir/store_sets.cc.o.d"
+  "libedge_predictor.a"
+  "libedge_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_sim.dir/simulator.cc.o"
+  "CMakeFiles/edge_sim.dir/simulator.cc.o.d"
+  "libedge_sim.a"
+  "libedge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

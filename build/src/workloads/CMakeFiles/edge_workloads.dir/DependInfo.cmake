@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ammpish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/ammpish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/ammpish.cc.o.d"
+  "/root/repo/src/workloads/artish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/artish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/artish.cc.o.d"
+  "/root/repo/src/workloads/bzip2ish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/bzip2ish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/bzip2ish.cc.o.d"
+  "/root/repo/src/workloads/craftyish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/craftyish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/craftyish.cc.o.d"
+  "/root/repo/src/workloads/equakeish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/equakeish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/equakeish.cc.o.d"
+  "/root/repo/src/workloads/gapish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/gapish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/gapish.cc.o.d"
+  "/root/repo/src/workloads/gccish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/gccish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/gccish.cc.o.d"
+  "/root/repo/src/workloads/gzipish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/gzipish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/gzipish.cc.o.d"
+  "/root/repo/src/workloads/mcfish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/mcfish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/mcfish.cc.o.d"
+  "/root/repo/src/workloads/parserish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/parserish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/parserish.cc.o.d"
+  "/root/repo/src/workloads/swimish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/swimish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/swimish.cc.o.d"
+  "/root/repo/src/workloads/twolfish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/twolfish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/twolfish.cc.o.d"
+  "/root/repo/src/workloads/vortexish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/vortexish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/vortexish.cc.o.d"
+  "/root/repo/src/workloads/vprish.cc" "src/workloads/CMakeFiles/edge_workloads.dir/vprish.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/vprish.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/edge_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/edge_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/edge_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/edge_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/edge_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_workloads.dir/ammpish.cc.o"
+  "CMakeFiles/edge_workloads.dir/ammpish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/artish.cc.o"
+  "CMakeFiles/edge_workloads.dir/artish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/bzip2ish.cc.o"
+  "CMakeFiles/edge_workloads.dir/bzip2ish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/craftyish.cc.o"
+  "CMakeFiles/edge_workloads.dir/craftyish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/equakeish.cc.o"
+  "CMakeFiles/edge_workloads.dir/equakeish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/gapish.cc.o"
+  "CMakeFiles/edge_workloads.dir/gapish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/gccish.cc.o"
+  "CMakeFiles/edge_workloads.dir/gccish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/gzipish.cc.o"
+  "CMakeFiles/edge_workloads.dir/gzipish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/mcfish.cc.o"
+  "CMakeFiles/edge_workloads.dir/mcfish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/parserish.cc.o"
+  "CMakeFiles/edge_workloads.dir/parserish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/swimish.cc.o"
+  "CMakeFiles/edge_workloads.dir/swimish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/twolfish.cc.o"
+  "CMakeFiles/edge_workloads.dir/twolfish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/vortexish.cc.o"
+  "CMakeFiles/edge_workloads.dir/vortexish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/vprish.cc.o"
+  "CMakeFiles/edge_workloads.dir/vprish.cc.o.d"
+  "CMakeFiles/edge_workloads.dir/workloads.cc.o"
+  "CMakeFiles/edge_workloads.dir/workloads.cc.o.d"
+  "libedge_workloads.a"
+  "libedge_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

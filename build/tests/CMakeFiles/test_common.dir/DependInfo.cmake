@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/test_common.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/edge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/edge_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/edge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edge_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsq/CMakeFiles/edge_lsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/edge_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/edge_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/edge_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/edge_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

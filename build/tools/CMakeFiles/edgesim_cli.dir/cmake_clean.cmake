@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_cli.dir/edgesim_cli.cc.o"
+  "CMakeFiles/edgesim_cli.dir/edgesim_cli.cc.o.d"
+  "edgesim"
+  "edgesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
