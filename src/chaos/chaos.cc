@@ -1,0 +1,179 @@
+#include "chaos/chaos.hh"
+
+#include "common/logging.hh"
+
+namespace edge::chaos {
+
+namespace {
+
+/** Derive an independent per-site stream from the run-level seed. */
+std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t site)
+{
+    // One SplitMix64 step keeps nearby run seeds from producing
+    // correlated site streams.
+    Rng r(seed ^ (site * 0xd1342543de82ef95ULL));
+    return r.next();
+}
+
+} // namespace
+
+const char *
+mutationName(Mutation m)
+{
+    switch (m) {
+      case Mutation::None: return "none";
+      case Mutation::SkipSquash: return "skip-squash";
+      case Mutation::DropUpgrade: return "drop-upgrade";
+      case Mutation::MisorderForward: return "misorder-forward";
+    }
+    return "?";
+}
+
+const char *
+profileName(Profile profile)
+{
+    switch (profile) {
+      case Profile::None: return "none";
+      case Profile::Light: return "light";
+      case Profile::Heavy: return "heavy";
+      case Profile::Net: return "net";
+      case Profile::Mem: return "mem";
+      case Profile::Lsq: return "lsq";
+    }
+    return "?";
+}
+
+ChaosParams
+ChaosParams::byProfile(Profile profile, std::uint64_t seed)
+{
+    ChaosParams p;
+    p.seed = seed;
+    p.profile = profile;
+    switch (profile) {
+      case Profile::None:
+        break;
+      case Profile::Light:
+        p.hopDelayPermille = 20;
+        p.hopDelayMax = 3;
+        p.duplicatePermille = 10;
+        p.duplicateSkewMax = 4;
+        p.memJitterPermille = 50;
+        p.memJitterMax = 8;
+        p.storeDelayPermille = 20;
+        p.storeDelayMax = 4;
+        p.spuriousPermille = 5;
+        break;
+      case Profile::Heavy:
+        p.hopDelayPermille = 100;
+        p.hopDelayMax = 8;
+        p.duplicatePermille = 60;
+        p.duplicateSkewMax = 10;
+        p.memJitterPermille = 200;
+        p.memJitterMax = 24;
+        p.storeDelayPermille = 80;
+        p.storeDelayMax = 10;
+        p.spuriousPermille = 20;
+        break;
+      case Profile::Net:
+        p.hopDelayPermille = 150;
+        p.hopDelayMax = 8;
+        p.duplicatePermille = 100;
+        p.duplicateSkewMax = 10;
+        break;
+      case Profile::Mem:
+        p.memJitterPermille = 300;
+        p.memJitterMax = 32;
+        break;
+      case Profile::Lsq:
+        p.storeDelayPermille = 120;
+        p.storeDelayMax = 12;
+        p.spuriousPermille = 30;
+        break;
+    }
+    return p;
+}
+
+Profile
+ChaosParams::profileByName(const std::string &name)
+{
+    for (Profile p : {Profile::None, Profile::Light, Profile::Heavy,
+                      Profile::Net, Profile::Mem, Profile::Lsq}) {
+        if (name == profileName(p))
+            return p;
+    }
+    fatal("unknown chaos profile '%s' (try: none light heavy net mem lsq)",
+          name.c_str());
+}
+
+const std::vector<std::string> &
+ChaosParams::profileNames()
+{
+    static const std::vector<std::string> names = {"none",  "light", "heavy",
+                                                   "net",   "mem",   "lsq"};
+    return names;
+}
+
+ChaosEngine::ChaosEngine(const ChaosParams &params)
+    : _p(params),
+      _netRng(deriveSeed(params.seed, 1)),
+      _memRng(deriveSeed(params.seed, 2)),
+      _lsqRng(deriveSeed(params.seed, 3))
+{
+}
+
+Cycle
+ChaosEngine::hopJitter()
+{
+    if (!_p.hopDelayPermille || !_netRng.chance(_p.hopDelayPermille, 1000))
+        return 0;
+    ++_counts.hopDelays;
+    return _netRng.range(1, _p.hopDelayMax);
+}
+
+bool
+ChaosEngine::duplicate()
+{
+    if (!_p.duplicatePermille || !_netRng.chance(_p.duplicatePermille, 1000))
+        return false;
+    ++_counts.duplicates;
+    return true;
+}
+
+Cycle
+ChaosEngine::duplicateSkew()
+{
+    return _p.duplicateSkewMax ? _netRng.range(1, _p.duplicateSkewMax) : 1;
+}
+
+Cycle
+ChaosEngine::memJitter()
+{
+    if (!_p.memJitterPermille || !_memRng.chance(_p.memJitterPermille, 1000))
+        return 0;
+    ++_counts.memJitters;
+    return _memRng.range(1, _p.memJitterMax);
+}
+
+Cycle
+ChaosEngine::storeResolveDelay()
+{
+    if (!_p.storeDelayPermille || !_lsqRng.chance(_p.storeDelayPermille, 1000))
+        return 0;
+    ++_counts.storeDelays;
+    return _lsqRng.range(1, _p.storeDelayMax);
+}
+
+bool
+ChaosEngine::spuriousViolation()
+{
+    return _p.spuriousPermille && _lsqRng.chance(_p.spuriousPermille, 1000);
+}
+
+std::size_t
+ChaosEngine::pickIndex(std::size_t n)
+{
+    return static_cast<std::size_t>(_lsqRng.below(n));
+}
+
+} // namespace edge::chaos

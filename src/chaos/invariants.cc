@@ -1,0 +1,309 @@
+#include "chaos/invariants.hh"
+
+#include <utility>
+
+#include "common/strutil.hh"
+
+namespace edge::chaos {
+
+namespace {
+
+bool
+rangesOverlap(Addr a, unsigned a_bytes, Addr b, unsigned b_bytes)
+{
+    return a < b + b_bytes && b < a + a_bytes;
+}
+
+const char *
+siteName(InvariantChecker::Delivery::Site site)
+{
+    using Site = InvariantChecker::Delivery::Site;
+    switch (site) {
+      case Site::NodeOperand: return "operand";
+      case Site::RegWrite: return "reg-write";
+      case Site::LsqLoad: return "lsq-load";
+      case Site::LsqStore: return "lsq-store";
+      case Site::Exit: return "exit";
+    }
+    return "?";
+}
+
+} // namespace
+
+InvariantChecker::InvariantChecker(bool expect_squash, bool spec,
+                                   ReadMemFn read_mem)
+    : _expectSquash(expect_squash), _spec(spec),
+      _readMem(std::move(read_mem))
+{
+}
+
+void
+InvariantChecker::fail(const char *invariant, Cycle cycle,
+                       DynBlockSeq seq, std::string msg) const
+{
+    throw InvariantFailure(invariant, std::move(msg), cycle, seq);
+}
+
+void
+InvariantChecker::onDelivery(const Delivery &d)
+{
+    SiteKey key{d.seq, static_cast<std::uint8_t>(d.site), d.a, d.b};
+    SiteState &s = _sites[key];
+
+    Payload p;
+    p.value = d.value;
+    p.addr = d.addr;
+    p.state = d.state;
+    p.addrState = d.addrState;
+    p.statusOnly = d.statusOnly;
+    p.echo = d.echo;
+
+    ++_checks;
+    auto where = [&] {
+        return strfmt("%s site seq=%llu a=%u b=%u wave=%u",
+                      siteName(d.site),
+                      static_cast<unsigned long long>(d.seq), d.a, d.b,
+                      d.wave);
+    };
+
+    // wave-monotonicity: one wave number, one payload. A producer
+    // reusing a wave for different data would make the consumers'
+    // stale-drop rule unsound (it could silently discard real data).
+    auto it = s.waves.find(d.wave);
+    if (it != s.waves.end()) {
+        if (!p.identicalTo(it->second)) {
+            fail("wave-monotonicity", d.cycle, d.seq,
+                 strfmt("%s reused with a different payload "
+                        "(value %#llx vs %#llx)",
+                        where().c_str(),
+                        static_cast<unsigned long long>(d.value),
+                        static_cast<unsigned long long>(
+                            it->second.value)));
+        }
+        return; // faithful duplicate (chaos or network): consumers drop
+    }
+
+    // final-immutability: Final is sticky per link. Any wave younger
+    // than one that carried Final must repeat its value, still Final.
+    if (s.dataFinalSeen && d.wave > s.dataFinalWave) {
+        if (d.state != ValState::Final || d.value != s.dataFinalValue) {
+            fail("final-immutability", d.cycle, d.seq,
+                 strfmt("%s after Final wave %u: value %#llx state %s "
+                        "(Final value was %#llx)",
+                        where().c_str(), s.dataFinalWave,
+                        static_cast<unsigned long long>(d.value),
+                        d.state == ValState::Final ? "Final" : "Spec",
+                        static_cast<unsigned long long>(
+                            s.dataFinalValue)));
+        }
+    }
+    if (s.addrFinalSeen && d.wave > s.addrFinalWave) {
+        if (d.addrState != ValState::Final ||
+            d.addr != s.addrFinalValue) {
+            fail("final-immutability", d.cycle, d.seq,
+                 strfmt("%s after Final-address wave %u: addr %#llx "
+                        "state %s (Final address was %#llx)",
+                        where().c_str(), s.addrFinalWave,
+                        static_cast<unsigned long long>(d.addr),
+                        d.addrState == ValState::Final ? "Final"
+                                                       : "Spec",
+                        static_cast<unsigned long long>(
+                            s.addrFinalValue)));
+        }
+    }
+
+    // value-identity-squash: with squashing on, adjacent waves from
+    // one producer never carry identical payloads — the producer
+    // should have squashed the re-send. Checked against both wave
+    // neighbours so network reordering cannot hide or fake it.
+    if (_expectSquash) {
+        auto check_adjacent = [&](const Payload &other,
+                                  std::uint32_t other_wave) {
+            if (p.echo || other.echo)
+                return;
+            if (p.identicalTo(other)) {
+                fail("value-identity-squash", d.cycle, d.seq,
+                     strfmt("%s identical to wave %u "
+                            "(value %#llx, should have been squashed)",
+                            where().c_str(), other_wave,
+                            static_cast<unsigned long long>(d.value)));
+            }
+        };
+        auto prev = s.waves.find(d.wave - 1);
+        if (d.wave > 0 && prev != s.waves.end())
+            check_adjacent(prev->second, d.wave - 1);
+        auto next = s.waves.find(d.wave + 1);
+        if (next != s.waves.end())
+            check_adjacent(next->second, d.wave + 1);
+    }
+
+    if (d.state == ValState::Final &&
+        (!s.dataFinalSeen || d.wave > s.dataFinalWave)) {
+        s.dataFinalSeen = true;
+        s.dataFinalWave = d.wave;
+        s.dataFinalValue = d.value;
+    }
+    if (d.addrState == ValState::Final &&
+        (!s.addrFinalSeen || d.wave > s.addrFinalWave)) {
+        s.addrFinalSeen = true;
+        s.addrFinalWave = d.wave;
+        s.addrFinalValue = d.addr;
+    }
+
+    s.waves.emplace(d.wave, p);
+    while (s.waves.size() > kMaxTrackedWaves)
+        s.waves.erase(s.waves.begin());
+}
+
+void
+InvariantChecker::onMemOpMapped(DynBlockSeq seq, Lsid lsid,
+                                bool is_store, unsigned bytes)
+{
+    ShadowOp op;
+    op.isStore = is_store;
+    op.bytes = static_cast<std::uint8_t>(bytes);
+    _ops[{seq, lsid}] = op;
+}
+
+void
+InvariantChecker::onStoreState(DynBlockSeq seq, Lsid lsid, Addr addr,
+                               Word data, ValState data_state,
+                               ValState addr_state)
+{
+    auto it = _ops.find({seq, lsid});
+    if (it == _ops.end())
+        return;
+    ShadowOp &op = it->second;
+    op.resolved = true;
+    op.addr = addr;
+    op.data = data;
+    op.dataState = data_state;
+    op.addrState = addr_state;
+}
+
+void
+InvariantChecker::onLoadAddr(DynBlockSeq seq, Lsid lsid, Addr addr,
+                             ValState addr_state)
+{
+    auto it = _ops.find({seq, lsid});
+    if (it == _ops.end())
+        return;
+    ShadowOp &op = it->second;
+    op.addrKnown = true;
+    op.ldAddr = addr;
+    op.ldAddrState = addr_state;
+}
+
+Word
+InvariantChecker::recomputeLoadValue(MemKey key,
+                                     const ShadowOp &load) const
+{
+    // Independent recompute of age-ordered store-to-load forwarding:
+    // committed memory below, resolved older in-flight stores overlaid
+    // oldest-to-youngest so the youngest writer of each byte wins.
+    Word value = _readMem(load.ldAddr, load.bytes);
+    for (const auto &[op_key, st] : _ops) {
+        if (!(op_key < key))
+            break;
+        if (!st.isStore || !st.resolved)
+            continue;
+        if (!rangesOverlap(st.addr, st.bytes, load.ldAddr, load.bytes))
+            continue;
+        for (unsigned i = 0; i < load.bytes; ++i) {
+            Addr a = load.ldAddr + i;
+            if (a < st.addr || a >= st.addr + st.bytes)
+                continue;
+            unsigned si = static_cast<unsigned>(a - st.addr);
+            Word byte = (st.data >> (8 * si)) & 0xff;
+            value &= ~(Word{0xff} << (8 * i));
+            value |= byte << (8 * i);
+        }
+    }
+    return value;
+}
+
+void
+InvariantChecker::onLoadReply(Cycle now, DynBlockSeq seq, Lsid lsid,
+                              Word value, ValState state, bool echo)
+{
+    MemKey key{seq, lsid};
+    auto it = _ops.find(key);
+    if (it == _ops.end() || !it->second.addrKnown)
+        return;
+    const ShadowOp &load = it->second;
+    if (echo || state != ValState::Final)
+        return; // speculative replies may legally disagree
+
+    ++_checks;
+    if (_spec) {
+        // load-finality: the three-part commit-wave rule.
+        if (load.ldAddrState != ValState::Final) {
+            fail("load-finality", now, seq,
+                 strfmt("Final reply for load lsid %u with a "
+                        "speculative address %#llx",
+                        lsid,
+                        static_cast<unsigned long long>(load.ldAddr)));
+        }
+        for (const auto &[op_key, st] : _ops) {
+            if (!(op_key < key))
+                break;
+            if (!st.isStore)
+                continue;
+            if (!st.resolved || st.addrState != ValState::Final) {
+                fail("load-finality", now, seq,
+                     strfmt("Final reply for load lsid %u while older "
+                            "store (seq %llu lsid %u) is %s",
+                            lsid,
+                            static_cast<unsigned long long>(
+                                op_key.first),
+                            op_key.second,
+                            st.resolved ? "address-speculative"
+                                        : "unresolved"));
+            }
+            if (rangesOverlap(st.addr, st.bytes, load.ldAddr,
+                              load.bytes) &&
+                st.dataState != ValState::Final) {
+                fail("load-finality", now, seq,
+                     strfmt("Final reply for load lsid %u while "
+                            "overlapping older store (seq %llu lsid "
+                            "%u) has speculative data",
+                            lsid,
+                            static_cast<unsigned long long>(
+                                op_key.first),
+                            op_key.second));
+            }
+        }
+    }
+
+    // lsq-age-ordered-forwarding: the reply value must match the
+    // independent youngest-writer-wins recompute.
+    Word expect = recomputeLoadValue(key, load);
+    if (value != expect) {
+        fail("lsq-age-ordered-forwarding", now, seq,
+             strfmt("load lsid %u addr %#llx replied %#llx but "
+                    "age-ordered forwarding gives %#llx",
+                    lsid,
+                    static_cast<unsigned long long>(load.ldAddr),
+                    static_cast<unsigned long long>(value),
+                    static_cast<unsigned long long>(expect)));
+    }
+}
+
+void
+InvariantChecker::onBlockRetired(DynBlockSeq seq)
+{
+    _ops.erase(_ops.lower_bound({seq, 0}),
+               _ops.lower_bound({seq + 1, 0}));
+    _sites.erase(_sites.lower_bound(SiteKey{seq, 0, 0, 0}),
+                 _sites.lower_bound(SiteKey{seq + 1, 0, 0, 0}));
+}
+
+void
+InvariantChecker::onFlushFrom(DynBlockSeq from_seq)
+{
+    _ops.erase(_ops.lower_bound({from_seq, 0}), _ops.end());
+    _sites.erase(_sites.lower_bound(SiteKey{from_seq, 0, 0, 0}),
+                 _sites.end());
+}
+
+} // namespace edge::chaos

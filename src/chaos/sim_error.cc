@@ -1,0 +1,44 @@
+#include "chaos/sim_error.hh"
+
+#include "common/strutil.hh"
+
+namespace edge::chaos {
+
+const char *
+reasonName(SimError::Reason reason)
+{
+    switch (reason) {
+      case SimError::Reason::None: return "none";
+      case SimError::Reason::Watchdog: return "watchdog";
+      case SimError::Reason::InvariantViolation: return "invariant-violation";
+      case SimError::Reason::ProtocolPanic: return "protocol-panic";
+    }
+    return "?";
+}
+
+std::string
+SimError::format() const
+{
+    if (ok())
+        return "ok";
+    std::string out = strfmt("%s at cycle %llu", reasonName(reason),
+                             (unsigned long long)cycle);
+    if (!invariant.empty())
+        out += strfmt(" [invariant: %s]", invariant.c_str());
+    if (seq != 0 && seq != kInvalidSeq)
+        out += strfmt(" block seq=%llu", (unsigned long long)seq);
+    if (node != 0)
+        out += strfmt(" node=%u", node);
+    out += "\n  ";
+    out += message;
+    if (!trace.empty()) {
+        out += strfmt("\n  last %zu events:", trace.size());
+        for (const std::string &line : trace) {
+            out += "\n    ";
+            out += line;
+        }
+    }
+    return out;
+}
+
+} // namespace edge::chaos

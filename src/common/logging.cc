@@ -26,9 +26,12 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    // Print before throwing: if nothing catches the SimFailure the
+    // process dies via std::terminate with the diagnosis already on
+    // stderr (this is what the death tests match against).
     std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
     std::fflush(stderr);
-    std::abort();
+    throw SimFailure(msg, file, line);
 }
 
 void

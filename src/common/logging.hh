@@ -1,17 +1,44 @@
 /**
  * @file
  * gem5-style status and error reporting. panic() is for simulator
- * bugs (aborts, so invariant violations are loud in tests); fatal()
- * is for user/configuration errors; warn()/inform() never stop the
- * simulation.
+ * bugs: it prints the message and throws a SimFailure, which the
+ * timing run loop (Processor::run) catches and converts into a
+ * structured, diagnosable failure report; outside a run loop the
+ * exception escapes to std::terminate, so misuse is still loud in
+ * tests. fatal() is for user/configuration errors; warn()/inform()
+ * never stop the simulation.
  */
 
 #ifndef EDGE_COMMON_LOGGING_HH
 #define EDGE_COMMON_LOGGING_HH
 
+#include <stdexcept>
 #include <string>
 
 namespace edge {
+
+/**
+ * The exception panic() throws (after printing to stderr) instead of
+ * calling std::abort(). Thrown through the timing run loop and caught
+ * at the Processor::run() boundary, where it becomes a
+ * chaos::SimError. No code path outside fatal() terminates the
+ * process directly.
+ */
+class SimFailure : public std::runtime_error
+{
+  public:
+    SimFailure(const std::string &msg, const char *file, int line)
+        : std::runtime_error(msg), _file(file), _line(line)
+    {
+    }
+
+    const char *file() const { return _file; }
+    int line() const { return _line; }
+
+  private:
+    const char *_file;
+    int _line;
+};
 
 /** Verbosity levels for inform()/debugLog(). */
 enum class LogLevel { Silent, Normal, Verbose, Debug };
@@ -33,7 +60,7 @@ void debugImpl(const std::string &msg);
 } // namespace detail
 } // namespace edge
 
-/** Unrecoverable simulator bug: print and abort(). */
+/** Simulator bug: print and throw SimFailure (see file header). */
 #define panic(...) \
     ::edge::detail::panicImpl(__FILE__, __LINE__, ::edge::strfmt(__VA_ARGS__))
 

@@ -13,14 +13,17 @@
 
 namespace edge {
 
-/** SplitMix64: tiny, fast, well-distributed, and seedable. */
+/**
+ * SplitMix64: tiny, fast, well-distributed, and seedable. There is
+ * deliberately no default seed: every user must thread an explicit
+ * run-level seed (MachineConfig::rngSeed, wl::KernelParams::seed,
+ * chaos::ChaosParams::seed) so any run is replayable from the seeds
+ * reported in sim::RunResult.
+ */
 class Rng
 {
   public:
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
-        : _state(seed)
-    {
-    }
+    explicit Rng(std::uint64_t seed) : _state(seed) {}
 
     /** Next raw 64-bit value. */
     std::uint64_t

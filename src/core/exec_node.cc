@@ -7,12 +7,28 @@
 
 namespace edge::core {
 
-ExecNode::ExecNode(const CoreParams &params, NodeStats stats, SendFn send)
+ExecNode::ExecNode(const CoreParams &params, NodeStats stats, SendFn send,
+                   chaos::ChaosEngine *chaos, unsigned node_index)
     : _p(params),
       _stats(stats),
       _send(std::move(send)),
+      _chaos(chaos),
+      _nodeIndex(node_index),
       _slots(params.slotsPerNode * params.numFrames)
 {
+}
+
+bool
+ExecNode::mutated(chaos::Mutation m) const
+{
+#ifdef EDGE_MUTATIONS
+    return _chaos && _chaos->mutation() == m &&
+           (_chaos->mutationNode() == ~0u ||
+            _chaos->mutationNode() == _nodeIndex);
+#else
+    (void)m;
+    return false;
+#endif
 }
 
 ExecNode::RsEntry &
@@ -161,8 +177,14 @@ ExecNode::execute(Cycle now, RsEntry &e, bool is_reexec)
     bool identical = e.executed && e.lastValue == addr_key &&
                      e.lastData == data_key && e.lastState == state &&
                      e.lastAddrState == addr_state;
-    bool send = !(identical && _p.squashIdenticalValues);
-    if (identical && _p.squashIdenticalValues)
+    bool squash = identical && _p.squashIdenticalValues;
+    // Deliberate protocol mutation: this node forgets to squash and
+    // re-sends bit-identical waves. The invariant checker catches it
+    // as `value-identity-squash`.
+    if (squash && mutated(chaos::Mutation::SkipSquash))
+        squash = false;
+    bool send = !squash;
+    if (squash)
         ++_stats.squashes;
 
     e.executed = true;
@@ -188,6 +210,12 @@ ExecNode::upgrade(Cycle now, RsEntry &e)
     e.dirtyState = false;
     std::uint16_t depth = e.triggerDepth;
     e.triggerDepth = 0;
+
+    // Deliberate protocol mutation: this node swallows commit-wave
+    // upgrades, so downstream finality never arrives and the commit
+    // frontier stalls. Caught as `commit-progress` (watchdog).
+    if (mutated(chaos::Mutation::DropUpgrade))
+        return;
 
     if (isa::isStore(e.op)) {
         // Stores propagate address and data finality independently:

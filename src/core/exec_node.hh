@@ -22,6 +22,7 @@
 #include <functional>
 #include <vector>
 
+#include "chaos/chaos.hh"
 #include "common/stats.hh"
 #include "core/params.hh"
 #include "isa/instruction.hh"
@@ -69,7 +70,15 @@ class ExecNode
   public:
     using SendFn = std::function<void(const NodeEvent &)>;
 
-    ExecNode(const CoreParams &params, NodeStats stats, SendFn send);
+    /**
+     * @param chaos optional fault injector (not owned); only its
+     *        compile-time-gated protocol *mutations* apply here
+     * @param node_index this node's flat grid index, matched against
+     *        ChaosParams::mutationNode
+     */
+    ExecNode(const CoreParams &params, NodeStats stats, SendFn send,
+             chaos::ChaosEngine *chaos = nullptr,
+             unsigned node_index = 0);
 
     /** Install one instruction into (frame, local slot). */
     void mapInst(unsigned frame, unsigned local, DynBlockSeq seq,
@@ -143,6 +152,9 @@ class ExecNode
 
     RsEntry &at(unsigned frame, unsigned local);
 
+    /** Is the given protocol mutation active on this node? */
+    bool mutated(chaos::Mutation m) const;
+
     /** Execute one entry on the ALU; emit its event. */
     void execute(Cycle now, RsEntry &e, bool is_reexec);
 
@@ -156,6 +168,8 @@ class ExecNode
     const CoreParams &_p;
     NodeStats _stats;
     SendFn _send;
+    chaos::ChaosEngine *_chaos;
+    unsigned _nodeIndex;
     std::vector<RsEntry> _slots; ///< slotsPerNode * numFrames
 };
 

@@ -42,6 +42,10 @@ struct Msg
     /** Commit-wave (state-only) message: rides the status
      *  network, the analogue of TRIPS's global control network. */
     bool statusOnly = false;
+    /** Deliberate same-value resend (chaos echo wave or a value
+     *  prediction confirmation); exempt from the
+     *  value-identity-squash invariant. */
+    bool echo = false;
     /** Load replies are sent straight to these consumers. */
     std::array<isa::Target, isa::kMaxTargets> targets{};
 };

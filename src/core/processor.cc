@@ -18,6 +18,7 @@ Processor::Processor(const MachineConfig &config,
       _prog(program),
       _oracle(oracle),
       _stats(stats),
+      _trace(config.traceDepth),
       _statCommittedBlocks(stats.counter("core.committed_blocks",
                                          "blocks committed")),
       _statCommittedInsts(stats.counter("core.committed_insts",
@@ -50,11 +51,26 @@ Processor::Processor(const MachineConfig &config,
     for (const auto &init : program.memImage())
         _dmem.writeBytes(init.base, init.bytes.data(), init.bytes.size());
 
-    _hier = std::make_unique<mem::Hierarchy>(_cfg.mem, stats);
+    if (_cfg.chaos.enabled() ||
+        _cfg.chaos.mutation != chaos::Mutation::None) {
+        _chaos = std::make_unique<chaos::ChaosEngine>(_cfg.chaos);
+    }
+    if (_cfg.checkInvariants) {
+        _check = std::make_unique<chaos::InvariantChecker>(
+            _cfg.core.squashIdenticalValues,
+            _cfg.lsq.recovery == lsq::Recovery::Dsre,
+            [this](Addr a, unsigned bytes) {
+                return _dmem.read(a, bytes);
+            });
+    }
+
+    _hier =
+        std::make_unique<mem::Hierarchy>(_cfg.mem, stats, _chaos.get());
 
     net::MeshParams mp;
     mp.geom = {_cfg.core.rows + 1, _cfg.core.cols + 1};
     mp.hopLatency = _cfg.core.hopLatency;
+    mp.chaos = _chaos.get();
     _mesh = std::make_unique<net::Mesh<Msg>>(mp, stats);
     net::MeshParams gp = mp;
     gp.statPrefix = "gcn";
@@ -70,7 +86,8 @@ Processor::Processor(const MachineConfig &config,
     _lsq = std::make_unique<lsq::LoadStoreQueue>(
         _cfg.lsq, _hier.get(), &_dmem, _policy.get(), stats,
         [this](const lsq::LoadReply &r) { routeLoadReply(r); },
-        [this](const lsq::Violation &v) { onViolation(v); });
+        [this](const lsq::Violation &v) { onViolation(v); },
+        _chaos.get(), _check.get());
 
     NodeStats ns{
         stats.counter("core.alu_issues", "ALU issues (all executions)"),
@@ -83,7 +100,8 @@ Processor::Processor(const MachineConfig &config,
     for (unsigned n = 0; n < _cfg.core.numNodes(); ++n) {
         _nodes.push_back(std::make_unique<ExecNode>(
             _cfg.core, ns,
-            [this, n](const NodeEvent &ev) { routeNodeEvent(ev, n); }));
+            [this, n](const NodeEvent &ev) { routeNodeEvent(ev, n); },
+            _chaos.get(), n));
     }
 
     for (unsigned f = 0; f < _cfg.core.numFrames; ++f)
@@ -149,7 +167,7 @@ Processor::sendToTargets(
     Cycle when, net::Coord src, DynBlockSeq seq,
     const std::array<isa::Target, isa::kMaxTargets> &targets, Word value,
     ValState state, std::uint32_t wave, std::uint16_t depth,
-    bool status_only)
+    bool status_only, bool echo)
 {
     BlockCtx *ctx = findCtx(seq);
     panic_if(!ctx, "sendToTargets for a flushed block");
@@ -163,6 +181,7 @@ Processor::sendToTargets(
         m.wave = wave;
         m.depth = depth;
         m.statusOnly = status_only;
+        m.echo = echo;
         if (t.kind == isa::TargetKind::Operand) {
             m.kind = Msg::Kind::Operand;
             m.slot = t.index;
@@ -185,7 +204,8 @@ Processor::routeNodeEvent(const NodeEvent &ev, unsigned node)
     switch (ev.kind) {
       case NodeEvent::Kind::Result:
         sendToTargets(ev.when, src, ev.seq, ev.targets, ev.value,
-                      ev.state, ev.wave, ev.depth, ev.statusOnly);
+                      ev.state, ev.wave, ev.depth, ev.statusOnly,
+                      false);
         return;
       case NodeEvent::Kind::LoadRequest: {
         Msg m;
@@ -238,7 +258,7 @@ Processor::routeLoadReply(const lsq::LoadReply &reply)
 {
     sendToTargets(reply.when, lsqCoord(reply.addr), reply.seq,
                   reply.targets, reply.value, reply.state, reply.wave,
-                  reply.depth, reply.statusOnly);
+                  reply.depth, reply.statusOnly, reply.echo);
 }
 
 void
@@ -246,12 +266,51 @@ Processor::routeRegForward(const RegForward &fwd)
 {
     sendToTargets(fwd.when, rfCoord(fwd.reg), fwd.readerSeq, fwd.targets,
                   fwd.value, fwd.state, fwd.wave, fwd.depth,
-                  fwd.statusOnly);
+                  fwd.statusOnly, false);
 }
 
 void
 Processor::deliverMsg(Cycle now, const Msg &msg)
 {
+    _trace.push({now, chaos::TraceEvent::Kind::Deliver, msg.seq,
+                 msg.slot, msg.wave, msg.value,
+                 msg.state == ValState::Final});
+    if (_check && findCtx(msg.seq)) {
+        using Site = chaos::InvariantChecker::Delivery::Site;
+        chaos::InvariantChecker::Delivery d;
+        d.seq = msg.seq;
+        d.value = msg.value;
+        d.addr = msg.addr;
+        d.state = msg.state;
+        d.addrState = msg.addrState;
+        d.wave = msg.wave;
+        d.statusOnly = msg.statusOnly;
+        d.echo = msg.echo;
+        d.cycle = now;
+        switch (msg.kind) {
+          case Msg::Kind::Operand:
+            d.site = Site::NodeOperand;
+            d.a = msg.slot;
+            d.b = msg.operand;
+            break;
+          case Msg::Kind::WriteVal:
+            d.site = Site::RegWrite;
+            d.a = msg.writeIdx;
+            break;
+          case Msg::Kind::LoadReq:
+            d.site = Site::LsqLoad;
+            d.a = msg.lsid;
+            break;
+          case Msg::Kind::StoreResolve:
+            d.site = Site::LsqStore;
+            d.a = msg.lsid;
+            break;
+          case Msg::Kind::ExitVal:
+            d.site = Site::Exit;
+            break;
+        }
+        _check->onDelivery(d);
+    }
     switch (msg.kind) {
       case Msg::Kind::Operand: {
         BlockCtx *ctx = findCtx(msg.seq);
@@ -333,6 +392,8 @@ Processor::onViolation(const lsq::Violation &violation)
     BlockCtx *ctx = findCtx(violation.loadSeq);
     if (!ctx)
         return; // already squashed by an earlier violation
+    _trace.push({_cycle, chaos::TraceEvent::Kind::Violation,
+                 violation.loadSeq, violation.loadLsid});
     ++_statViolFlushes;
     BlockId blk = ctx->blockId;
     std::uint64_t arch_idx = ctx->archIdx;
@@ -344,6 +405,7 @@ Processor::onViolation(const lsq::Violation &violation)
 void
 Processor::flushFrom(DynBlockSeq from_seq)
 {
+    _trace.push({_cycle, chaos::TraceEvent::Kind::Flush, from_seq});
     while (!_inflight.empty() && _inflight.back().seq >= from_seq) {
         BlockCtx &ctx = _inflight.back();
         for (auto &node : _nodes)
@@ -501,6 +563,8 @@ Processor::commitTick(Cycle now)
                      (unsigned long long)ctx.dbgExitOk,
                      (unsigned long long)ctx.dbgWritesOk,
                      (unsigned long long)ctx.dbgMemOk);
+    _trace.push({now, chaos::TraceEvent::Kind::Commit, ctx.seq, 0, 0,
+                 ctx.exitValue, true});
     ++_statCommittedBlocks;
     _statCommittedInsts += ctx.block->insts().size();
     ++_committedBlocks;
@@ -514,7 +578,7 @@ Processor::commitTick(Cycle now)
         _halted = true;
 }
 
-void
+chaos::SimError
 Processor::watchdogDump(Cycle now)
 {
     std::string dump = strfmt(
@@ -550,32 +614,60 @@ Processor::watchdogDump(Cycle now)
         if (!s.empty())
             dump += strfmt("node %u:\n%s", n, s.c_str());
     }
-    panic("deadlock watchdog fired:\n%s", dump.c_str());
+
+    chaos::SimError err;
+    err.reason = chaos::SimError::Reason::Watchdog;
+    err.invariant = "commit-progress";
+    err.message = "deadlock watchdog fired:\n" + dump;
+    err.cycle = now;
+    if (!_inflight.empty())
+        err.seq = _inflight.front().seq;
+    err.trace = _trace.snapshot();
+    return err;
 }
 
 Processor::Result
 Processor::run(Cycle max_cycles)
 {
-    while (!_halted && _cycle < max_cycles) {
-        _mesh->deliver(_cycle, [this](net::Coord, Msg &&m) {
-            deliverMsg(_cycle, m);
-        });
-        _gcn->deliver(_cycle, [this](net::Coord, Msg &&m) {
-            deliverMsg(_cycle, m);
-        });
-        for (auto &node : _nodes)
-            node->tick(_cycle);
-        fetchTick(_cycle);
-        commitTick(_cycle);
-        if (_cycle - _lastCommit > _cfg.core.watchdogCycles)
-            watchdogDump(_cycle);
-        ++_cycle;
-    }
     Result res;
+    // Graceful degradation: a watchdog timeout, a protocol panic or
+    // an invariant-checker failure stops the run and surfaces as a
+    // structured report instead of aborting the process.
+    try {
+        while (!_halted && _cycle < max_cycles) {
+            _mesh->deliver(_cycle, [this](net::Coord, Msg &&m) {
+                deliverMsg(_cycle, m);
+            });
+            _gcn->deliver(_cycle, [this](net::Coord, Msg &&m) {
+                deliverMsg(_cycle, m);
+            });
+            for (auto &node : _nodes)
+                node->tick(_cycle);
+            fetchTick(_cycle);
+            commitTick(_cycle);
+            if (_cycle - _lastCommit > _cfg.core.watchdogCycles) {
+                res.error = watchdogDump(_cycle);
+                break;
+            }
+            ++_cycle;
+        }
+    } catch (const chaos::InvariantFailure &f) {
+        res.error.reason = chaos::SimError::Reason::InvariantViolation;
+        res.error.invariant = f.invariant();
+        res.error.message = f.what();
+        res.error.cycle = f.cycle();
+        res.error.seq = f.seq();
+        res.error.trace = _trace.snapshot();
+    } catch (const SimFailure &f) {
+        res.error.reason = chaos::SimError::Reason::ProtocolPanic;
+        res.error.message = f.what();
+        res.error.cycle = _cycle;
+        res.error.trace = _trace.snapshot();
+    }
     res.cycles = _cycle;
     res.committedBlocks = _committedBlocks;
     res.committedInsts = _committedInsts;
-    res.halted = _halted;
+    res.halted = _halted && res.error.ok();
     return res;
 }
 

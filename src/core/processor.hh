@@ -15,6 +15,10 @@
 #include <memory>
 #include <vector>
 
+#include "chaos/chaos.hh"
+#include "chaos/invariants.hh"
+#include "chaos/sim_error.hh"
+#include "chaos/trace_ring.hh"
 #include "compiler/placement.hh"
 #include "core/exec_node.hh"
 #include "core/msg.hh"
@@ -43,6 +47,18 @@ struct MachineConfig
      * (catches control/commit bugs; requires an OracleDb).
      */
     bool checkCommittedPath = true;
+    /**
+     * Run-level RNG seed. Every pseudo-random draw in a run — the
+     * workload generators and the chaos engine's per-site streams —
+     * derives from one run seed, so any run replays exactly.
+     */
+    std::uint64_t rngSeed = 1;
+    /** Deterministic fault injection (off unless a profile is set). */
+    chaos::ChaosParams chaos;
+    /** Feed every delivery through the DSRE invariant checker. */
+    bool checkInvariants = false;
+    /** Events retained in the failure-report trace ring. */
+    std::size_t traceDepth = 64;
 };
 
 class Processor
@@ -65,6 +81,9 @@ class Processor
         std::uint64_t committedBlocks = 0;
         std::uint64_t committedInsts = 0;
         bool halted = false;
+        /** Why the run stopped early, with diagnostics (ok() if it
+         *  did not): watchdog, invariant violation, protocol panic. */
+        chaos::SimError error;
     };
 
     /** Run until the program halts or the cycle budget is spent. */
@@ -77,6 +96,12 @@ class Processor
     const mem::SparseMemory &memory() const { return _dmem; }
 
     const MachineConfig &config() const { return _cfg; }
+
+    /** The fault injector, if one is active (null otherwise). */
+    const chaos::ChaosEngine *chaosEngine() const { return _chaos.get(); }
+
+    /** The invariant checker, if enabled (null otherwise). */
+    const chaos::InvariantChecker *checker() const { return _check.get(); }
 
   private:
     struct BlockCtx
@@ -119,7 +144,8 @@ class Processor
                        const std::array<isa::Target, isa::kMaxTargets>
                            &targets,
                        Word value, ValState state, std::uint32_t wave,
-                       std::uint16_t depth, bool status_only);
+                       std::uint16_t depth, bool status_only,
+                       bool echo);
 
     /** Pick the operand or status mesh and send. */
     void meshSend(Cycle when, net::Coord src, net::Coord dst,
@@ -138,7 +164,8 @@ class Processor
 
     BlockCtx *findCtx(DynBlockSeq seq);
 
-    [[noreturn]] void watchdogDump(Cycle now);
+    /** Build the graceful deadlock report (no commit for too long). */
+    chaos::SimError watchdogDump(Cycle now);
 
     // --- configuration & substrate ----------------------------------------
     MachineConfig _cfg;
@@ -147,6 +174,9 @@ class Processor
     StatSet &_stats;
 
     std::vector<compiler::Placement> _placements; ///< per static block
+    std::unique_ptr<chaos::ChaosEngine> _chaos;   ///< null = no chaos
+    std::unique_ptr<chaos::InvariantChecker> _check; ///< null = off
+    chaos::TraceRing _trace;
     mem::SparseMemory _dmem;
     std::unique_ptr<mem::Hierarchy> _hier;
     std::unique_ptr<net::Mesh<Msg>> _mesh; ///< operand network

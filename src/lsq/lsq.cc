@@ -25,7 +25,9 @@ LoadStoreQueue::LoadStoreQueue(const LsqParams &params,
                                mem::SparseMemory *memory,
                                pred::DependencePredictor *policy,
                                StatSet &stats, ReplyFn reply,
-                               ViolationFn violation)
+                               ViolationFn violation,
+                               chaos::ChaosEngine *chaos,
+                               chaos::InvariantChecker *check)
     : _p(params),
       _spec(params.recovery == Recovery::Dsre),
       _hier(hierarchy),
@@ -33,6 +35,8 @@ LoadStoreQueue::LoadStoreQueue(const LsqParams &params,
       _policy(policy),
       _reply(std::move(reply)),
       _violation(std::move(violation)),
+      _chaos(chaos),
+      _check(check),
       _bankFree(hierarchy->params().numDBanks, 0),
       _loads(stats.counter("lsq.loads", "loads performed")),
       _stores(stats.counter("lsq.stores", "stores resolved")),
@@ -130,6 +134,8 @@ LoadStoreQueue::mapBlock(DynBlockSeq seq, std::uint64_t arch_idx,
         } else {
             e.dep = _policy->onLoadMapped(seq, block_id, in.lsid);
         }
+        if (_check)
+            _check->onMemOpMapped(seq, in.lsid, e.isStore, e.bytes);
     }
     _blocks.emplace(seq, std::move(be));
 }
@@ -159,6 +165,15 @@ LoadStoreQueue::computeLoadValue(MemKey key, const MemEntry &e) const
     // older store in ascending (seq, lsid) order so the youngest
     // writer of each byte wins.
     Word value = _mem->read(e.addr, e.bytes);
+#ifdef EDGE_MUTATIONS
+    // Deliberate protocol mutation: forward each byte from the
+    // OLDEST older covering store instead of the youngest. The
+    // invariant checker catches it as `lsq-age-ordered-forwarding`.
+    bool oldest_wins =
+        _chaos &&
+        _chaos->mutation() == chaos::Mutation::MisorderForward;
+    std::array<bool, kWordBytes> written{};
+#endif
     for (const auto &[seq, be] : _blocks) {
         if (seq > key.first)
             break;
@@ -174,6 +189,11 @@ LoadStoreQueue::computeLoadValue(MemKey key, const MemEntry &e) const
                 Addr a = e.addr + i;
                 if (a < st.addr || a >= st.addr + st.bytes)
                     continue;
+#ifdef EDGE_MUTATIONS
+                if (oldest_wins && written[i])
+                    continue;
+                written[i] = true;
+#endif
                 unsigned si = static_cast<unsigned>(a - st.addr);
                 Word byte = (st.data >> (8 * si)) & 0xff;
                 value &= ~(Word{0xff} << (8 * i));
@@ -239,6 +259,9 @@ LoadStoreQueue::loadRequest(
     e.targets = targets;
     e.slot = slot;
     e.depth = depth;
+
+    if (_check)
+        _check->onLoadAddr(seq, lsid, e.addr, e.addrState);
 
     if (!e.performed) {
         if (e.waiting && !addr_changed) {
@@ -390,6 +413,10 @@ LoadStoreQueue::performLoad(Cycle now, MemKey key, MemEntry &e,
             pr.state = ValState::Spec; // a guess is never final
             pr.wave = ++e.replyWave;
             pr.depth = depth;
+            // A confirmation (guess == real value) deliberately
+            // repeats the value on the next wave; exempt it from the
+            // value-identity-squash invariant.
+            pr.echo = true;
             pr.targets = e.targets;
             _reply(pr);
             e.lastReplyWhen = pr.when;
@@ -437,6 +464,9 @@ LoadStoreQueue::performLoad(Cycle now, MemKey key, MemEntry &e,
     r.depth = static_cast<std::uint16_t>(is_resend ? depth + 1 : depth);
     r.statusOnly = value_unchanged;
     r.targets = e.targets;
+    if (_check)
+        _check->onLoadReply(r.when, r.seq, r.lsid, r.value, r.state,
+                            r.echo);
     _reply(r);
 }
 
@@ -446,6 +476,11 @@ LoadStoreQueue::storeResolve(Cycle now, DynBlockSeq seq, Lsid lsid,
                              ValState data_state, std::uint32_t wave,
                              std::uint16_t depth)
 {
+    // Chaos: hold the store's resolution at the bank entrance for a
+    // few cycles, widening the speculation window of younger loads.
+    if (_chaos)
+        now += _chaos->storeResolveDelay();
+
     auto bit = _blocks.find(seq);
     if (bit == _blocks.end())
         return; // flushed block: stale message, drop
@@ -499,6 +534,10 @@ LoadStoreQueue::storeResolve(Cycle now, DynBlockSeq seq, Lsid lsid,
     else if (data_changed || !had_old)
         e.state = data_state;
 
+    if (_check)
+        _check->onStoreState(seq, lsid, e.addr, e.data, e.state,
+                             e.addrSt);
+
     _policy->onStoreResolved(seq, bit->second.blockId, lsid);
 
     if (_spec && e.state == ValState::Final &&
@@ -521,6 +560,9 @@ LoadStoreQueue::storeResolve(Cycle now, DynBlockSeq seq, Lsid lsid,
     }
 
     sweepFinality(now);
+
+    if (_chaos && _spec)
+        injectSpuriousWave(now);
 }
 
 void
@@ -638,6 +680,47 @@ LoadStoreQueue::sweepFinality(Cycle now)
     }
 }
 
+void
+LoadStoreQueue::injectSpuriousWave(Cycle now)
+{
+    if (_specLoads.empty() || !_chaos->spuriousViolation())
+        return;
+    auto it = _specLoads.begin();
+    std::advance(it, _chaos->pickIndex(_specLoads.size()));
+    MemKey key = *it;
+    MemEntry &e = entry(key);
+    _chaos->countSpurious();
+
+    // A transient wrong value followed one cycle later by the true
+    // value again — a forced spurious violation. The entry's own
+    // record (lastValue/lastState) is untouched, so from the LSQ's
+    // point of view nothing happened; the dataflow graph downstream
+    // sees a genuine DSRE correction storm that must converge back
+    // to the same architectural state. Both waves are echoes: they
+    // deliberately repeat values, which the value-identity-squash
+    // invariant must not flag.
+    LoadReply glitch;
+    glitch.when = std::max(now, e.lastReplyWhen);
+    glitch.addr = e.addr;
+    glitch.seq = key.first;
+    glitch.slot = e.slot;
+    glitch.lsid = key.second;
+    glitch.value = e.lastValue ^ 1;
+    glitch.state = ValState::Spec;
+    glitch.wave = ++e.replyWave;
+    glitch.depth = e.depth;
+    glitch.echo = true;
+    glitch.targets = e.targets;
+    _reply(glitch);
+
+    LoadReply fix = glitch;
+    fix.when = glitch.when + 1;
+    fix.value = e.lastValue;
+    fix.wave = ++e.replyWave;
+    _reply(fix);
+    e.lastReplyWhen = fix.when;
+}
+
 bool
 LoadStoreQueue::blockMemFinal(DynBlockSeq seq) const
 {
@@ -685,6 +768,8 @@ LoadStoreQueue::commitBlock(Cycle now, DynBlockSeq seq)
         _waitingLoads.erase({seq, l});
     }
     _blocks.erase(it);
+    if (_check)
+        _check->onBlockRetired(seq);
 }
 
 std::string
@@ -735,6 +820,8 @@ LoadStoreQueue::flushFrom(DynBlockSeq from_seq)
     prune(_waitingLoads);
 
     _policy->onFlush(from_seq);
+    if (_check)
+        _check->onFlushFrom(from_seq);
 }
 
 } // namespace edge::lsq

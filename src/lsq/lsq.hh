@@ -33,6 +33,8 @@
 #include <set>
 #include <vector>
 
+#include "chaos/chaos.hh"
+#include "chaos/invariants.hh"
 #include "common/stats.hh"
 #include "isa/block.hh"
 #include "mem/hierarchy.hh"
@@ -106,6 +108,12 @@ struct LoadReply
     std::uint32_t wave = 0;
     std::uint16_t depth = 0;
     bool statusOnly = false; ///< commit-wave upgrade (same value)
+    /**
+     * Deliberate same-value resend — a chaos-injected echo wave or a
+     * value-prediction confirmation. The value-identity-squash
+     * invariant must not flag it.
+     */
+    bool echo = false;
     std::array<isa::Target, isa::kMaxTargets> targets{};
 };
 
@@ -135,11 +143,17 @@ class LoadStoreQueue
      * @param reply invoked for every load reply/resend/upgrade
      * @param violation invoked on every detected violation (flush
      *        recovery decides what to do with it; DSRE only counts)
+     * @param chaos optional fault injector (not owned): delays store
+     *        resolution and forces spurious corrective re-fire waves
+     * @param check optional invariant checker (not owned), fed with
+     *        the LSQ's shadow state and every outgoing reply
      */
     LoadStoreQueue(const LsqParams &params, mem::Hierarchy *hierarchy,
                    mem::SparseMemory *memory,
                    pred::DependencePredictor *policy, StatSet &stats,
-                   ReplyFn reply, ViolationFn violation);
+                   ReplyFn reply, ViolationFn violation,
+                   chaos::ChaosEngine *chaos = nullptr,
+                   chaos::InvariantChecker *check = nullptr);
 
     /** A block entered the window: allocate its LSID entries. */
     void mapBlock(DynBlockSeq seq, std::uint64_t arch_idx,
@@ -264,6 +278,13 @@ class LoadStoreQueue
     /** Advance the commit wave: upgrade now-final performed loads. */
     void sweepFinality(Cycle now);
 
+    /**
+     * Chaos: re-fire one speculative load as a transient wrong value
+     * immediately corrected by a second wave — a forced spurious
+     * violation exercising the selective re-execution machinery.
+     */
+    void injectSpuriousWave(Cycle now);
+
     /** Charge a bank port; returns the cycle processing may start. */
     Cycle bankPort(Cycle now, Addr addr);
 
@@ -275,6 +296,8 @@ class LoadStoreQueue
     pred::DependencePredictor *_policy;
     ReplyFn _reply;
     ViolationFn _violation;
+    chaos::ChaosEngine *_chaos;
+    chaos::InvariantChecker *_check;
 
     std::map<DynBlockSeq, BlockEntry> _blocks;
     std::set<MemKey> _nonFinalStores; ///< unresolved or Spec stores

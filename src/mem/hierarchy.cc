@@ -5,8 +5,9 @@
 
 namespace edge::mem {
 
-Hierarchy::Hierarchy(const HierarchyParams &params, StatSet &stats)
-    : _p(params)
+Hierarchy::Hierarchy(const HierarchyParams &params, StatSet &stats,
+                     chaos::ChaosEngine *chaos)
+    : _p(params), _chaos(chaos)
 {
     fatal_if(_p.numDBanks == 0, "need at least one L1D bank");
 
@@ -57,7 +58,12 @@ Hierarchy::bankOf(Addr addr) const
 Cycle
 Hierarchy::dataRead(Cycle now, Addr addr)
 {
-    return _l1d[bankOf(addr)]->access(now, addr, false);
+    Cycle done = _l1d[bankOf(addr)]->access(now, addr, false);
+    // Chaos: jitter the fill latency of misses only (done past the
+    // pure-hit time); hits stay deterministic.
+    if (_chaos && done > now + _p.l1dHitLatency)
+        done += _chaos->memJitter();
+    return done;
 }
 
 Cycle
@@ -69,7 +75,10 @@ Hierarchy::dataWrite(Cycle now, Addr addr)
 Cycle
 Hierarchy::instFetch(Cycle now, Addr addr)
 {
-    return _l1i->access(now, addr, false);
+    Cycle done = _l1i->access(now, addr, false);
+    if (_chaos && done > now + _p.l1iHitLatency)
+        done += _chaos->memJitter();
+    return done;
 }
 
 bool

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "chaos/chaos.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 
@@ -41,7 +42,14 @@ struct HierarchyParams
 class Hierarchy
 {
   public:
-    Hierarchy(const HierarchyParams &params, StatSet &stats);
+    /**
+     * @param chaos optional fault injector (not owned): jitters the
+     *        completion time of accesses that miss (models refill
+     *        contention / variable DRAM scheduling); pure hits stay
+     *        deterministic.
+     */
+    Hierarchy(const HierarchyParams &params, StatSet &stats,
+              chaos::ChaosEngine *chaos = nullptr);
 
     /** The L1D bank (== LSQ bank) an address maps to. */
     unsigned bankOf(Addr addr) const;
@@ -65,6 +73,7 @@ class Hierarchy
 
   private:
     HierarchyParams _p;
+    chaos::ChaosEngine *_chaos;
     std::unique_ptr<Dram> _dram;
     std::unique_ptr<Cache> _l2;
     std::unique_ptr<Cache> _l1i;

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.hh"
 #include "common/stats.hh"
 #include "net/route.hh"
 
@@ -30,6 +31,13 @@ struct MeshParams
     MeshGeom geom;
     unsigned hopLatency = 1; ///< cycles per link traversal
     std::string statPrefix = "net"; ///< counter namespace
+    /**
+     * Optional fault injector (not owned): adds extra hop delay to
+     * some messages and delivers duplicates of others. Safe for any
+     * payload whose consumers drop stale waves — which is exactly
+     * the protocol property the chaos harness exercises.
+     */
+    chaos::ChaosEngine *chaos = nullptr;
 };
 
 template <typename Payload>
@@ -64,6 +72,17 @@ class Mesh
                 _linkFree[link] = start + 1;
                 t = start + _p.hopLatency;
                 ++_hops;
+            }
+        }
+        if (_p.chaos) {
+            // Chaos: hold this message on a congested virtual channel
+            // for a few extra cycles, and sometimes deliver a second,
+            // bit-identical copy later. Consumers drop the copy as a
+            // stale wave — duplicate delivery is idempotent.
+            t += _p.chaos->hopJitter();
+            if (_p.chaos->duplicate()) {
+                _inFlight.push(Event{t + _p.chaos->duplicateSkew(),
+                                     _nextSeq++, dst, payload});
             }
         }
         _inFlight.push(Event{t, _nextSeq++, dst, std::move(payload)});

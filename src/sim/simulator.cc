@@ -164,10 +164,23 @@ Simulator::oracleDb()
 RunResult
 Simulator::run(Cycle max_cycles)
 {
+    return run(_cfg, max_cycles);
+}
+
+RunResult
+Simulator::run(const core::MachineConfig &config, Cycle max_cycles)
+{
     ensureReference();
     _stats = std::make_unique<StatSet>(_prog.name());
 
-    core::Processor proc(_cfg, _prog, _oracleDb.get(), *_stats);
+    core::MachineConfig cfg = config;
+    // One run-level seed drives everything: an unset chaos seed
+    // derives from the run seed, so `--seed` alone replays a chaotic
+    // run exactly.
+    if (cfg.chaos.enabled() && cfg.chaos.seed == 0)
+        cfg.chaos.seed = cfg.rngSeed;
+
+    core::Processor proc(cfg, _prog, _oracleDb.get(), *_stats);
     core::Processor::Result r = proc.run(max_cycles);
 
     RunResult out;
@@ -175,6 +188,14 @@ Simulator::run(Cycle max_cycles)
     out.committedBlocks = r.committedBlocks;
     out.committedInsts = r.committedInsts;
     out.halted = r.halted;
+    out.error = r.error;
+    out.rngSeed = cfg.rngSeed;
+    if (proc.chaosEngine()) {
+        out.chaosSeed = proc.chaosEngine()->params().seed;
+        out.injections = proc.chaosEngine()->counts();
+    }
+    if (proc.checker())
+        out.invariantChecks = proc.checker()->checksRun();
 
     out.violations = _stats->counterValue("lsq.violations");
     out.resends = _stats->counterValue("lsq.resends");

@@ -34,6 +34,17 @@ struct RunResult
     bool halted = false;    ///< program ran to completion
     bool archMatch = false; ///< registers + memory match the reference
 
+    /** Structured failure report (ok() when the run was clean). */
+    chaos::SimError error;
+    /** The run-level seed the run used (replay handle). */
+    std::uint64_t rngSeed = 0;
+    /** The chaos seed actually used (0 when chaos was off). */
+    std::uint64_t chaosSeed = 0;
+    /** What the chaos engine injected (all zero when off). */
+    chaos::InjectionCounts injections;
+    /** Individual invariant checks evaluated (0 when off). */
+    std::uint64_t invariantChecks = 0;
+
     std::uint64_t violations = 0;
     std::uint64_t resends = 0;
     std::uint64_t reexecs = 0;
@@ -113,6 +124,14 @@ class Simulator
      * @param max_cycles timing-simulation cycle budget
      */
     RunResult run(Cycle max_cycles = 500'000'000);
+
+    /**
+     * Run with a different machine configuration, reusing the cached
+     * reference execution — the cheap path for seed/config sweeps
+     * over one program.
+     */
+    RunResult run(const core::MachineConfig &config,
+                  Cycle max_cycles = 500'000'000);
 
     /** Reference (functional) dynamic instruction count. */
     std::uint64_t refDynInsts();

@@ -1,0 +1,58 @@
+#include "sim/sweep.hh"
+
+#include "common/strutil.hh"
+
+namespace edge::sim {
+
+std::string
+ChaosSweepReport::summary() const
+{
+    std::string out = strfmt(
+        "%zu/%zu runs converged, %llu injections, %llu checks\n",
+        runs.size() - failures, runs.size(),
+        static_cast<unsigned long long>(totalInjections),
+        static_cast<unsigned long long>(totalChecks));
+    for (const ChaosSweepOutcome &o : runs) {
+        if (o.converged())
+            continue;
+        out += strfmt(
+            "  FAIL seed=%llu config=%s halted=%d archMatch=%d\n",
+            static_cast<unsigned long long>(o.seed), o.config.c_str(),
+            o.result.halted, o.result.archMatch);
+        if (!o.result.error.ok())
+            out += "    " + o.result.error.format() + "\n";
+    }
+    return out;
+}
+
+ChaosSweepReport
+chaosSweep(const isa::Program &program, const ChaosSweepParams &params)
+{
+    ChaosSweepReport report;
+    for (const std::string &name : params.configs) {
+        core::MachineConfig base = Configs::byName(name);
+        // One Simulator per config so the reference execution (and
+        // oracle database) is shared across every seed.
+        Simulator simulator(program, base);
+        for (std::uint64_t seed : params.seeds) {
+            core::MachineConfig cfg = base;
+            cfg.rngSeed = seed;
+            cfg.chaos = chaos::ChaosParams::byProfile(params.profile,
+                                                      seed);
+            cfg.checkInvariants = params.checkInvariants;
+
+            ChaosSweepOutcome o;
+            o.seed = seed;
+            o.config = name;
+            o.result = simulator.run(cfg, params.maxCycles);
+            report.totalInjections += o.result.injections.total();
+            report.totalChecks += o.result.invariantChecks;
+            if (!o.converged())
+                ++report.failures;
+            report.runs.push_back(std::move(o));
+        }
+    }
+    return report;
+}
+
+} // namespace edge::sim

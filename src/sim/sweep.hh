@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Chaos convergence sweeps: run one program under many fault
+ * schedules (seed x mechanism grid) and verify the DSRE convergence
+ * claim — every perturbed schedule must still halt, pass the runtime
+ * invariant checker, and commit architectural state bit-identical to
+ * the functional reference. The reference execution is computed once
+ * per program and shared across all runs.
+ */
+
+#ifndef EDGE_SIM_SWEEP_HH
+#define EDGE_SIM_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace edge::sim {
+
+struct ChaosSweepParams
+{
+    /** Run-level seeds; each derives a full fault schedule. */
+    std::vector<std::uint64_t> seeds;
+    /** Mechanism names (Configs::byName) to cross with the seeds. */
+    std::vector<std::string> configs;
+    chaos::Profile profile = chaos::Profile::Light;
+    bool checkInvariants = true;
+    Cycle maxCycles = 500'000'000;
+};
+
+/** One (seed, config) cell of the sweep grid. */
+struct ChaosSweepOutcome
+{
+    std::uint64_t seed = 0;
+    std::string config;
+    RunResult result;
+
+    bool
+    converged() const
+    {
+        return result.halted && result.archMatch && result.error.ok();
+    }
+};
+
+struct ChaosSweepReport
+{
+    std::vector<ChaosSweepOutcome> runs;
+    std::size_t failures = 0; ///< runs that did not converge
+    std::uint64_t totalInjections = 0;
+    std::uint64_t totalChecks = 0;
+
+    bool allConverged() const { return failures == 0; }
+
+    /** One line per failing run plus a grid-level tally. */
+    std::string summary() const;
+};
+
+/**
+ * Run the full seed x config grid over one program. Failing cells
+ * carry their structured SimError in the report; nothing aborts.
+ */
+ChaosSweepReport chaosSweep(const isa::Program &program,
+                            const ChaosSweepParams &params);
+
+} // namespace edge::sim
+
+#endif // EDGE_SIM_SWEEP_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * panic() no longer aborts the process: it raises edge::SimFailure so
+ * the run loop can degrade gracefully into a structured SimError.
+ * Tests assert a panic fires by catching the exception and matching
+ * its message — the replacement for the old abort-based EXPECT_DEATH
+ * checks. (fatal() still aborts; use EXPECT_DEATH for that.)
+ */
+
+#ifndef EDGE_TESTS_PANIC_CHECK_HH
+#define EDGE_TESTS_PANIC_CHECK_HH
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#define EXPECT_PANIC(stmt, substr)                                     \
+    do {                                                               \
+        bool caught_panic_ = false;                                    \
+        try {                                                          \
+            stmt;                                                      \
+        } catch (const edge::SimFailure &pc_e_) {                      \
+            caught_panic_ = true;                                      \
+            EXPECT_NE(std::strstr(pc_e_.what(), substr), nullptr)      \
+                << "panic message '" << pc_e_.what()                   \
+                << "' does not contain '" << substr << "'";            \
+        }                                                              \
+        EXPECT_TRUE(caught_panic_)                                     \
+            << "expected a panic containing: " << substr;              \
+    } while (0)
+
+#endif // EDGE_TESTS_PANIC_CHECK_HH

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "panic_check.hh"
+
 #include "compiler/builder.hh"
 #include "compiler/placement.hh"
 #include "compiler/ref_executor.hh"
@@ -172,7 +174,7 @@ TEST(Builder, ValOwnershipIsChecked)
     auto &a = pb.newBlock("a");
     auto &b = pb.newBlock("b");
     compiler::Val v = a.imm(1);
-    EXPECT_DEATH((void)b.addi(v, 1), "different BlockBuilder");
+    EXPECT_PANIC((void)b.addi(v, 1), "different BlockBuilder");
 }
 
 TEST(Builder, SecondBranchIsRejected)
@@ -180,7 +182,7 @@ TEST(Builder, SecondBranchIsRejected)
     ProgramBuilder pb("t");
     auto &b = pb.newBlock("a");
     b.branchHalt();
-    EXPECT_DEATH(b.branchHalt(), "second branch");
+    EXPECT_PANIC(b.branchHalt(), "second branch");
 }
 
 TEST(Builder, UnknownExitNameIsRejected)
@@ -188,7 +190,7 @@ TEST(Builder, UnknownExitNameIsRejected)
     ProgramBuilder pb("t");
     auto &b = pb.newBlock("a");
     b.branchTo("nowhere");
-    EXPECT_DEATH((void)pb.build(), "unknown block");
+    EXPECT_PANIC((void)pb.build(), "unknown block");
 }
 
 TEST(Builder, CapacityOverflowIsRejected)
@@ -200,7 +202,7 @@ TEST(Builder, CapacityOverflowIsRejected)
         acc = b.addi(acc, 1);
     b.writeReg(1, acc);
     b.branchHalt();
-    EXPECT_DEATH((void)pb.build(), "split the block");
+    EXPECT_PANIC((void)pb.build(), "split the block");
 }
 
 // ---------------------------------------------------------------------------
@@ -339,7 +341,7 @@ TEST(RefExecutor, DetectsMemoryOrderDeadlock)
     std::string why;
     ASSERT_TRUE(p.validate(&why)) << why; // structurally fine
     RefExecutor ref(p);
-    EXPECT_DEATH(ref.run(1), "deadlock");
+    EXPECT_PANIC(ref.run(1), "deadlock");
 }
 
 // ---------------------------------------------------------------------------
@@ -401,7 +403,7 @@ TEST(Placement, RejectsUndersizedGrid)
 {
     isa::Program p = chainProgram(40);
     GridGeom geom{2, 2, 8}; // capacity 32 < 42 insts
-    EXPECT_DEATH((void)placeBlock(p.block(0), geom), "grid too small");
+    EXPECT_PANIC((void)placeBlock(p.block(0), geom), "grid too small");
 }
 
 TEST(Placement, GridDistanceIsManhattan)

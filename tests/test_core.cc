@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "panic_check.hh"
+
 #include "compiler/builder.hh"
 #include "core/exec_node.hh"
 #include "core/reg_unit.hh"
@@ -137,7 +139,7 @@ TEST_F(ExecNodeTest, FinalOperandValueChangePanics)
 {
     mapAdd();
     node.deliver(0, 0, 0, 3, ValState::Final, 1, 0);
-    EXPECT_DEATH(node.deliver(0, 0, 0, 8, ValState::Final, 2, 0),
+    EXPECT_PANIC(node.deliver(0, 0, 0, 8, ValState::Final, 2, 0),
                  "protocol violation");
 }
 
@@ -317,7 +319,7 @@ TEST_F(RegUnitTest, OutOfOrderCommitPanics)
     unit->mapBlock(0, 1, writer());
     unit->mapBlock(0, 2, writer());
     unit->writeArrived(5, 2, 0, 1, ValState::Final, 1, 0);
-    EXPECT_DEATH(unit->commitBlock(2), "out of order");
+    EXPECT_PANIC(unit->commitBlock(2), "out of order");
 }
 
 // ---------------------------------------------------------------------------

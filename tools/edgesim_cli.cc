@@ -8,6 +8,9 @@
  *   edgesim --kernel bzip2ish --config dsre --iterations 5000
  *   edgesim --kernel twolfish --config storesets-flush \
  *           --set frames=16 --set hop=2 --set dram=200 --stats
+ *   edgesim --kernel parserish --chaos-profile heavy --chaos-seed 7 \
+ *           --check-invariants
+ *   edgesim --kernel mcfish --chaos-profile light --chaos-sweep 20
  *
  * Recognised --set keys:
  *   frames, hop, fetch, commitports, l1dkb, l2kb, l2lat, dram,
@@ -22,6 +25,7 @@
 
 #include "common/logging.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace edge;
@@ -34,11 +38,16 @@ usage()
     std::printf(
         "usage: edgesim [--list] --kernel <name> [--config <name>]\n"
         "               [--iterations N] [--seed N] [--stats]\n"
+        "               [--chaos-profile <name>] [--chaos-seed N]\n"
+        "               [--check-invariants] [--chaos-sweep N]\n"
         "               [--set key=value ...]\n"
         "\n"
         "configs: ");
     for (const auto &c : sim::Configs::allNames())
         std::printf("%s ", c.c_str());
+    std::printf("\nchaos profiles: ");
+    for (const auto &p : chaos::ChaosParams::profileNames())
+        std::printf("%s ", p.c_str());
     std::printf("\nset keys: frames hop fetch commitports l1dkb l2kb "
                 "l2lat dram budget\n");
 }
@@ -78,6 +87,11 @@ main(int argc, char **argv)
     std::string config = "dsre";
     wl::KernelParams kp;
     bool dump_stats = false;
+    std::uint64_t run_seed = 1;
+    std::uint64_t chaos_seed = 0;
+    chaos::Profile chaos_profile = chaos::Profile::None;
+    bool check_invariants = false;
+    std::uint64_t sweep_seeds = 0;
     std::vector<std::pair<std::string, std::uint64_t>> overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -102,7 +116,19 @@ main(int argc, char **argv)
         } else if (arg == "--iterations") {
             kp.iterations = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--seed") {
-            kp.seed = std::strtoull(next(), nullptr, 10);
+            // One run-level seed: the workload generator and (unless
+            // --chaos-seed overrides) the fault schedule derive from
+            // it.
+            run_seed = std::strtoull(next(), nullptr, 10);
+            kp.seed = run_seed;
+        } else if (arg == "--chaos-seed") {
+            chaos_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--chaos-profile") {
+            chaos_profile = chaos::ChaosParams::profileByName(next());
+        } else if (arg == "--check-invariants") {
+            check_invariants = true;
+        } else if (arg == "--chaos-sweep") {
+            sweep_seeds = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--set") {
@@ -129,6 +155,25 @@ main(int argc, char **argv)
     core::MachineConfig cfg = sim::Configs::byName(config);
     for (const auto &[k, v] : overrides)
         applyOverride(cfg, k, v);
+    cfg.rngSeed = run_seed;
+    cfg.chaos = chaos::ChaosParams::byProfile(chaos_profile, chaos_seed);
+    cfg.checkInvariants = check_invariants;
+
+    if (sweep_seeds > 0) {
+        sim::ChaosSweepParams sp;
+        for (std::uint64_t s = 0; s < sweep_seeds; ++s)
+            sp.seeds.push_back(run_seed + s);
+        sp.configs = {config};
+        sp.profile = chaos_profile == chaos::Profile::None
+                         ? chaos::Profile::Light
+                         : chaos_profile;
+        isa::Program prog = wl::build(kernel, kp);
+        sim::ChaosSweepReport rep = sim::chaosSweep(prog, sp);
+        std::printf("%s / %s chaos sweep (%s):\n%s", kernel.c_str(),
+                    config.c_str(), chaos::profileName(sp.profile),
+                    rep.summary().c_str());
+        return rep.allConverged() ? 0 : 1;
+    }
 
     sim::Simulator sim(wl::build(kernel, kp), cfg);
     sim::RunResult r = sim.run();
@@ -146,9 +191,27 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.resends),
                 static_cast<unsigned long long>(r.upgrades),
                 static_cast<unsigned long long>(r.policyHolds));
+    if (r.chaosSeed || r.injections.total() || r.invariantChecks) {
+        std::printf(
+            "chaos seed %llu: %llu injections (%llu hop, %llu dup, "
+            "%llu mem, %llu store, %llu spurious); %llu invariant "
+            "checks\n",
+            static_cast<unsigned long long>(r.chaosSeed),
+            static_cast<unsigned long long>(r.injections.total()),
+            static_cast<unsigned long long>(r.injections.hopDelays),
+            static_cast<unsigned long long>(r.injections.duplicates),
+            static_cast<unsigned long long>(r.injections.memJitters),
+            static_cast<unsigned long long>(r.injections.storeDelays),
+            static_cast<unsigned long long>(
+                r.injections.spuriousWaves),
+            static_cast<unsigned long long>(r.invariantChecks));
+    }
     std::printf("architectural state verified against the reference: "
                 "%s\n",
                 r.archMatch ? "PASS" : "FAIL");
+    if (!r.error.ok())
+        std::printf("run failed gracefully:\n%s\n",
+                    r.error.format().c_str());
     if (dump_stats)
         std::printf("\n%s", sim.stats().dump().c_str());
     return r.archMatch && r.halted ? 0 : 1;
