@@ -23,8 +23,7 @@ using namespace edge::bench;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t iters = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                   : 2000;
+    BenchArgs args = benchArgs(argc, argv, 2000);
 
     std::printf("Extension: miss value prediction through the DSRE "
                 "wave protocol\n\n");
@@ -33,25 +32,26 @@ main(int argc, char **argv)
                  "vpAcc%"},
                 11);
 
+    // Rows come back kernel-major: [dsre, dsre-vp] per kernel, both
+    // sharing the kernel's reference execution.
+    std::vector<RunRow> rows =
+        runMatrix(wl::kernelNames(), {"dsre", "dsre-vp"},
+                  args.iterations, nullptr, args.threads);
+
     std::vector<double> ratios;
+    std::size_t idx = 0;
     for (const auto &k : wl::kernelNames()) {
-        RunSpec base{k, "dsre", iters, 1, nullptr};
-        RunRow rb = runOne(base);
+        const sim::RunResult &rb = rows[idx++].result;
+        const sim::RunResult &rv = rows[idx++].result;
+        double preds =
+            static_cast<double>(rv.counter("lsq.vp_predictions"));
+        double correct =
+            static_cast<double>(rv.counter("lsq.vp_correct"));
 
-        wl::KernelParams kp;
-        kp.iterations = iters;
-        sim::Simulator s(wl::build(k, kp), sim::Configs::dsreVp());
-        sim::RunResult rv = s.run();
-        fatal_if(!rv.halted || !rv.archMatch, "%s failed", k.c_str());
-        double preds = static_cast<double>(
-            s.stats().counterValue("lsq.vp_predictions"));
-        double correct = static_cast<double>(
-            s.stats().counterValue("lsq.vp_correct"));
-
-        double ratio = rv.ipc() / rb.result.ipc();
+        double ratio = rv.ipc() / rb.ipc();
         ratios.push_back(ratio);
         printRow(k,
-                 {fmtF(rb.result.ipc()), fmtF(rv.ipc()), fmtF(ratio),
+                 {fmtF(rb.ipc()), fmtF(rv.ipc()), fmtF(ratio),
                   fmtF(1000.0 * preds /
                        static_cast<double>(rv.committedInsts), 1),
                   fmtF(preds ? 100.0 * correct / preds : 0.0, 1)},

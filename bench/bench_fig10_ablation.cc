@@ -22,8 +22,7 @@ using namespace edge::bench;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t iters = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                   : 1500;
+    BenchArgs args = benchArgs(argc, argv, 1500);
     const std::vector<std::string> kernels = {
         "gzipish", "bzip2ish", "parserish", "twolfish", "vprish",
         "ammpish"};
@@ -63,17 +62,26 @@ main(int argc, char **argv)
                 kernels.size());
     printHeader("variant", {"relIPC", "resend/1k", "upgr/1k"}, 12);
 
-    double base_ipc = 0.0;
+    std::vector<RunSpec> specs;
     for (const Variant &v : variants) {
-        std::vector<double> ipcs;
-        std::uint64_t resends = 0, upgrades = 0, insts = 0;
         for (const auto &k : kernels) {
             RunSpec spec;
             spec.kernel = k;
             spec.config = "dsre";
-            spec.iterations = iters;
+            spec.iterations = args.iterations;
             spec.tweak = v.tweak;
-            RunRow row = runOne(spec);
+            specs.push_back(std::move(spec));
+        }
+    }
+    std::vector<RunRow> rows = runSpecs(specs, args.threads);
+
+    double base_ipc = 0.0;
+    std::size_t idx = 0;
+    for (const Variant &v : variants) {
+        std::vector<double> ipcs;
+        std::uint64_t resends = 0, upgrades = 0, insts = 0;
+        for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+            const RunRow &row = rows[idx++];
             ipcs.push_back(row.result.ipc());
             resends += row.result.resends;
             upgrades += row.result.upgrades;
@@ -90,5 +98,5 @@ main(int argc, char **argv)
                        static_cast<double>(insts), 2)},
                  12);
     }
-    return 0;
+    return finishBench("bench_fig10_ablation", args, rows);
 }

@@ -18,30 +18,37 @@ using namespace edge::bench;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t iters = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                   : 1500;
+    BenchArgs args = benchArgs(argc, argv, 1500);
     const std::vector<unsigned> hops = {1, 2, 3};
     const std::vector<std::string> kernels = {"gzipish", "bzip2ish",
                                               "vprish", "equakeish"};
 
     const std::vector<std::string> configs = {"storesets-flush",
                                               "dsre"};
-    std::map<std::tuple<std::string, std::string, unsigned>, double>
-        ipc;
+    std::vector<RunSpec> specs;
     for (const auto &k : kernels) {
         for (const auto &c : configs) {
             for (unsigned h : hops) {
                 RunSpec spec;
                 spec.kernel = k;
                 spec.config = c;
-                spec.iterations = iters;
+                spec.iterations = args.iterations;
                 spec.tweak = [h](core::MachineConfig &cfg) {
                     cfg.core.hopLatency = h;
                 };
-                ipc[{k, c, h}] = runOne(spec).result.ipc();
+                specs.push_back(std::move(spec));
             }
         }
     }
+    std::vector<RunRow> rows = runSpecs(specs, args.threads);
+
+    std::map<std::tuple<std::string, std::string, unsigned>, double>
+        ipc;
+    std::size_t idx = 0;
+    for (const auto &k : kernels)
+        for (const auto &c : configs)
+            for (unsigned h : hops)
+                ipc[{k, c, h}] = rows[idx++].result.ipc();
 
     std::printf("Figure 11: IPC vs operand-network hop latency\n");
     std::vector<std::string> cols;
@@ -69,5 +76,5 @@ main(int argc, char **argv)
         cells.push_back(fmtF(geomean(ratios)));
     }
     printRow("speedup", cells, 12);
-    return 0;
+    return finishBench("bench_fig11_network", args, rows);
 }

@@ -21,8 +21,7 @@ using namespace edge::bench;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t iters = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                   : 1500;
+    BenchArgs args = benchArgs(argc, argv, 1500);
     const std::vector<unsigned> frames = {1, 2, 4, 8, 16};
     const std::vector<std::string> configs = {
         "blind-flush", "storesets-flush", "dsre", "oracle"};
@@ -30,22 +29,30 @@ main(int argc, char **argv)
                                               "parserish", "twolfish"};
 
     // One run per (kernel, config, frames); reused for the geomean.
-    std::map<std::tuple<std::string, std::string, unsigned>, double>
-        ipc;
+    std::vector<RunSpec> specs;
     for (const auto &k : kernels) {
         for (const auto &c : configs) {
             for (unsigned f : frames) {
                 RunSpec spec;
                 spec.kernel = k;
                 spec.config = c;
-                spec.iterations = iters;
+                spec.iterations = args.iterations;
                 spec.tweak = [f](core::MachineConfig &cfg) {
                     cfg.core.numFrames = f;
                 };
-                ipc[{k, c, f}] = runOne(spec).result.ipc();
+                specs.push_back(std::move(spec));
             }
         }
     }
+    std::vector<RunRow> rows = runSpecs(specs, args.threads);
+
+    std::map<std::tuple<std::string, std::string, unsigned>, double>
+        ipc;
+    std::size_t idx = 0;
+    for (const auto &k : kernels)
+        for (const auto &c : configs)
+            for (unsigned f : frames)
+                ipc[{k, c, f}] = rows[idx++].result.ipc();
 
     std::printf("Figure 6: IPC vs window size (frames x 128 insts)\n");
     std::vector<std::string> cols;
@@ -76,5 +83,5 @@ main(int argc, char **argv)
         }
         printRow(c, cells, 10);
     }
-    return 0;
+    return finishBench("bench_fig6_window_scaling", args, rows);
 }

@@ -19,8 +19,7 @@ using namespace edge::bench;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t iters = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                   : 2000;
+    BenchArgs args = benchArgs(argc, argv, 2000);
     const auto configs = sim::Configs::allNames();
 
     std::printf("Figure 7: violations / violation flushes / resends / "
@@ -43,8 +42,9 @@ main(int argc, char **argv)
     };
 
     // One run per (kernel, config); reuse across the metric tables.
-    std::vector<RunRow> rows =
-        runMatrix(wl::kernelNames(), configs, iters);
+    std::vector<RunRow> rows = runMatrix(wl::kernelNames(), configs,
+                                         args.iterations, nullptr,
+                                         args.threads);
 
     for (const Metric &m : metrics) {
         std::printf("[%s]\n", m.name);
@@ -64,5 +64,5 @@ main(int argc, char **argv)
         }
         std::printf("\n");
     }
-    return 0;
+    return finishBench("bench_fig7_violations", args, rows);
 }

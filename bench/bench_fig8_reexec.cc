@@ -20,8 +20,7 @@ using namespace edge::bench;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t iters = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                   : 2000;
+    BenchArgs args = benchArgs(argc, argv, 2000);
 
     std::printf("Figure 8: DSRE re-execution overhead (dsre config)\n\n");
     printHeader("benchmark",
@@ -29,15 +28,14 @@ main(int argc, char **argv)
                  "defer/1k", "waveP50", "waveP90", "waveMax"},
                 10);
 
-    for (const auto &k : wl::kernelNames()) {
-        wl::KernelParams kp;
-        kp.iterations = iters;
-        sim::Simulator s(wl::build(k, kp), sim::Configs::dsre());
-        sim::RunResult r = s.run();
-        fatal_if(!r.halted || !r.archMatch, "%s failed", k.c_str());
+    std::vector<RunRow> rows = runMatrix(wl::kernelNames(), {"dsre"},
+                                         args.iterations, nullptr,
+                                         args.threads);
 
-        const Histogram &wave =
-            s.stats().histogramRef("core.wave_depth");
+    std::size_t idx = 0;
+    for (const auto &k : wl::kernelNames()) {
+        const sim::RunResult &r = rows[idx++].result;
+        const Histogram &wave = r.histogram("core.wave_depth");
         double per_1k_insts =
             1000.0 / static_cast<double>(r.committedInsts);
         printRow(k,
@@ -54,5 +52,5 @@ main(int argc, char **argv)
                   fmtU(wave.maxValue())},
                  10);
     }
-    return 0;
+    return finishBench("bench_fig8_reexec", args, rows);
 }

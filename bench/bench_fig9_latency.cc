@@ -19,8 +19,7 @@ using namespace edge::bench;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t iters = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                   : 1500;
+    BenchArgs args = benchArgs(argc, argv, 1500);
     struct Point
     {
         unsigned l2;
@@ -34,8 +33,7 @@ main(int argc, char **argv)
     // One run per (kernel, mechanism, point); reused for the ratio.
     const std::vector<std::string> configs = {"storesets-flush",
                                               "dsre"};
-    std::map<std::tuple<std::string, std::string, unsigned>, double>
-        ipc;
+    std::vector<RunSpec> specs;
     for (const auto &k : kernels) {
         for (const auto &c : configs) {
             for (std::size_t pi = 0; pi < points.size(); ++pi) {
@@ -43,16 +41,24 @@ main(int argc, char **argv)
                 RunSpec spec;
                 spec.kernel = k;
                 spec.config = c;
-                spec.iterations = iters;
+                spec.iterations = args.iterations;
                 spec.tweak = [p](core::MachineConfig &cfg) {
                     cfg.mem.l2HitLatency = p.l2;
                     cfg.mem.dramLatency = p.dram;
                 };
-                ipc[{k, c, static_cast<unsigned>(pi)}] =
-                    runOne(spec).result.ipc();
+                specs.push_back(std::move(spec));
             }
         }
     }
+    std::vector<RunRow> rows = runSpecs(specs, args.threads);
+
+    std::map<std::tuple<std::string, std::string, unsigned>, double>
+        ipc;
+    std::size_t idx = 0;
+    for (const auto &k : kernels)
+        for (const auto &c : configs)
+            for (unsigned pi = 0; pi < points.size(); ++pi)
+                ipc[{k, c, pi}] = rows[idx++].result.ipc();
 
     std::printf("Figure 9: IPC vs memory latency (L2/DRAM cycles)\n");
     std::vector<std::string> cols;
@@ -80,5 +86,5 @@ main(int argc, char **argv)
         cells.push_back(fmtF(geomean(ratios)));
     }
     printRow("speedup", cells, 10);
-    return 0;
+    return finishBench("bench_fig9_latency", args, rows);
 }

@@ -13,8 +13,11 @@
 using namespace edge;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // No simulations here, but accept the common bench flags so the
+    // harness can pass a uniform command line to every binary.
+    (void)bench::benchArgs(argc, argv, 0);
     core::MachineConfig cfg = sim::Configs::dsre();
     const auto &c = cfg.core;
     const auto &m = cfg.mem;

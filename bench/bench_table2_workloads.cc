@@ -11,9 +11,12 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "predictor/oracle.hh"
 
 using namespace edge;
@@ -64,49 +67,77 @@ aliasPotential(const pred::OracleDb &db, unsigned span)
 int
 main(int argc, char **argv)
 {
-    std::uint64_t iters = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                   : 2000;
+    BenchArgs args = benchArgs(argc, argv, 2000);
     std::printf("Table 2: workload characterisation (%llu iterations; "
                 "alias span = 8 blocks)\n\n",
-                static_cast<unsigned long long>(iters));
+                static_cast<unsigned long long>(args.iterations));
     printHeader("benchmark",
                 {"dynBlocks", "dynInsts", "ins/blk", "mem/blk",
                  "alias%", "viol/1k", "exitAcc%"},
                 10);
 
-    for (const auto &info : wl::kernels()) {
-        wl::KernelParams kp;
-        kp.iterations = iters;
-        sim::Simulator s(wl::build(info.name, kp),
-                         sim::Configs::blindFlush());
-        sim::RunResult r = s.run();
-        fatal_if(!r.halted || !r.archMatch, "%s failed",
-                 info.name.c_str());
+    // Characterisation needs the live Simulator (oracle db, reference
+    // trace), so each kernel runs whole in a worker and hands back its
+    // formatted cells; rows print in kernel order afterwards.
+    struct Row
+    {
+        bool ok = false;
+        std::vector<std::string> cells;
+    };
+    const auto &kernels = wl::kernels();
+    ThreadPool pool(args.threads);
+    std::vector<Row> table = parallelIndex(
+        pool, kernels.size(), [&](std::size_t i) -> Row {
+            const auto &info = kernels[i];
+            wl::KernelParams kp;
+            kp.iterations = args.iterations;
+            sim::Simulator s(wl::build(info.name, kp),
+                             sim::Configs::blindFlush());
+            sim::RunResult r = s.run();
+            if (!r.halted || !r.archMatch)
+                return {};
 
-        double alias = aliasPotential(s.oracleDb(), 8);
-        std::uint64_t mem_ops = r.loads + r.stores;
-        double correct =
-            static_cast<double>(s.stats().counterValue("nbp.correct"));
-        double wrong =
-            static_cast<double>(s.stats().counterValue("nbp.wrong"));
-        double exit_acc = 100.0 * correct / (correct + wrong);
+            double alias = aliasPotential(s.oracleDb(), 8);
+            std::uint64_t mem_ops = r.loads + r.stores;
+            double correct = static_cast<double>(
+                s.stats().counterValue("nbp.correct"));
+            double wrong = static_cast<double>(
+                s.stats().counterValue("nbp.wrong"));
+            double exit_acc = 100.0 * correct / (correct + wrong);
 
-        printRow(info.name,
-                 {fmtU(s.refDynBlocks()), fmtU(s.refDynInsts()),
-                  fmtF(static_cast<double>(s.refDynInsts()) /
-                       static_cast<double>(s.refDynBlocks()), 1),
-                  fmtF(static_cast<double>(mem_ops) /
-                       static_cast<double>(r.committedBlocks), 1),
-                  fmtF(alias * 100.0, 1),
-                  fmtF(1000.0 * static_cast<double>(r.violations) /
-                       static_cast<double>(r.committedBlocks), 1),
-                  fmtF(exit_acc, 1)},
-                 10);
+            Row row;
+            row.ok = true;
+            row.cells = {
+                fmtU(s.refDynBlocks()), fmtU(s.refDynInsts()),
+                fmtF(static_cast<double>(s.refDynInsts()) /
+                     static_cast<double>(s.refDynBlocks()), 1),
+                fmtF(static_cast<double>(mem_ops) /
+                     static_cast<double>(r.committedBlocks), 1),
+                fmtF(alias * 100.0, 1),
+                fmtF(1000.0 * static_cast<double>(r.violations) /
+                     static_cast<double>(r.committedBlocks), 1),
+                fmtF(exit_acc, 1)};
+            return row;
+        });
+
+    bool any_failed = false;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        if (!table[i].ok) {
+            any_failed = true;
+            printRow(kernels[i].name, {"FAILED"}, 10);
+            continue;
+        }
+        printRow(kernels[i].name, table[i].cells, 10);
     }
     std::printf("\n(SPEC CPU2000 analogues: ");
     for (const auto &info : wl::kernels())
         std::printf("%s=%s ", info.name.c_str(),
                     info.specAnalog.c_str());
     std::printf(")\n");
+    if (any_failed) {
+        std::fprintf(stderr, "bench_table2_workloads: some kernels "
+                             "failed to run\n");
+        return 1;
+    }
     return 0;
 }

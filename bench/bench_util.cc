@@ -2,11 +2,70 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <tuple>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "common/thread_pool.hh"
+#include "sim/run_pool.hh"
 
 namespace edge::bench {
+
+std::string
+RunRow::failure() const
+{
+    if (ok())
+        return "";
+    std::string why;
+    if (!result.halted)
+        why += "did not finish; ";
+    else if (!result.archMatch)
+        why += "diverged from the reference; ";
+    if (!result.error.ok())
+        why += result.error.format();
+    return strfmt("%s/%s (seed %llu): %s", spec.kernel.c_str(),
+                  spec.config.c_str(),
+                  static_cast<unsigned long long>(spec.seed),
+                  why.c_str());
+}
+
+BenchArgs
+benchArgs(int argc, char **argv, std::uint64_t default_iters)
+{
+    BenchArgs args;
+    args.iterations = default_iters;
+    args.start = std::chrono::steady_clock::now();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "%s needs an argument", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "-j") {
+            args.threads =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            args.threads = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 2, nullptr, 10));
+        } else if (arg == "--json") {
+            args.jsonPath = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [iterations] [-j N] [--json path]\n",
+                        argv[0]);
+            std::exit(0);
+        } else if (!arg.empty() && arg[0] != '-') {
+            args.iterations = std::strtoull(arg.c_str(), nullptr, 10);
+        } else {
+            fatal("unknown bench argument '%s' "
+                  "(usage: [iterations] [-j N] [--json path])",
+                  arg.c_str());
+        }
+    }
+    return args;
+}
 
 RunRow
 runOne(const RunSpec &spec)
@@ -18,20 +77,56 @@ runOne(const RunSpec &spec)
     if (spec.tweak)
         spec.tweak(cfg);
     sim::Simulator s(wl::build(spec.kernel, kp), cfg);
-    sim::RunResult r = s.run();
-    fatal_if(!r.halted, "%s/%s did not finish", spec.kernel.c_str(),
-             spec.config.c_str());
-    fatal_if(!r.archMatch, "%s/%s diverged from the reference",
-             spec.kernel.c_str(), spec.config.c_str());
-    return {spec, r};
+    return {spec, s.run(spec.maxCycles)};
+}
+
+std::vector<RunRow>
+runSpecs(const std::vector<RunSpec> &specs, unsigned threads)
+{
+    // One program per distinct (kernel, iterations, seed); every cell
+    // of that kernel shares its reference execution via the RunPool.
+    using ProgKey = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+    std::map<ProgKey, std::unique_ptr<isa::Program>> programs;
+
+    std::vector<sim::RunJob> jobs;
+    jobs.reserve(specs.size());
+    for (const RunSpec &spec : specs) {
+        ProgKey key{spec.kernel, spec.iterations, spec.seed};
+        auto &prog = programs[key];
+        if (!prog) {
+            wl::KernelParams kp;
+            kp.iterations = spec.iterations;
+            kp.seed = spec.seed;
+            prog = std::make_unique<isa::Program>(
+                wl::build(spec.kernel, kp));
+        }
+        sim::RunJob job;
+        job.program = prog.get();
+        job.config = sim::Configs::byName(spec.config);
+        if (spec.tweak)
+            spec.tweak(job.config);
+        job.maxCycles = spec.maxCycles;
+        jobs.push_back(std::move(job));
+    }
+
+    sim::RunPool pool(threads);
+    std::vector<sim::RunResult> results = pool.runAll(jobs);
+
+    std::vector<RunRow> rows;
+    rows.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        rows.push_back({specs[i], std::move(results[i])});
+    return rows;
 }
 
 std::vector<RunRow>
 runMatrix(const std::vector<std::string> &kernels,
           const std::vector<std::string> &configs,
-          std::uint64_t iterations, const ConfigTweak &tweak)
+          std::uint64_t iterations, const ConfigTweak &tweak,
+          unsigned threads)
 {
-    std::vector<RunRow> rows;
+    std::vector<RunSpec> specs;
+    specs.reserve(kernels.size() * configs.size());
     for (const auto &k : kernels) {
         for (const auto &c : configs) {
             RunSpec spec;
@@ -39,10 +134,113 @@ runMatrix(const std::vector<std::string> &kernels,
             spec.config = c;
             spec.iterations = iterations;
             spec.tweak = tweak;
-            rows.push_back(runOne(spec));
+            specs.push_back(std::move(spec));
         }
     }
-    return rows;
+    return runSpecs(specs, threads);
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+writeJson(const std::string &path, const std::string &bench_name,
+          const BenchArgs &args, const std::vector<RunRow> &rows,
+          double wall_seconds)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write JSON to %s", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"iterations\": %llu,\n"
+                 "  \"threads\": %u,\n"
+                 "  \"wall_seconds\": %.3f,\n"
+                 "  \"cells\": [\n",
+                 jsonEscape(bench_name).c_str(),
+                 static_cast<unsigned long long>(args.iterations),
+                 args.threads == 0 ? ThreadPool::defaultThreads()
+                                   : args.threads,
+                 wall_seconds);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const RunRow &row = rows[i];
+        const sim::RunResult &r = row.result;
+        std::fprintf(
+            f,
+            "    {\"kernel\": \"%s\", \"config\": \"%s\", "
+            "\"seed\": %llu, \"cycles\": %llu, \"insts\": %llu, "
+            "\"blocks\": %llu, \"ipc\": %.4f, \"ok\": %s, "
+            "\"violations\": %llu, \"resends\": %llu, "
+            "\"reexecs\": %llu, \"upgrades\": %llu, "
+            "\"flushes\": %llu, \"error\": \"%s\"}%s\n",
+            jsonEscape(row.spec.kernel).c_str(),
+            jsonEscape(row.spec.config).c_str(),
+            static_cast<unsigned long long>(row.spec.seed),
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.committedInsts),
+            static_cast<unsigned long long>(r.committedBlocks),
+            r.ipc(), row.ok() ? "true" : "false",
+            static_cast<unsigned long long>(r.violations),
+            static_cast<unsigned long long>(r.resends),
+            static_cast<unsigned long long>(r.reexecs),
+            static_cast<unsigned long long>(r.upgrades),
+            static_cast<unsigned long long>(r.ctrlFlushes +
+                                            r.violFlushes),
+            jsonEscape(r.error.ok() ? "" : r.error.format()).c_str(),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+finishBench(const std::string &bench_name, const BenchArgs &args,
+            const std::vector<RunRow> &rows)
+{
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      args.start)
+            .count();
+    std::size_t failed = 0;
+    for (const RunRow &row : rows) {
+        if (row.ok())
+            continue;
+        if (failed == 0)
+            std::fprintf(stderr, "\nFAILED cells:\n");
+        ++failed;
+        std::fprintf(stderr, "  %s\n", row.failure().c_str());
+    }
+    if (!args.jsonPath.empty())
+        writeJson(args.jsonPath, bench_name, args, rows, wall);
+    if (failed)
+        std::fprintf(stderr, "%zu/%zu cells failed\n", failed,
+                     rows.size());
+    return failed ? 1 : 0;
 }
 
 double

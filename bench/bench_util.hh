@@ -5,11 +5,21 @@
  * tables and figures report, and print aligned tables. Each bench
  * binary regenerates one table or figure (see DESIGN.md's
  * per-experiment index).
+ *
+ * Grids (runSpecs / runMatrix) execute on a sim::RunPool: every cell
+ * is an independent deterministic run, the per-kernel reference
+ * execution is computed once and shared read-only, and results come
+ * back in submission order — so `-j N` changes wall-clock only,
+ * never a single printed digit. Failing cells (timeout, divergence,
+ * structured SimError) no longer kill the binary: they are reported
+ * at the end by finishBench(), which also emits the optional
+ * `--json` metrics file and the exit status.
  */
 
 #ifndef EDGE_BENCH_BENCH_UTIL_HH
 #define EDGE_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -29,22 +39,71 @@ struct RunSpec
     std::uint64_t iterations = 2000;
     std::uint64_t seed = 1;
     ConfigTweak tweak; ///< optional
+    Cycle maxCycles = 500'000'000; ///< watchdog per cell
 };
 
 struct RunRow
 {
     RunSpec spec;
     sim::RunResult result;
+
+    /** Did the cell finish and match the reference cleanly? */
+    bool
+    ok() const
+    {
+        return result.halted && result.archMatch && result.error.ok();
+    }
+
+    /** One-line description of a failing cell ("" when ok()). */
+    std::string failure() const;
 };
 
-/** Run one spec (fatal on timeout or architectural divergence). */
+/**
+ * Command-line contract shared by every bench binary:
+ *   bench_xxx [iterations] [-j N] [--json <path>]
+ * A bare number is the iteration count; `-j 0` (the default) means
+ * all hardware threads.
+ */
+struct BenchArgs
+{
+    std::uint64_t iterations = 2000;
+    unsigned threads = 0;     ///< -j; 0 = hardware_concurrency
+    std::string jsonPath;     ///< --json; empty = no JSON output
+    std::chrono::steady_clock::time_point start; ///< harness start
+};
+
+/** Parse argv (fatal on unknown flags); starts the wall clock. */
+BenchArgs benchArgs(int argc, char **argv,
+                    std::uint64_t default_iters = 2000);
+
+/**
+ * Run one spec serially. Never fatal: a timeout, divergence, or
+ * structured error comes back in the row (check ok()).
+ */
 RunRow runOne(const RunSpec &spec);
 
-/** Run the cross product of kernels x configs. */
+/**
+ * Run an arbitrary list of specs on the thread pool; row i
+ * corresponds to specs[i]. Specs naming the same
+ * (kernel, iterations, seed) share one reference execution.
+ */
+std::vector<RunRow> runSpecs(const std::vector<RunSpec> &specs,
+                             unsigned threads = 0);
+
+/** Run the cross product of kernels x configs (kernel-major). */
 std::vector<RunRow> runMatrix(const std::vector<std::string> &kernels,
                               const std::vector<std::string> &configs,
                               std::uint64_t iterations,
-                              const ConfigTweak &tweak = nullptr);
+                              const ConfigTweak &tweak = nullptr,
+                              unsigned threads = 0);
+
+/**
+ * End-of-bench bookkeeping: print every failing cell, write the
+ * `--json` metrics file (per-cell metrics + harness wall-clock) when
+ * requested, and return the process exit code (0 iff no failures).
+ */
+int finishBench(const std::string &bench_name, const BenchArgs &args,
+                const std::vector<RunRow> &rows);
 
 /** Geometric mean (values must be positive). */
 double geomean(const std::vector<double> &values);

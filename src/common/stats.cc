@@ -144,6 +144,16 @@ StatSet::counterNames() const
     return names;
 }
 
+std::vector<std::string>
+StatSet::histogramNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_histograms.size());
+    for (const auto &kv : _histograms)
+        names.push_back(kv.first);
+    return names;
+}
+
 std::string
 StatSet::dump() const
 {

@@ -97,6 +97,9 @@ class StatSet
     /** Names of all counters, sorted. */
     std::vector<std::string> counterNames() const;
 
+    /** Names of all histograms, sorted. */
+    std::vector<std::string> histogramNames() const;
+
     /** Multi-line human-readable dump of every statistic. */
     std::string dump() const;
 

@@ -1,0 +1,88 @@
+#include "common/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace edge {
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
+    : _numThreads(threads == 0 ? defaultThreads() : threads),
+      _capacity(queue_capacity == 0 ? 1 : queue_capacity)
+{
+    _workers.reserve(_numThreads);
+    for (unsigned i = 0; i < _numThreads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _notEmpty.notify_all();
+    for (std::thread &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    panic_if(!job, "ThreadPool::submit: empty job");
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        panic_if(_stop, "ThreadPool::submit after shutdown");
+        _notFull.wait(lock,
+                      [this] { return _queue.size() < _capacity; });
+        _queue.push_back(std::move(job));
+    }
+    _notEmpty.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idle.wait(lock,
+               [this] { return _queue.empty() && _active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _notEmpty.wait(
+                lock, [this] { return _stop || !_queue.empty(); });
+            if (_queue.empty())
+                return; // _stop and nothing left to run
+            job = std::move(_queue.front());
+            _queue.pop_front();
+            ++_active;
+        }
+        _notFull.notify_one();
+        try {
+            job();
+        } catch (...) {
+            // Jobs that must report failures capture their own
+            // exceptions (parallelIndex does); a stray throw here
+            // must not take the process down.
+        }
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            --_active;
+            if (_queue.empty() && _active == 0)
+                _idle.notify_all();
+        }
+    }
+}
+
+} // namespace edge

@@ -16,16 +16,27 @@ SparseMemory::findPage(Addr addr) const
 SparseMemory::Page &
 SparseMemory::touchPage(Addr addr)
 {
-    Page &p = _pages[addr >> kPageShift];
+    Addr tag = addr >> kPageShift;
+    Page &p = _pages[tag];
     if (p.empty())
         p.assign(kPageBytes, 0);
+    _lastTag = tag;
+    _lastPage = &p;
     return p;
 }
 
 Word
-SparseMemory::read(Addr addr, unsigned bytes) const
+SparseMemory::readSlow(Addr addr, unsigned bytes) const
 {
     panic_if(bytes == 0 || bytes > 8, "bad access size %u", bytes);
+    // Warm the one-entry cache when the leading page exists, so the
+    // next access to it (the common case) takes the inline fast path.
+    Addr tag = addr >> kPageShift;
+    auto it = _pages.find(tag);
+    if (it != _pages.end()) {
+        _lastTag = tag;
+        _lastPage = const_cast<Page *>(&it->second);
+    }
     Word value = 0;
     for (unsigned i = 0; i < bytes; ++i) {
         Addr a = addr + i;
@@ -37,7 +48,7 @@ SparseMemory::read(Addr addr, unsigned bytes) const
 }
 
 void
-SparseMemory::write(Addr addr, unsigned bytes, Word value)
+SparseMemory::writeSlow(Addr addr, unsigned bytes, Word value)
 {
     panic_if(bytes == 0 || bytes > 8, "bad access size %u", bytes);
     for (unsigned i = 0; i < bytes; ++i) {

@@ -9,23 +9,108 @@
 #ifndef EDGE_MEM_SPARSE_MEMORY_HH
 #define EDGE_MEM_SPARSE_MEMORY_HH
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace edge::mem {
 
-/** Flat 64-bit byte-addressable memory, allocated in 4 KiB pages. */
+/**
+ * Flat 64-bit byte-addressable memory, allocated in 4 KiB pages.
+ *
+ * Hot-path design: accesses overwhelmingly hit the page touched by
+ * the previous access, so a one-entry last-page cache short-circuits
+ * the hash lookup, and aligned 8-byte accesses (the dominant size)
+ * take a memcpy fast path. The cache makes even read() logically-
+ * const-but-mutating; a SparseMemory therefore belongs to exactly
+ * one run (Processor or RefExecutor) and must not be accessed
+ * concurrently — cross-thread use is limited to equals(), which
+ * touches neither the cache nor the pages' contents.
+ */
 class SparseMemory
 {
   public:
+    SparseMemory() = default;
+
+    // The last-page cache points into _pages, so it must never be
+    // carried over to a copy (it would alias the source) and must be
+    // dropped from a moved-from object.
+    SparseMemory(const SparseMemory &o) : _pages(o._pages) {}
+    SparseMemory &
+    operator=(const SparseMemory &o)
+    {
+        _pages = o._pages;
+        _lastTag = kNoTag;
+        _lastPage = nullptr;
+        return *this;
+    }
+    SparseMemory(SparseMemory &&o) noexcept
+        : _pages(std::move(o._pages)),
+          _lastTag(o._lastTag),
+          _lastPage(o._lastPage)
+    {
+        o._lastTag = kNoTag;
+        o._lastPage = nullptr;
+    }
+    SparseMemory &
+    operator=(SparseMemory &&o) noexcept
+    {
+        _pages = std::move(o._pages);
+        _lastTag = o._lastTag;
+        _lastPage = o._lastPage;
+        o._lastTag = kNoTag;
+        o._lastPage = nullptr;
+        return *this;
+    }
+
     /** Read `bytes` (1..8) starting at addr, little-endian, 0-fill. */
-    Word read(Addr addr, unsigned bytes) const;
+    Word
+    read(Addr addr, unsigned bytes) const
+    {
+        const Addr off = addr & (kPageBytes - 1);
+        if ((addr >> kPageShift) == _lastTag && bytes - 1 < 8 &&
+            off + bytes <= kPageBytes) {
+            const std::uint8_t *p = _lastPage->data() + off;
+            if constexpr (std::endian::native == std::endian::little) {
+                if (bytes == 8 && (off & 7) == 0) {
+                    Word v;
+                    std::memcpy(&v, p, 8);
+                    return v;
+                }
+            }
+            Word v = 0;
+            for (unsigned i = 0; i < bytes; ++i)
+                v |= static_cast<Word>(p[i]) << (8 * i);
+            return v;
+        }
+        return readSlow(addr, bytes);
+    }
 
     /** Write the low `bytes` (1..8) of value at addr, little-endian. */
-    void write(Addr addr, unsigned bytes, Word value);
+    void
+    write(Addr addr, unsigned bytes, Word value)
+    {
+        const Addr off = addr & (kPageBytes - 1);
+        if ((addr >> kPageShift) == _lastTag && bytes - 1 < 8 &&
+            off + bytes <= kPageBytes) {
+            std::uint8_t *p = _lastPage->data() + off;
+            if constexpr (std::endian::native == std::endian::little) {
+                if (bytes == 8 && (off & 7) == 0) {
+                    std::memcpy(p, &value, 8);
+                    return;
+                }
+            }
+            for (unsigned i = 0; i < bytes; ++i)
+                p[i] = static_cast<std::uint8_t>(value >> (8 * i));
+            return;
+        }
+        writeSlow(addr, bytes, value);
+    }
 
     /** Bulk initialisation helper. */
     void writeBytes(Addr addr, const std::uint8_t *data, std::size_t n);
@@ -49,7 +134,19 @@ class SparseMemory
     const Page *findPage(Addr addr) const;
     Page &touchPage(Addr addr);
 
+    Word readSlow(Addr addr, unsigned bytes) const;
+    void writeSlow(Addr addr, unsigned bytes, Word value);
+
     std::unordered_map<Addr, Page> _pages;
+
+    // One-entry last-page cache (page tag -> page). Only existing
+    // pages are cached, so creating a page elsewhere never leaves a
+    // stale negative entry; unordered_map references are stable, so
+    // the pointer survives rehashing. See the class comment for the
+    // resulting thread-safety contract.
+    static constexpr Addr kNoTag = ~Addr{0};
+    mutable Addr _lastTag = kNoTag;
+    mutable Page *_lastPage = nullptr;
 };
 
 } // namespace edge::mem

@@ -16,7 +16,6 @@
 #define EDGE_NET_MESH_HH
 
 #include <algorithm>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -49,11 +48,16 @@ class Mesh
           _linkFree(numLinks(_p.geom), 0),
           _sent(stats.counter(_p.statPrefix + ".messages",
                               "messages sent")),
+          _delivered(stats.counter(_p.statPrefix + ".delivered",
+                                   "messages delivered")),
           _hops(stats.counter(_p.statPrefix + ".hops",
                               "total link traversals")),
           _queued(stats.counter(_p.statPrefix + ".queue_cycles",
                                 "cycles spent waiting for links"))
     {
+        // Longest X-Y route in the mesh; sized once so per-message
+        // routing never allocates.
+        _route.reserve(_p.geom.rows + _p.geom.cols);
     }
 
     /**
@@ -66,7 +70,8 @@ class Mesh
         ++_sent;
         Cycle t = now;
         if (!(src == dst)) {
-            for (LinkId link : routeXY(_p.geom, src, dst)) {
+            routeXY(_p.geom, src, dst, _route);
+            for (LinkId link : _route) {
                 Cycle start = std::max(t, _linkFree[link]);
                 _queued += start - t;
                 _linkFree[link] = start + 1;
@@ -81,11 +86,11 @@ class Mesh
             // stale wave — duplicate delivery is idempotent.
             t += _p.chaos->hopJitter();
             if (_p.chaos->duplicate()) {
-                _inFlight.push(Event{t + _p.chaos->duplicateSkew(),
-                                     _nextSeq++, dst, payload});
+                pushEvent(Event{t + _p.chaos->duplicateSkew(),
+                                _nextSeq++, dst, payload});
             }
         }
-        _inFlight.push(Event{t, _nextSeq++, dst, std::move(payload)});
+        pushEvent(Event{t, _nextSeq++, dst, std::move(payload)});
         return t;
     }
 
@@ -98,9 +103,16 @@ class Mesh
     void
     deliver(Cycle now, Fn &&fn)
     {
-        while (!_inFlight.empty() && _inFlight.top().arrival <= now) {
-            Event ev = _inFlight.top();
-            _inFlight.pop();
+        // _inFlight is an explicit min-heap (not a priority_queue)
+        // so the due event can be MOVED out: pop_heap shifts it to
+        // the back, where it is ours to take — the payload is never
+        // copied on delivery.
+        while (!_inFlight.empty() && _inFlight.front().arrival <= now) {
+            std::pop_heap(_inFlight.begin(), _inFlight.end(),
+                          laterThan);
+            Event ev = std::move(_inFlight.back());
+            _inFlight.pop_back();
+            ++_delivered;
             fn(ev.dst, std::move(ev.payload));
         }
     }
@@ -112,7 +124,7 @@ class Mesh
     void
     reset()
     {
-        _inFlight = {};
+        _inFlight.clear();
         std::fill(_linkFree.begin(), _linkFree.end(), 0);
     }
 
@@ -125,22 +137,31 @@ class Mesh
         std::uint64_t seq; ///< tie-break for deterministic delivery
         Coord dst;
         Payload payload;
-
-        bool
-        operator>(const Event &o) const
-        {
-            return arrival != o.arrival ? arrival > o.arrival
-                                        : seq > o.seq;
-        }
     };
+
+    /** Heap predicate: a sorts after b (min-heap on arrival, seq). */
+    static bool
+    laterThan(const Event &a, const Event &b)
+    {
+        return a.arrival != b.arrival ? a.arrival > b.arrival
+                                      : a.seq > b.seq;
+    }
+
+    void
+    pushEvent(Event &&ev)
+    {
+        _inFlight.push_back(std::move(ev));
+        std::push_heap(_inFlight.begin(), _inFlight.end(), laterThan);
+    }
 
     MeshParams _p;
     std::vector<Cycle> _linkFree;
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        _inFlight;
+    std::vector<Event> _inFlight; ///< min-heap, see deliver()
+    std::vector<LinkId> _route;   ///< scratch reused by every send
     std::uint64_t _nextSeq = 0;
 
     Counter &_sent;
+    Counter &_delivered;
     Counter &_hops;
     Counter &_queued;
 };

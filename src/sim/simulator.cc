@@ -172,7 +172,24 @@ Simulator::run(const core::MachineConfig &config, Cycle max_cycles)
 {
     ensureReference();
     _stats = std::make_unique<StatSet>(_prog.name());
+    return runWith(config, max_cycles, *_stats);
+}
 
+RunResult
+Simulator::runShared(const core::MachineConfig &config,
+                     Cycle max_cycles) const
+{
+    panic_if(!_refDone,
+             "Simulator::runShared before prepare(): the reference "
+             "execution must exist before concurrent runs");
+    StatSet stats(_prog.name());
+    return runWith(config, max_cycles, stats);
+}
+
+RunResult
+Simulator::runWith(const core::MachineConfig &config, Cycle max_cycles,
+                   StatSet &stats) const
+{
     core::MachineConfig cfg = config;
     // One run-level seed drives everything: an unset chaos seed
     // derives from the run seed, so `--seed` alone replays a chaotic
@@ -180,7 +197,7 @@ Simulator::run(const core::MachineConfig &config, Cycle max_cycles)
     if (cfg.chaos.enabled() && cfg.chaos.seed == 0)
         cfg.chaos.seed = cfg.rngSeed;
 
-    core::Processor proc(cfg, _prog, _oracleDb.get(), *_stats);
+    core::Processor proc(cfg, _prog, _oracleDb.get(), stats);
     core::Processor::Result r = proc.run(max_cycles);
 
     RunResult out;
@@ -197,19 +214,23 @@ Simulator::run(const core::MachineConfig &config, Cycle max_cycles)
     if (proc.checker())
         out.invariantChecks = proc.checker()->checksRun();
 
-    out.violations = _stats->counterValue("lsq.violations");
-    out.resends = _stats->counterValue("lsq.resends");
-    out.reexecs = _stats->counterValue("core.alu_reexecs");
-    out.upgrades = _stats->counterValue("core.upgrades");
-    out.ctrlFlushes = _stats->counterValue("core.ctrl_flushes");
-    out.violFlushes = _stats->counterValue("core.viol_flushes");
-    out.aluIssues = _stats->counterValue("core.alu_issues");
-    out.loads = _stats->counterValue("lsq.loads");
-    out.stores = _stats->counterValue("lsq.stores");
-    out.forwards = _stats->counterValue("lsq.forwards");
-    out.policyHolds = _stats->counterValue("lsq.policy_holds");
-    out.deferrals = _stats->counterValue("lsq.deferrals");
-    out.squashes = _stats->counterValue("core.squashes");
+    out.violations = stats.counterValue("lsq.violations");
+    out.resends = stats.counterValue("lsq.resends");
+    out.reexecs = stats.counterValue("core.alu_reexecs");
+    out.upgrades = stats.counterValue("core.upgrades");
+    out.ctrlFlushes = stats.counterValue("core.ctrl_flushes");
+    out.violFlushes = stats.counterValue("core.viol_flushes");
+    out.aluIssues = stats.counterValue("core.alu_issues");
+    out.loads = stats.counterValue("lsq.loads");
+    out.stores = stats.counterValue("lsq.stores");
+    out.forwards = stats.counterValue("lsq.forwards");
+    out.policyHolds = stats.counterValue("lsq.policy_holds");
+    out.deferrals = stats.counterValue("lsq.deferrals");
+    out.squashes = stats.counterValue("core.squashes");
+    for (const std::string &name : stats.counterNames())
+        out.counters.emplace_back(name, stats.counterValue(name));
+    for (const std::string &name : stats.histogramNames())
+        out.histograms.emplace_back(name, stats.histogramRef(name));
 
     // Golden-model verification: committed register and memory state
     // must match the functional reference exactly.

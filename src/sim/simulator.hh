@@ -20,6 +20,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "core/processor.hh"
 
@@ -44,6 +45,38 @@ struct RunResult
     chaos::InjectionCounts injections;
     /** Individual invariant checks evaluated (0 when off). */
     std::uint64_t invariantChecks = 0;
+
+    /**
+     * Snapshot of every counter of the run's StatSet, sorted by
+     * name. Lets parallel runs (sim::RunPool), whose per-run StatSet
+     * dies with the job, still report arbitrary counters — and lets
+     * tests compare two runs bit for bit.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    /** Value of a snapshotted counter; 0 when absent. */
+    std::uint64_t
+    counter(const std::string &name) const
+    {
+        for (const auto &kv : counters)
+            if (kv.first == name)
+                return kv.second;
+        return 0;
+    }
+
+    /** Histogram snapshots (sorted by name), same rationale. */
+    std::vector<std::pair<std::string, Histogram>> histograms;
+
+    /** Snapshotted histogram; an empty one when absent. */
+    const Histogram &
+    histogram(const std::string &name) const
+    {
+        static const Histogram kEmpty;
+        for (const auto &kv : histograms)
+            if (kv.first == name)
+                return kv.second;
+        return kEmpty;
+    }
 
     std::uint64_t violations = 0;
     std::uint64_t resends = 0;
@@ -133,6 +166,26 @@ class Simulator
     RunResult run(const core::MachineConfig &config,
                   Cycle max_cycles = 500'000'000);
 
+    /**
+     * Force the reference execution (and oracle database) now.
+     * After prepare() returns, this Simulator is safe to share
+     * read-only across threads via runShared(): the reference state
+     * is immutable for the rest of the object's lifetime.
+     */
+    void prepare() { ensureReference(); }
+
+    /**
+     * Thread-safe run: requires prepare() to have been called. The
+     * job owns its own Processor and StatSet, touches no Simulator
+     * member except the immutable program/reference/oracle state,
+     * and is bit-identical to run() for the same config — results
+     * depend only on the config's seeds, never on the thread
+     * schedule. The run's counters are snapshotted into
+     * RunResult::counters (stats() is NOT updated).
+     */
+    RunResult runShared(const core::MachineConfig &config,
+                        Cycle max_cycles = 500'000'000) const;
+
     /** Reference (functional) dynamic instruction count. */
     std::uint64_t refDynInsts();
 
@@ -149,6 +202,8 @@ class Simulator
 
   private:
     void ensureReference();
+    RunResult runWith(const core::MachineConfig &config,
+                      Cycle max_cycles, StatSet &stats) const;
 
     isa::Program _prog;
     core::MachineConfig _cfg;

@@ -1,6 +1,7 @@
 #include "sim/sweep.hh"
 
 #include "common/strutil.hh"
+#include "sim/run_pool.hh"
 
 namespace edge::sim {
 
@@ -28,23 +29,39 @@ ChaosSweepReport::summary() const
 ChaosSweepReport
 chaosSweep(const isa::Program &program, const ChaosSweepParams &params)
 {
-    ChaosSweepReport report;
+    // Build the whole grid up front (config-major, seed-minor — the
+    // historical serial order), then run it on the pool. All cells
+    // share one read-only reference execution of `program`; results
+    // come back in submission order, so the report is bit-identical
+    // at any thread count.
+    std::vector<RunJob> jobs;
+    jobs.reserve(params.configs.size() * params.seeds.size());
     for (const std::string &name : params.configs) {
         core::MachineConfig base = Configs::byName(name);
-        // One Simulator per config so the reference execution (and
-        // oracle database) is shared across every seed.
-        Simulator simulator(program, base);
         for (std::uint64_t seed : params.seeds) {
-            core::MachineConfig cfg = base;
-            cfg.rngSeed = seed;
-            cfg.chaos = chaos::ChaosParams::byProfile(params.profile,
-                                                      seed);
-            cfg.checkInvariants = params.checkInvariants;
+            RunJob job;
+            job.program = &program;
+            job.config = base;
+            job.config.rngSeed = seed;
+            job.config.chaos =
+                chaos::ChaosParams::byProfile(params.profile, seed);
+            job.config.checkInvariants = params.checkInvariants;
+            job.maxCycles = params.maxCycles;
+            jobs.push_back(std::move(job));
+        }
+    }
 
+    RunPool pool(params.threads);
+    std::vector<RunResult> results = pool.runAll(jobs);
+
+    ChaosSweepReport report;
+    std::size_t idx = 0;
+    for (const std::string &name : params.configs) {
+        for (std::uint64_t seed : params.seeds) {
             ChaosSweepOutcome o;
             o.seed = seed;
             o.config = name;
-            o.result = simulator.run(cfg, params.maxCycles);
+            o.result = std::move(results[idx++]);
             report.totalInjections += o.result.injections.total();
             report.totalChecks += o.result.invariantChecks;
             if (!o.converged())

@@ -27,6 +27,12 @@ struct ChaosSweepParams
     chaos::Profile profile = chaos::Profile::Light;
     bool checkInvariants = true;
     Cycle maxCycles = 500'000'000;
+    /**
+     * Worker threads for the grid (0 = all hardware threads). Cells
+     * are independent deterministic runs, so any thread count
+     * produces bit-identical results — see sim::RunPool.
+     */
+    unsigned threads = 0;
 };
 
 /** One (seed, config) cell of the sweep grid. */

@@ -40,7 +40,11 @@ usage()
         "               [--iterations N] [--seed N] [--stats]\n"
         "               [--chaos-profile <name>] [--chaos-seed N]\n"
         "               [--check-invariants] [--chaos-sweep N]\n"
-        "               [--set key=value ...]\n"
+        "               [-j N] [--set key=value ...]\n"
+        "\n"
+        "  -j N   run chaos-sweep grids on N worker threads\n"
+        "         (default: hardware concurrency; results are\n"
+        "         bit-identical to -j 1)\n"
         "\n"
         "configs: ");
     for (const auto &c : sim::Configs::allNames())
@@ -92,6 +96,7 @@ main(int argc, char **argv)
     chaos::Profile chaos_profile = chaos::Profile::None;
     bool check_invariants = false;
     std::uint64_t sweep_seeds = 0;
+    unsigned threads = 0;
     std::vector<std::pair<std::string, std::uint64_t>> overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -129,6 +134,12 @@ main(int argc, char **argv)
             check_invariants = true;
         } else if (arg == "--chaos-sweep") {
             sweep_seeds = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "-j") {
+            threads = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg.size() > 2 && arg.compare(0, 2, "-j") == 0) {
+            threads = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 2, nullptr, 10));
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--set") {
@@ -167,6 +178,7 @@ main(int argc, char **argv)
         sp.profile = chaos_profile == chaos::Profile::None
                          ? chaos::Profile::Light
                          : chaos_profile;
+        sp.threads = threads;
         isa::Program prog = wl::build(kernel, kp);
         sim::ChaosSweepReport rep = sim::chaosSweep(prog, sp);
         std::printf("%s / %s chaos sweep (%s):\n%s", kernel.c_str(),
