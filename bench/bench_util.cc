@@ -11,6 +11,7 @@
 #include "common/strutil.hh"
 #include "common/thread_pool.hh"
 #include "sim/run_pool.hh"
+#include "triage/repro.hh"
 
 namespace edge::bench {
 
@@ -38,6 +39,8 @@ benchArgs(int argc, char **argv, std::uint64_t default_iters)
     BenchArgs args;
     args.iterations = default_iters;
     args.start = std::chrono::steady_clock::now();
+    if (const char *dir = std::getenv("EDGE_REPRO_DIR"))
+        args.reproDir = dir;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -52,15 +55,19 @@ benchArgs(int argc, char **argv, std::uint64_t default_iters)
                 std::strtoul(arg.c_str() + 2, nullptr, 10));
         } else if (arg == "--json") {
             args.jsonPath = next();
+        } else if (arg == "--repro-dir") {
+            args.reproDir = next();
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [iterations] [-j N] [--json path]\n",
+            std::printf("usage: %s [iterations] [-j N] [--json path] "
+                        "[--repro-dir dir]\n",
                         argv[0]);
             std::exit(0);
         } else if (!arg.empty() && arg[0] != '-') {
             args.iterations = std::strtoull(arg.c_str(), nullptr, 10);
         } else {
             fatal("unknown bench argument '%s' "
-                  "(usage: [iterations] [-j N] [--json path])",
+                  "(usage: [iterations] [-j N] [--json path] "
+                  "[--repro-dir dir])",
                   arg.c_str());
         }
     }
@@ -195,7 +202,8 @@ writeJson(const std::string &path, const std::string &bench_name,
             "\"blocks\": %llu, \"ipc\": %.4f, \"ok\": %s, "
             "\"violations\": %llu, \"resends\": %llu, "
             "\"reexecs\": %llu, \"upgrades\": %llu, "
-            "\"flushes\": %llu, \"error\": \"%s\"}%s\n",
+            "\"flushes\": %llu, \"error\": \"%s\", "
+            "\"retries\": %u, \"repro\": \"%s\"}%s\n",
             jsonEscape(row.spec.kernel).c_str(),
             jsonEscape(row.spec.config).c_str(),
             static_cast<unsigned long long>(row.spec.seed),
@@ -210,9 +218,20 @@ writeJson(const std::string &path, const std::string &bench_name,
             static_cast<unsigned long long>(r.ctrlFlushes +
                                             r.violFlushes),
             jsonEscape(r.error.ok() ? "" : r.error.format()).c_str(),
+            r.retries, jsonEscape(row.reproPath).c_str(),
             i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::size_t quarantined = 0, fatal_cells = 0;
+    for (const RunRow &row : rows) {
+        quarantined += row.quarantined() ? 1 : 0;
+        fatal_cells += row.fatalTransient() ? 1 : 0;
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"quarantined\": %zu,\n"
+                 "  \"fatal\": %zu\n"
+                 "}\n",
+                 quarantined, fatal_cells);
     std::fclose(f);
 }
 
@@ -220,27 +239,55 @@ writeJson(const std::string &path, const std::string &bench_name,
 
 int
 finishBench(const std::string &bench_name, const BenchArgs &args,
-            const std::vector<RunRow> &rows)
+            std::vector<RunRow> &rows)
 {
     double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       args.start)
             .count();
-    std::size_t failed = 0;
+    // Capture repros first so the failure report can point at them.
+    if (!args.reproDir.empty()) {
+        for (RunRow &row : rows) {
+            if (row.ok())
+                continue;
+            core::MachineConfig cfg =
+                sim::Configs::byName(row.spec.config);
+            if (row.spec.tweak)
+                row.spec.tweak(cfg);
+            triage::ProgramRef ref{
+                row.spec.kernel,
+                {row.spec.iterations, row.spec.seed}};
+            triage::ReproSpec spec = triage::captureFromResult(
+                ref, cfg, row.spec.maxCycles, row.result);
+            row.reproPath = triage::captureToFile(spec, args.reproDir);
+        }
+    }
+    std::size_t quarantined = 0, fatal_cells = 0;
     for (const RunRow &row : rows) {
         if (row.ok())
             continue;
-        if (failed == 0)
+        if (quarantined + fatal_cells == 0)
             std::fprintf(stderr, "\nFAILED cells:\n");
-        ++failed;
+        quarantined += row.quarantined() ? 1 : 0;
+        fatal_cells += row.fatalTransient() ? 1 : 0;
         std::fprintf(stderr, "  %s\n", row.failure().c_str());
+        if (row.result.retries != 0)
+            std::fprintf(stderr, "    retries=%u\n",
+                         row.result.retries);
+        if (!row.reproPath.empty())
+            std::fprintf(stderr,
+                         "    to reproduce: edgesim --replay %s\n",
+                         row.reproPath.c_str());
     }
     if (!args.jsonPath.empty())
         writeJson(args.jsonPath, bench_name, args, rows, wall);
-    if (failed)
-        std::fprintf(stderr, "%zu/%zu cells failed\n", failed,
-                     rows.size());
-    return failed ? 1 : 0;
+    if (quarantined + fatal_cells)
+        std::fprintf(stderr,
+                     "%zu/%zu cells failed (%zu quarantined "
+                     "deterministic, %zu fatal after retries)\n",
+                     quarantined + fatal_cells, rows.size(),
+                     quarantined, fatal_cells);
+    return quarantined + fatal_cells ? 1 : 0;
 }
 
 double

@@ -46,6 +46,8 @@ struct RunRow
 {
     RunSpec spec;
     sim::RunResult result;
+    /** Path of this cell's captured .repro.json ("" when none). */
+    std::string reproPath;
 
     /** Did the cell finish and match the reference cleanly? */
     bool
@@ -54,13 +56,33 @@ struct RunRow
         return result.halted && result.archMatch && result.error.ok();
     }
 
+    /**
+     * A failing cell is either QUARANTINED — a deterministic failure
+     * (invariant violation, watchdog, livelock, panic, divergence)
+     * that replays from its repro file and must be triaged, not
+     * retried — or FATAL: a host-level transient (wall-clock
+     * deadline) that still failed after every retry the policy
+     * allowed, i.e. the host could not complete the cell at all.
+     */
+    bool
+    quarantined() const
+    {
+        return !ok() && !chaos::isTransient(result.error.reason);
+    }
+
+    bool
+    fatalTransient() const
+    {
+        return !ok() && chaos::isTransient(result.error.reason);
+    }
+
     /** One-line description of a failing cell ("" when ok()). */
     std::string failure() const;
 };
 
 /**
  * Command-line contract shared by every bench binary:
- *   bench_xxx [iterations] [-j N] [--json <path>]
+ *   bench_xxx [iterations] [-j N] [--json <path>] [--repro-dir <dir>]
  * A bare number is the iteration count; `-j 0` (the default) means
  * all hardware threads.
  */
@@ -69,6 +91,12 @@ struct BenchArgs
     std::uint64_t iterations = 2000;
     unsigned threads = 0;     ///< -j; 0 = hardware_concurrency
     std::string jsonPath;     ///< --json; empty = no JSON output
+    /**
+     * Directory for .repro.json captures of failing cells
+     * (--repro-dir, falling back to $EDGE_REPRO_DIR; empty disables
+     * capture).
+     */
+    std::string reproDir;
     std::chrono::steady_clock::time_point start; ///< harness start
 };
 
@@ -98,12 +126,17 @@ std::vector<RunRow> runMatrix(const std::vector<std::string> &kernels,
                               unsigned threads = 0);
 
 /**
- * End-of-bench bookkeeping: print every failing cell, write the
- * `--json` metrics file (per-cell metrics + harness wall-clock) when
- * requested, and return the process exit code (0 iff no failures).
+ * End-of-bench bookkeeping: capture a .repro.json for every failing
+ * cell (when args.reproDir is set, filling each row's reproPath),
+ * print every failing cell with its "to reproduce: edgesim --replay
+ * ..." line, summarize quarantined (deterministic) vs fatal
+ * (transient-exhausted) failures separately, write the `--json`
+ * metrics file (per-cell metrics + repro path + retry count +
+ * harness wall-clock) when requested, and return the process exit
+ * code (0 iff no failures).
  */
 int finishBench(const std::string &bench_name, const BenchArgs &args,
-                const std::vector<RunRow> &rows);
+                std::vector<RunRow> &rows);
 
 /** Geometric mean (values must be positive). */
 double geomean(const std::vector<double> &values);

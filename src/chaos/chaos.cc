@@ -1,5 +1,7 @@
 #include "chaos/chaos.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace edge::chaos {
@@ -28,6 +30,45 @@ mutationName(Mutation m)
       case Mutation::MisorderForward: return "misorder-forward";
     }
     return "?";
+}
+
+Mutation
+mutationByName(const std::string &name)
+{
+    for (Mutation m : {Mutation::None, Mutation::SkipSquash,
+                       Mutation::DropUpgrade, Mutation::MisorderForward}) {
+        if (name == mutationName(m))
+            return m;
+    }
+    fatal("unknown mutation '%s' (try: none skip-squash drop-upgrade "
+          "misorder-forward)",
+          name.c_str());
+}
+
+const char *
+faultSiteName(FaultEvent::Site site)
+{
+    switch (site) {
+      case FaultEvent::Site::HopDelay: return "hop-delay";
+      case FaultEvent::Site::Duplicate: return "duplicate";
+      case FaultEvent::Site::MemJitter: return "mem-jitter";
+      case FaultEvent::Site::StoreDelay: return "store-delay";
+      case FaultEvent::Site::Spurious: return "spurious";
+    }
+    return "?";
+}
+
+FaultEvent::Site
+faultSiteByName(const std::string &name)
+{
+    for (FaultEvent::Site s :
+         {FaultEvent::Site::HopDelay, FaultEvent::Site::Duplicate,
+          FaultEvent::Site::MemJitter, FaultEvent::Site::StoreDelay,
+          FaultEvent::Site::Spurious}) {
+        if (name == faultSiteName(s))
+            return s;
+    }
+    fatal("unknown fault site '%s'", name.c_str());
 }
 
 const char *
@@ -122,19 +163,42 @@ ChaosEngine::ChaosEngine(const ChaosParams &params)
 {
 }
 
+bool
+ChaosEngine::admit(FaultEvent::Site site, std::uint64_t magnitude)
+{
+    std::uint64_t ordinal = _nextOrdinal++;
+    if (_events.size() < kMaxRecordedEvents)
+        _events.push_back({ordinal, site, magnitude});
+    else
+        _eventsTruncated = true;
+    if (!_p.filterSchedule)
+        return true;
+    return std::binary_search(_p.allowedEvents.begin(),
+                              _p.allowedEvents.end(), ordinal);
+}
+
 Cycle
 ChaosEngine::hopJitter()
 {
     if (!_p.hopDelayPermille || !_netRng.chance(_p.hopDelayPermille, 1000))
         return 0;
+    // The magnitude draw happens before the filter decision so a
+    // masked event consumes exactly the draws the live event would.
+    Cycle d = _netRng.range(1, _p.hopDelayMax);
+    if (!admit(FaultEvent::Site::HopDelay, d))
+        return 0;
     ++_counts.hopDelays;
-    return _netRng.range(1, _p.hopDelayMax);
+    return d;
 }
 
 bool
 ChaosEngine::duplicate()
 {
     if (!_p.duplicatePermille || !_netRng.chance(_p.duplicatePermille, 1000))
+        return false;
+    _pendingDuplicateSkew =
+        _p.duplicateSkewMax ? _netRng.range(1, _p.duplicateSkewMax) : 1;
+    if (!admit(FaultEvent::Site::Duplicate, _pendingDuplicateSkew))
         return false;
     ++_counts.duplicates;
     return true;
@@ -143,7 +207,7 @@ ChaosEngine::duplicate()
 Cycle
 ChaosEngine::duplicateSkew()
 {
-    return _p.duplicateSkewMax ? _netRng.range(1, _p.duplicateSkewMax) : 1;
+    return _pendingDuplicateSkew;
 }
 
 Cycle
@@ -151,8 +215,11 @@ ChaosEngine::memJitter()
 {
     if (!_p.memJitterPermille || !_memRng.chance(_p.memJitterPermille, 1000))
         return 0;
+    Cycle d = _memRng.range(1, _p.memJitterMax);
+    if (!admit(FaultEvent::Site::MemJitter, d))
+        return 0;
     ++_counts.memJitters;
-    return _memRng.range(1, _p.memJitterMax);
+    return d;
 }
 
 Cycle
@@ -160,14 +227,25 @@ ChaosEngine::storeResolveDelay()
 {
     if (!_p.storeDelayPermille || !_lsqRng.chance(_p.storeDelayPermille, 1000))
         return 0;
+    Cycle d = _lsqRng.range(1, _p.storeDelayMax);
+    if (!admit(FaultEvent::Site::StoreDelay, d))
+        return 0;
     ++_counts.storeDelays;
-    return _lsqRng.range(1, _p.storeDelayMax);
+    return d;
 }
 
 bool
 ChaosEngine::spuriousViolation()
 {
-    return _p.spuriousPermille && _lsqRng.chance(_p.spuriousPermille, 1000);
+    if (!_p.spuriousPermille || !_lsqRng.chance(_p.spuriousPermille, 1000))
+        return false;
+    if (!admit(FaultEvent::Site::Spurious, 0)) {
+        // Burn the victim-pick draw the live event would have made so
+        // the LSQ stream stays aligned with the unfiltered schedule.
+        _lsqRng.next();
+        return false;
+    }
+    return true;
 }
 
 std::size_t

@@ -50,6 +50,9 @@ enum class Mutation : std::uint8_t
 
 const char *mutationName(Mutation m);
 
+/** Parse a mutation name (fatal on unknown name). */
+Mutation mutationByName(const std::string &name);
+
 /** Built-in fault-mix presets selectable with --chaos-profile. */
 enum class Profile : std::uint8_t
 {
@@ -84,6 +87,18 @@ struct ChaosParams
     Mutation mutation = Mutation::None;
     unsigned mutationNode = 0; ///< grid node a node-scoped mutation hits
 
+    /**
+     * Schedule filtering (the triage minimizer's lever). When set,
+     * the engine still makes every RNG draw exactly as the seed
+     * dictates, but only injections whose ordinal — the position in
+     * the run's would-inject sequence — appears in `allowedEvents`
+     * take effect. The full schedule (filter off) and the identity
+     * filter (every ordinal allowed) are bit-identical runs.
+     */
+    bool filterSchedule = false;
+    /** Sorted injection ordinals that stay live under the filter. */
+    std::vector<std::uint64_t> allowedEvents;
+
     bool enabled() const { return profile != Profile::None; }
 
     /** The canned parameter set for a profile, with the given seed. */
@@ -95,6 +110,40 @@ struct ChaosParams
     /** All profile names, presentation order. */
     static const std::vector<std::string> &profileNames();
 };
+
+/**
+ * One concrete fault the seed decided to inject. Events are recorded
+ * whether or not the schedule filter let them through, so a baseline
+ * failing run yields the full candidate universe the triage minimizer
+ * then delta-debugs down to a locally minimal subset.
+ */
+struct FaultEvent
+{
+    enum class Site : std::uint8_t
+    {
+        HopDelay,    ///< extra operand-network hop latency
+        Duplicate,   ///< duplicate message delivery
+        MemJitter,   ///< cache-fill / DRAM latency jitter
+        StoreDelay,  ///< delayed store resolution at the LSQ
+        Spurious,    ///< forced spurious corrective re-fire wave
+    };
+
+    std::uint64_t ordinal = 0;   ///< position in the would-inject sequence
+    Site site = Site::HopDelay;
+    std::uint64_t magnitude = 0; ///< extra cycles (0 for boolean faults)
+
+    bool
+    operator==(const FaultEvent &o) const
+    {
+        return ordinal == o.ordinal && site == o.site &&
+               magnitude == o.magnitude;
+    }
+};
+
+const char *faultSiteName(FaultEvent::Site site);
+
+/** Parse a fault-site name (fatal on unknown name). */
+FaultEvent::Site faultSiteByName(const std::string &name);
 
 /** What the engine actually injected during one run (replay aid). */
 struct InjectionCounts
@@ -121,6 +170,16 @@ class ChaosEngine
     const ChaosParams &params() const { return _p; }
     const InjectionCounts &counts() const { return _counts; }
 
+    /**
+     * Every fault the seed decided to inject this run, in injection
+     * order, including ones the schedule filter suppressed (capped at
+     * kMaxRecordedEvents — see eventsTruncated()).
+     */
+    const std::vector<FaultEvent> &events() const { return _events; }
+
+    /** True when the event log hit its cap and stopped recording. */
+    bool eventsTruncated() const { return _eventsTruncated; }
+
     // --- operand / status network --------------------------------------
     /** Extra cycles to add to one message's arrival (usually 0). */
     Cycle hopJitter();
@@ -128,7 +187,8 @@ class ChaosEngine
      *  duplicates as stale waves — that idempotency is exactly what
      *  this injection exercises.) */
     bool duplicate();
-    /** Extra delay of the duplicate copy relative to the original. */
+    /** Extra delay of the duplicate copy relative to the original
+     *  (valid after the duplicate() call that returned true). */
     Cycle duplicateSkew();
 
     // --- memory hierarchy ----------------------------------------------
@@ -149,6 +209,16 @@ class ChaosEngine
     unsigned mutationNode() const { return _p.mutationNode; }
 
   private:
+    static constexpr std::size_t kMaxRecordedEvents = 1u << 20;
+
+    /**
+     * Record the fault in the event log and decide whether the
+     * schedule filter lets it take effect. Every would-inject fault
+     * passes through here exactly once, so ordinals are stable for a
+     * fixed (seed, program, config).
+     */
+    bool admit(FaultEvent::Site site, std::uint64_t magnitude);
+
     ChaosParams _p;
     // Independent streams so that, e.g., adding a memory access does
     // not reshuffle the network fault schedule.
@@ -156,6 +226,10 @@ class ChaosEngine
     Rng _memRng;
     Rng _lsqRng;
     InjectionCounts _counts;
+    std::vector<FaultEvent> _events;
+    std::uint64_t _nextOrdinal = 0;
+    bool _eventsTruncated = false;
+    Cycle _pendingDuplicateSkew = 1;
 };
 
 } // namespace edge::chaos

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Forward-progress hardening beyond the plain "no commit for N
+ * cycles" watchdog. The LivelockDetector distinguishes a *livelock* —
+ * the machine keeps exchanging waves whose per-interval activity
+ * profile repeats exactly, yet no block ever commits — from a
+ * *deadlock*, where activity has drained to nothing (that one stays
+ * with the classic watchdog). The processor samples a digest of its
+ * per-interval activity deltas (messages delivered, ALU issues,
+ * resends, upgrades, in-flight network events); identical non-zero
+ * digests for `repeats` consecutive commit-free intervals trip the
+ * detector, which surfaces as SimError::Reason::Livelock well before
+ * the watchdog budget would expire.
+ */
+
+#ifndef EDGE_CHAOS_PROGRESS_HH
+#define EDGE_CHAOS_PROGRESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace edge::chaos {
+
+/** Order-sensitive 64-bit mix for building activity digests. */
+inline std::uint64_t
+digestMix(std::uint64_t digest, std::uint64_t value)
+{
+    // SplitMix64 finalizer over (digest ^ value): cheap, and any
+    // change in any delta flips the digest with high probability.
+    std::uint64_t z = digest ^ (value + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+class LivelockDetector
+{
+  public:
+    /**
+     * @param interval cycles between samples (0 disables)
+     * @param repeats identical commit-free samples before firing
+     */
+    LivelockDetector(Cycle interval, unsigned repeats)
+        : _interval(interval), _repeats(repeats < 2 ? 2 : repeats)
+    {
+    }
+
+    bool enabled() const { return _interval > 0; }
+    Cycle interval() const { return _interval; }
+
+    /** True on the cycles where the caller should sample(). */
+    bool
+    due(Cycle now) const
+    {
+        return enabled() && now > 0 && now % _interval == 0;
+    }
+
+    /**
+     * Feed one sample.
+     * @param committed total blocks committed so far
+     * @param digest hash of this interval's activity deltas
+     * @param active the interval saw any activity at all
+     * @return true when the livelock condition is met: `repeats`
+     *         consecutive commit-free intervals with identical
+     *         non-zero activity
+     */
+    bool
+    sample(std::uint64_t committed, std::uint64_t digest, bool active)
+    {
+        bool progressed = !_primed || committed != _lastCommitted;
+        bool repeated = _primed && !progressed && active &&
+                        digest == _lastDigest;
+        _streak = repeated ? _streak + 1 : 0;
+        _lastCommitted = committed;
+        _lastDigest = digest;
+        _primed = true;
+        // _streak counts repeats of the first commit-free sample, so
+        // `repeats` identical samples means a streak of repeats - 1.
+        return _streak + 1 >= _repeats;
+    }
+
+    unsigned streak() const { return _streak; }
+
+  private:
+    Cycle _interval;
+    unsigned _repeats;
+    bool _primed = false;
+    std::uint64_t _lastCommitted = 0;
+    std::uint64_t _lastDigest = 0;
+    unsigned _streak = 0;
+};
+
+} // namespace edge::chaos
+
+#endif // EDGE_CHAOS_PROGRESS_HH

@@ -1,5 +1,6 @@
 #include "chaos/sim_error.hh"
 
+#include "common/logging.hh"
 #include "common/strutil.hh"
 
 namespace edge::chaos {
@@ -12,8 +13,44 @@ reasonName(SimError::Reason reason)
       case SimError::Reason::Watchdog: return "watchdog";
       case SimError::Reason::InvariantViolation: return "invariant-violation";
       case SimError::Reason::ProtocolPanic: return "protocol-panic";
+      case SimError::Reason::Livelock: return "livelock";
+      case SimError::Reason::HostDeadline: return "host-deadline";
     }
     return "?";
+}
+
+SimError::Reason
+reasonByName(const std::string &name)
+{
+    for (SimError::Reason r :
+         {SimError::Reason::None, SimError::Reason::Watchdog,
+          SimError::Reason::InvariantViolation,
+          SimError::Reason::ProtocolPanic, SimError::Reason::Livelock,
+          SimError::Reason::HostDeadline}) {
+        if (name == reasonName(r))
+            return r;
+    }
+    fatal("unknown SimError reason '%s'", name.c_str());
+}
+
+int
+exitCodeFor(SimError::Reason reason)
+{
+    switch (reason) {
+      case SimError::Reason::None: return 0;
+      case SimError::Reason::Watchdog: return 10;
+      case SimError::Reason::InvariantViolation: return 11;
+      case SimError::Reason::ProtocolPanic: return 12;
+      case SimError::Reason::Livelock: return 13;
+      case SimError::Reason::HostDeadline: return 14;
+    }
+    return 1;
+}
+
+bool
+isTransient(SimError::Reason reason)
+{
+    return reason == SimError::Reason::HostDeadline;
 }
 
 std::string

@@ -29,6 +29,8 @@ struct SimError
         Watchdog,           ///< no commit for watchdogCycles
         InvariantViolation, ///< the runtime invariant checker fired
         ProtocolPanic,      ///< a panic() in the timing machinery
+        Livelock,           ///< activity repeats with no commit
+        HostDeadline,       ///< per-run wall-clock deadline exceeded
     };
 
     Reason reason = Reason::None;
@@ -47,6 +49,25 @@ struct SimError
 };
 
 const char *reasonName(SimError::Reason reason);
+
+/** Parse a reason name (fatal on unknown name). */
+SimError::Reason reasonByName(const std::string &name);
+
+/**
+ * The documented process exit status for each failure kind (see
+ * docs/PROTOCOL.md, "Failure triage"): 0 for a clean run, then one
+ * distinct code per SimError::Reason so scripts and CI can branch on
+ * WHY a run failed without parsing stderr.
+ */
+int exitCodeFor(SimError::Reason reason);
+
+/**
+ * Host-level failures (wall-clock deadline today) are transient: the
+ * same cell may pass on a retry. Everything else — watchdog,
+ * invariant violation, protocol panic, livelock — is a deterministic
+ * property of (program, config, seed) and must never be retried.
+ */
+bool isTransient(SimError::Reason reason);
 
 /** An invariant-checker failure: carries the invariant's name. */
 class InvariantFailure : public SimFailure

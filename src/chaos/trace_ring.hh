@@ -79,11 +79,19 @@ class TraceRing
 
     std::size_t size() const { return _count; }
 
-    /** The retained events, oldest first, rendered one per line. */
+    /**
+     * The retained events, oldest first, rendered one per line. Only
+     * the populated prefix is dumped: with fewer than `depth` events
+     * recorded this is exactly the events pushed so far, in insertion
+     * order, never padded with empty slots (and a depth-0 ring must
+     * not divide by its zero capacity).
+     */
     std::vector<std::string>
     snapshot() const
     {
         std::vector<std::string> out;
+        if (_buf.empty() || _count == 0)
+            return out;
         out.reserve(_count);
         std::size_t start = (_next + _buf.size() - _count) % _buf.size();
         for (std::size_t i = 0; i < _count; ++i) {

@@ -47,6 +47,18 @@ struct CoreParams
     /** Abort if no block commits for this many cycles. */
     Cycle watchdogCycles = 200000;
 
+    /**
+     * Livelock detector: cycles between activity-digest samples (0
+     * disables). With the defaults a commit-free machine whose
+     * per-interval activity repeats exactly is reported as Livelock
+     * after interval * repeats cycles — well inside the watchdog
+     * budget — while a fully drained machine (no activity) is left to
+     * the watchdog and reported as a deadlock.
+     */
+    Cycle livelockInterval = 25000;
+    /** Identical commit-free activity digests before firing. */
+    unsigned livelockRepeats = 4;
+
     unsigned numNodes() const { return rows * cols; }
 
     unsigned

@@ -1,6 +1,7 @@
 #include "core/processor.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -19,6 +20,8 @@ Processor::Processor(const MachineConfig &config,
       _oracle(oracle),
       _stats(stats),
       _trace(config.traceDepth),
+      _livelock(config.core.livelockInterval,
+                config.core.livelockRepeats),
       _statCommittedBlocks(stats.counter("core.committed_blocks",
                                          "blocks committed")),
       _statCommittedInsts(stats.counter("core.committed_insts",
@@ -578,8 +581,8 @@ Processor::commitTick(Cycle now)
         _halted = true;
 }
 
-chaos::SimError
-Processor::watchdogDump(Cycle now)
+std::string
+Processor::machineDump(Cycle now)
 {
     std::string dump = strfmt(
         "no commit for %llu cycles (cycle %llu); committed %llu; "
@@ -614,11 +617,16 @@ Processor::watchdogDump(Cycle now)
         if (!s.empty())
             dump += strfmt("node %u:\n%s", n, s.c_str());
     }
+    return dump;
+}
 
+chaos::SimError
+Processor::watchdogDump(Cycle now)
+{
     chaos::SimError err;
     err.reason = chaos::SimError::Reason::Watchdog;
     err.invariant = "commit-progress";
-    err.message = "deadlock watchdog fired:\n" + dump;
+    err.message = "deadlock watchdog fired:\n" + machineDump(now);
     err.cycle = now;
     if (!_inflight.empty())
         err.seq = _inflight.front().seq;
@@ -626,13 +634,60 @@ Processor::watchdogDump(Cycle now)
     return err;
 }
 
+chaos::SimError
+Processor::livelockDump(Cycle now)
+{
+    chaos::SimError err;
+    err.reason = chaos::SimError::Reason::Livelock;
+    err.invariant = "forward-progress";
+    err.message = strfmt(
+        "livelock detected: the per-interval activity digest repeated "
+        "%u times (sample interval %llu cycles) without a commit — "
+        "the machine is exchanging waves but making no architectural "
+        "progress:\n",
+        _livelock.streak() + 1,
+        static_cast<unsigned long long>(_livelock.interval()));
+    err.message += machineDump(now);
+    err.cycle = now;
+    if (!_inflight.empty())
+        err.seq = _inflight.front().seq;
+    err.trace = _trace.snapshot();
+    return err;
+}
+
+std::uint64_t
+Processor::activityDigest(bool *active)
+{
+    const std::uint64_t cur[4] = {
+        _stats.counterValue("net.delivered"),
+        _stats.counterValue("gcn.delivered"),
+        _stats.counterValue("core.alu_issues"),
+        _stats.counterValue("lsq.resends"),
+    };
+    std::uint64_t digest = 0;
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        std::uint64_t delta = cur[i] - _llPrev[i];
+        _llPrev[i] = cur[i];
+        total += delta;
+        digest = chaos::digestMix(digest, delta);
+    }
+    digest = chaos::digestMix(digest, _mesh->inFlight());
+    digest = chaos::digestMix(digest, _gcn->inFlight());
+    total += _mesh->inFlight() + _gcn->inFlight();
+    *active = total != 0;
+    return digest;
+}
+
 Processor::Result
 Processor::run(Cycle max_cycles)
 {
     Result res;
-    // Graceful degradation: a watchdog timeout, a protocol panic or
-    // an invariant-checker failure stops the run and surfaces as a
-    // structured report instead of aborting the process.
+    const auto wall_start = std::chrono::steady_clock::now();
+    // Graceful degradation: a watchdog timeout, a livelock, a missed
+    // wall-clock deadline, a protocol panic or an invariant-checker
+    // failure stops the run and surfaces as a structured report
+    // instead of aborting the process.
     try {
         while (!_halted && _cycle < max_cycles) {
             _mesh->deliver(_cycle, [this](net::Coord, Msg &&m) {
@@ -648,6 +703,35 @@ Processor::run(Cycle max_cycles)
             if (_cycle - _lastCommit > _cfg.core.watchdogCycles) {
                 res.error = watchdogDump(_cycle);
                 break;
+            }
+            if (_livelock.due(_cycle)) {
+                bool active = false;
+                std::uint64_t digest = activityDigest(&active);
+                if (_livelock.sample(_committedBlocks, digest, active)) {
+                    res.error = livelockDump(_cycle);
+                    break;
+                }
+            }
+            if (_cfg.wallDeadlineMs != 0 && (_cycle & 0xfff) == 0) {
+                auto elapsed =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+                if (static_cast<std::uint64_t>(elapsed) >=
+                    _cfg.wallDeadlineMs) {
+                    res.error.reason =
+                        chaos::SimError::Reason::HostDeadline;
+                    res.error.message = strfmt(
+                        "host wall-clock deadline of %llu ms exceeded "
+                        "after %lld ms at cycle %llu",
+                        static_cast<unsigned long long>(
+                            _cfg.wallDeadlineMs),
+                        static_cast<long long>(elapsed),
+                        static_cast<unsigned long long>(_cycle));
+                    res.error.cycle = _cycle;
+                    res.error.trace = _trace.snapshot();
+                    break;
+                }
             }
             ++_cycle;
         }

@@ -17,6 +17,7 @@
 
 #include "chaos/chaos.hh"
 #include "chaos/invariants.hh"
+#include "chaos/progress.hh"
 #include "chaos/sim_error.hh"
 #include "chaos/trace_ring.hh"
 #include "compiler/placement.hh"
@@ -59,6 +60,13 @@ struct MachineConfig
     bool checkInvariants = false;
     /** Events retained in the failure-report trace ring. */
     std::size_t traceDepth = 64;
+    /**
+     * Per-run wall-clock deadline in milliseconds (0 disables). A
+     * host-level guard, not a property of the simulated machine:
+     * exceeding it stops the run with SimError::Reason::HostDeadline,
+     * the one failure kind the grid retry policy treats as transient.
+     */
+    std::uint64_t wallDeadlineMs = 0;
 };
 
 class Processor
@@ -164,8 +172,17 @@ class Processor
 
     BlockCtx *findCtx(DynBlockSeq seq);
 
+    /** Render the stuck-machine state (watchdog/livelock reports). */
+    std::string machineDump(Cycle now);
+
     /** Build the graceful deadlock report (no commit for too long). */
     chaos::SimError watchdogDump(Cycle now);
+
+    /** Build the livelock report (repeating commit-free activity). */
+    chaos::SimError livelockDump(Cycle now);
+
+    /** Digest of activity since the last livelock sample. */
+    std::uint64_t activityDigest(bool *active);
 
     // --- configuration & substrate ----------------------------------------
     MachineConfig _cfg;
@@ -201,6 +218,9 @@ class Processor
     bool _halted = false;
     Cycle _cycle = 0;
     Cycle _lastCommit = 0;
+    chaos::LivelockDetector _livelock;
+    /** Counter snapshot backing the livelock activity deltas. */
+    std::uint64_t _llPrev[4] = {0, 0, 0, 0};
     std::uint64_t _committedBlocks = 0;
     std::uint64_t _committedInsts = 0;
 

@@ -1,7 +1,9 @@
 #include "sim/run_pool.hh"
 
+#include <chrono>
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -13,8 +15,31 @@ RunPool::RunPool(unsigned threads)
 {
 }
 
+RunResult
+RunPool::runWithRetry(const std::function<RunResult()> &once,
+                      const RetryPolicy &retry) const
+{
+    unsigned attempt = 1;
+    unsigned backoff_ms = retry.backoffMs;
+    for (;;) {
+        RunResult r = once();
+        r.retries = attempt - 1;
+        if (!retry.shouldRetry(r, attempt))
+            return r;
+        // Transient host-level failure: back off and rerun. The run
+        // itself is deterministic, so only host conditions (load,
+        // wall-clock pressure) can change the outcome.
+        if (backoff_ms != 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+        ++attempt;
+    }
+}
+
 std::vector<RunResult>
-RunPool::runAll(const std::vector<RunJob> &jobs)
+RunPool::runAll(const std::vector<RunJob> &jobs,
+                const RetryPolicy &retry)
 {
     if (jobs.empty())
         return {};
@@ -49,8 +74,26 @@ RunPool::runAll(const std::vector<RunJob> &jobs)
     // runShared(); results land in submission order.
     return parallelIndex(pool, jobs.size(), [&](std::size_t i) {
         const RunJob &job = jobs[i];
-        return sims.at(job.program)
-            ->runShared(job.config, job.maxCycles);
+        const Simulator *sim = sims.at(job.program).get();
+        return runWithRetry(
+            [&] { return sim->runShared(job.config, job.maxCycles); },
+            retry);
+    });
+}
+
+std::vector<RunResult>
+RunPool::runConfigs(Simulator &sim,
+                    const std::vector<core::MachineConfig> &configs,
+                    Cycle max_cycles, const RetryPolicy &retry)
+{
+    if (configs.empty())
+        return {};
+    sim.prepare();
+    ThreadPool pool(_threads);
+    return parallelIndex(pool, configs.size(), [&](std::size_t i) {
+        return runWithRetry(
+            [&] { return sim.runShared(configs[i], max_cycles); },
+            retry);
     });
 }
 

@@ -15,6 +15,7 @@
 #ifndef EDGE_SIM_RUN_POOL_HH
 #define EDGE_SIM_RUN_POOL_HH
 
+#include <functional>
 #include <vector>
 
 #include "sim/simulator.hh"
@@ -33,6 +34,32 @@ struct RunJob
     Cycle maxCycles = 500'000'000;
 };
 
+/**
+ * Bounded retry with backoff for *transient* (host-level) failures —
+ * today that is exactly SimError::Reason::HostDeadline, the
+ * wall-clock guard. Deterministic failures (watchdog, invariant
+ * violation, protocol panic, livelock, divergence) are properties of
+ * (program, config, seed) and are NEVER retried: rerunning them
+ * would burn time to reproduce the same bits. A cell that fails
+ * deterministically is quarantined — reported as a structured row
+ * while the rest of the grid keeps running.
+ */
+struct RetryPolicy
+{
+    /** Total attempts per cell (1 = no retry). */
+    unsigned maxAttempts = 3;
+    /** Sleep before the first retry; doubles on each further one. */
+    unsigned backoffMs = 10;
+
+    /** Should this result be retried at the given attempt number? */
+    bool
+    shouldRetry(const RunResult &result, unsigned attempt) const
+    {
+        return attempt < maxAttempts &&
+               chaos::isTransient(result.error.reason);
+    }
+};
+
 class RunPool
 {
   public:
@@ -48,10 +75,28 @@ class RunPool
      * every cell runs as its own pool job. Run failures (watchdog,
      * invariant violation, protocol panic, divergence) are per-cell
      * data in RunResult — one bad cell never aborts the grid.
+     * Transient host-level failures are retried per `retry`; the
+     * accepted result's `retries` field reports how many times.
      */
-    std::vector<RunResult> runAll(const std::vector<RunJob> &jobs);
+    std::vector<RunResult> runAll(const std::vector<RunJob> &jobs,
+                                  const RetryPolicy &retry = {});
+
+    /**
+     * Run many configs of one already-constructed Simulator without
+     * rebuilding its reference execution (prepares it on first use).
+     * The triage minimizer leans on this: each delta-debugging round
+     * is a batch of masked-schedule candidate runs over one program.
+     */
+    std::vector<RunResult>
+    runConfigs(Simulator &sim,
+               const std::vector<core::MachineConfig> &configs,
+               Cycle max_cycles = 500'000'000,
+               const RetryPolicy &retry = {});
 
   private:
+    RunResult runWithRetry(const std::function<RunResult()> &once,
+                           const RetryPolicy &retry) const;
+
     unsigned _threads;
 };
 

@@ -210,6 +210,7 @@ Simulator::runWith(const core::MachineConfig &config, Cycle max_cycles,
     if (proc.chaosEngine()) {
         out.chaosSeed = proc.chaosEngine()->params().seed;
         out.injections = proc.chaosEngine()->counts();
+        out.chaosEvents = proc.chaosEngine()->events();
     }
     if (proc.checker())
         out.invariantChecks = proc.checker()->checksRun();

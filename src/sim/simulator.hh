@@ -43,8 +43,21 @@ struct RunResult
     std::uint64_t chaosSeed = 0;
     /** What the chaos engine injected (all zero when off). */
     chaos::InjectionCounts injections;
+    /**
+     * The run's candidate fault schedule, in injection order,
+     * including events a schedule filter suppressed (empty when chaos
+     * is off). This is the universe triage::minimizeSchedule
+     * delta-debugs over.
+     */
+    std::vector<chaos::FaultEvent> chaosEvents;
     /** Individual invariant checks evaluated (0 when off). */
     std::uint64_t invariantChecks = 0;
+    /**
+     * Transparent retries the grid retry policy performed before
+     * this result was accepted (0 for first-attempt results; only
+     * host-level transient failures are ever retried).
+     */
+    unsigned retries = 0;
 
     /**
      * Snapshot of every counter of the run's StatSet, sorted by

@@ -22,6 +22,11 @@ ChaosSweepReport::summary() const
             o.result.halted, o.result.archMatch);
         if (!o.result.error.ok())
             out += "    " + o.result.error.format() + "\n";
+        if (o.result.retries != 0)
+            out += strfmt("    retries=%u\n", o.result.retries);
+        if (!o.reproPath.empty())
+            out += strfmt("    to reproduce: edgesim --replay %s\n",
+                          o.reproPath.c_str());
     }
     return out;
 }
@@ -45,6 +50,8 @@ chaosSweep(const isa::Program &program, const ChaosSweepParams &params)
             job.config.rngSeed = seed;
             job.config.chaos =
                 chaos::ChaosParams::byProfile(params.profile, seed);
+            job.config.chaos.mutation = params.mutation;
+            job.config.chaos.mutationNode = params.mutationNode;
             job.config.checkInvariants = params.checkInvariants;
             job.maxCycles = params.maxCycles;
             jobs.push_back(std::move(job));
@@ -52,7 +59,7 @@ chaosSweep(const isa::Program &program, const ChaosSweepParams &params)
     }
 
     RunPool pool(params.threads);
-    std::vector<RunResult> results = pool.runAll(jobs);
+    std::vector<RunResult> results = pool.runAll(jobs, params.retry);
 
     ChaosSweepReport report;
     std::size_t idx = 0;
@@ -61,6 +68,7 @@ chaosSweep(const isa::Program &program, const ChaosSweepParams &params)
             ChaosSweepOutcome o;
             o.seed = seed;
             o.config = name;
+            o.machine = jobs[idx].config;
             o.result = std::move(results[idx++]);
             report.totalInjections += o.result.injections.total();
             report.totalChecks += o.result.invariantChecks;

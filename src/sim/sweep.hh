@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/run_pool.hh"
 #include "sim/simulator.hh"
 
 namespace edge::sim {
@@ -33,6 +34,15 @@ struct ChaosSweepParams
      * produces bit-identical results — see sim::RunPool.
      */
     unsigned threads = 0;
+    /**
+     * Compile-time protocol mutation to plant in every cell (for
+     * triage testing and CI smoke — requires EDGE_MUTATIONS builds).
+     */
+    chaos::Mutation mutation = chaos::Mutation::None;
+    /** Node the planted mutation applies to. */
+    unsigned mutationNode = 0;
+    /** Transient-failure retry policy applied to every cell. */
+    RetryPolicy retry;
 };
 
 /** One (seed, config) cell of the sweep grid. */
@@ -40,7 +50,13 @@ struct ChaosSweepOutcome
 {
     std::uint64_t seed = 0;
     std::string config;
+    /** The exact resolved MachineConfig the cell ran (replay handle:
+     *  triage repro capture serializes this, not the config name). */
+    core::MachineConfig machine;
     RunResult result;
+    /** Path of a captured .repro.json for this cell, if any
+     *  (filled by triage::captureSweepFailures, empty otherwise). */
+    std::string reproPath;
 
     bool
     converged() const

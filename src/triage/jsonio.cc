@@ -1,0 +1,490 @@
+#include "triage/jsonio.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strutil.hh"
+
+namespace edge::triage {
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v._type = Type::Bool;
+    v._bool = b;
+    return v;
+}
+
+JsonValue
+JsonValue::u64(std::uint64_t n)
+{
+    JsonValue v;
+    v._type = Type::Number;
+    v._text = strfmt("%llu", static_cast<unsigned long long>(n));
+    return v;
+}
+
+JsonValue
+JsonValue::i64(std::int64_t n)
+{
+    JsonValue v;
+    v._type = Type::Number;
+    v._text = strfmt("%lld", static_cast<long long>(n));
+    return v;
+}
+
+JsonValue
+JsonValue::number(double n)
+{
+    JsonValue v;
+    v._type = Type::Number;
+    v._text = strfmt("%.17g", n);
+    return v;
+}
+
+JsonValue
+JsonValue::str(std::string s)
+{
+    JsonValue v;
+    v._type = Type::String;
+    v._text = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v._type = Type::Object;
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v._type = Type::Array;
+    return v;
+}
+
+bool
+JsonValue::asBool(bool fallback) const
+{
+    return _type == Type::Bool ? _bool : fallback;
+}
+
+std::uint64_t
+JsonValue::asU64(std::uint64_t fallback) const
+{
+    if (_type != Type::Number)
+        return fallback;
+    return std::strtoull(_text.c_str(), nullptr, 10);
+}
+
+std::int64_t
+JsonValue::asI64(std::int64_t fallback) const
+{
+    if (_type != Type::Number)
+        return fallback;
+    return std::strtoll(_text.c_str(), nullptr, 10);
+}
+
+double
+JsonValue::asDouble(double fallback) const
+{
+    if (_type != Type::Number)
+        return fallback;
+    return std::strtod(_text.c_str(), nullptr);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    static const std::string kEmpty;
+    return _type == Type::String ? _text : kEmpty;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    for (auto &kv : _members) {
+        if (kv.first == key) {
+            kv.second = std::move(value);
+            return *this;
+        }
+    }
+    _members.emplace_back(key, std::move(value));
+    return *this;
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    for (const auto &kv : _members)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+bool
+JsonValue::getBool(const std::string &key, bool fallback) const
+{
+    const JsonValue *v = get(key);
+    return v ? v->asBool(fallback) : fallback;
+}
+
+std::uint64_t
+JsonValue::getU64(const std::string &key, std::uint64_t fallback) const
+{
+    const JsonValue *v = get(key);
+    return v ? v->asU64(fallback) : fallback;
+}
+
+std::string
+JsonValue::getString(const std::string &key,
+                     const std::string &fallback) const
+{
+    const JsonValue *v = get(key);
+    return v && v->type() == Type::String ? v->asString() : fallback;
+}
+
+JsonValue &
+JsonValue::push(JsonValue value)
+{
+    _items.push_back(std::move(value));
+    return *this;
+}
+
+std::string
+JsonValue::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out, unsigned depth) const
+{
+    const std::string pad(2 * (depth + 1), ' ');
+    const std::string close_pad(2 * depth, ' ');
+    switch (_type) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Type::Number:
+        out += _text;
+        break;
+      case Type::String:
+        out += '"';
+        out += escape(_text);
+        out += '"';
+        break;
+      case Type::Object:
+        if (_members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < _members.size(); ++i) {
+            out += pad;
+            out += '"';
+            out += escape(_members[i].first);
+            out += "\": ";
+            _members[i].second.dumpTo(out, depth + 1);
+            out += i + 1 < _members.size() ? ",\n" : "\n";
+        }
+        out += close_pad;
+        out += '}';
+        break;
+      case Type::Array:
+        if (_items.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < _items.size(); ++i) {
+            out += pad;
+            _items[i].dumpTo(out, depth + 1);
+            out += i + 1 < _items.size() ? ",\n" : "\n";
+        }
+        out += close_pad;
+        out += ']';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(out, 0);
+    out += '\n';
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a NUL-free text buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : _s(text), _err(err)
+    {
+    }
+
+    bool
+    document(JsonValue *out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (_pos != _s.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        if (_err && _err->empty())
+            *_err = strfmt("JSON parse error at offset %zu: %s", _pos,
+                           why.c_str());
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_pos])))
+            ++_pos;
+    }
+
+    bool
+    literal(const char *word, JsonValue v, JsonValue *out)
+    {
+        std::size_t n = std::string(word).size();
+        if (_s.compare(_pos, n, word) != 0)
+            return fail("unrecognised token");
+        _pos += n;
+        *out = std::move(v);
+        return true;
+    }
+
+    bool
+    value(JsonValue *out)
+    {
+        if (_pos >= _s.size())
+            return fail("unexpected end of input");
+        switch (_s[_pos]) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"': return string(out);
+          case 't': return literal("true", JsonValue::boolean(true), out);
+          case 'f': return literal("false", JsonValue::boolean(false), out);
+          case 'n': return literal("null", JsonValue::null(), out);
+          default:  return number(out);
+        }
+    }
+
+    bool
+    object(JsonValue *out)
+    {
+        ++_pos; // '{'
+        *out = JsonValue::object();
+        skipWs();
+        if (_pos < _s.size() && _s[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue key;
+            if (_pos >= _s.size() || _s[_pos] != '"' || !string(&key))
+                return fail("expected object key string");
+            skipWs();
+            if (_pos >= _s.size() || _s[_pos] != ':')
+                return fail("expected ':' after object key");
+            ++_pos;
+            skipWs();
+            JsonValue member;
+            if (!value(&member))
+                return false;
+            out->set(key.asString(), std::move(member));
+            skipWs();
+            if (_pos >= _s.size())
+                return fail("unterminated object");
+            if (_s[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_s[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    array(JsonValue *out)
+    {
+        ++_pos; // '['
+        *out = JsonValue::array();
+        skipWs();
+        if (_pos < _s.size() && _s[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue item;
+            if (!value(&item))
+                return false;
+            out->push(std::move(item));
+            skipWs();
+            if (_pos >= _s.size())
+                return fail("unterminated array");
+            if (_s[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_s[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    string(JsonValue *out)
+    {
+        ++_pos; // opening quote
+        std::string body;
+        while (_pos < _s.size() && _s[_pos] != '"') {
+            char c = _s[_pos];
+            if (c != '\\') {
+                body += c;
+                ++_pos;
+                continue;
+            }
+            if (_pos + 1 >= _s.size())
+                return fail("unterminated escape");
+            char e = _s[_pos + 1];
+            _pos += 2;
+            switch (e) {
+              case '"':  body += '"'; break;
+              case '\\': body += '\\'; break;
+              case '/':  body += '/'; break;
+              case 'b':  body += '\b'; break;
+              case 'f':  body += '\f'; break;
+              case 'n':  body += '\n'; break;
+              case 'r':  body += '\r'; break;
+              case 't':  body += '\t'; break;
+              case 'u': {
+                if (_pos + 4 > _s.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (unsigned i = 0; i < 4; ++i) {
+                    char h = _s[_pos + i];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                _pos += 4;
+                // Repro payloads are ASCII; anything wider gets a
+                // lossy '?' rather than UTF-8 machinery.
+                body += cp < 0x80 ? static_cast<char>(cp) : '?';
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+        if (_pos >= _s.size())
+            return fail("unterminated string");
+        ++_pos; // closing quote
+        *out = JsonValue::str(std::move(body));
+        return true;
+    }
+
+    bool
+    number(JsonValue *out)
+    {
+        std::size_t start = _pos;
+        if (_pos < _s.size() && (_s[_pos] == '-' || _s[_pos] == '+'))
+            ++_pos;
+        bool digits = false;
+        while (_pos < _s.size() &&
+               (std::isdigit(static_cast<unsigned char>(_s[_pos])) ||
+                _s[_pos] == '.' || _s[_pos] == 'e' || _s[_pos] == 'E' ||
+                _s[_pos] == '-' || _s[_pos] == '+')) {
+            digits = digits ||
+                     std::isdigit(static_cast<unsigned char>(_s[_pos]));
+            ++_pos;
+        }
+        if (!digits)
+            return fail("malformed number");
+        // Rebuild through the typed constructors; integer tokens (the
+        // only kind the writer emits) round-trip exactly.
+        std::string token = _s.substr(start, _pos - start);
+        if (token.find_first_of(".eE") != std::string::npos)
+            *out = JsonValue::number(
+                std::strtod(token.c_str(), nullptr));
+        else if (token[0] == '-')
+            *out = JsonValue::i64(
+                std::strtoll(token.c_str(), nullptr, 10));
+        else
+            *out = JsonValue::u64(
+                std::strtoull(token.c_str(), nullptr, 10));
+        return true;
+    }
+
+    const std::string &_s;
+    std::string *_err;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+JsonValue::parse(const std::string &text, JsonValue *out,
+                 std::string *err)
+{
+    if (err)
+        err->clear();
+    Parser p(text, err);
+    return p.document(out);
+}
+
+} // namespace edge::triage

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Chaos-schedule minimization: delta debugging (ddmin) over the
+ * fault-event ordinals of a failing run. The chaos engine records
+ * every would-inject event with a stable ordinal; a candidate subset
+ * is tested by re-running the same (program, config, seed) with the
+ * schedule filter restricted to that subset — the RNG draw order is
+ * preserved under masking, so ordinals mean the same thing in every
+ * candidate run. The result is a locally 1-minimal schedule: removing
+ * any single remaining event makes the failure signature disappear.
+ */
+
+#ifndef EDGE_TRIAGE_MINIMIZE_HH
+#define EDGE_TRIAGE_MINIMIZE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "triage/repro.hh"
+
+namespace edge::triage {
+
+struct MinimizeOptions
+{
+    /** Worker threads for candidate batches (0 = all hardware). */
+    unsigned threads = 0;
+    /** Safety valve on ddmin rounds (never hit in practice). */
+    unsigned maxRounds = 256;
+};
+
+struct MinimizeResult
+{
+    /** The minimal ordinal subset that still fails (sorted). */
+    std::vector<std::uint64_t> ordinals;
+    /** The surviving events of the original schedule, in order. */
+    std::vector<chaos::FaultEvent> schedule;
+    std::size_t testsRun = 0; ///< candidate evaluations performed
+    unsigned rounds = 0;      ///< ddmin partition rounds
+    /** True when the loop reached 1-minimality (not the round cap). */
+    bool converged = false;
+};
+
+/**
+ * Does this candidate subset of ordinals still reproduce the failure?
+ * Must be deterministic and thread-safe: batches of candidates are
+ * evaluated concurrently.
+ */
+using SubsetTest =
+    std::function<bool(const std::vector<std::uint64_t> &)>;
+
+/**
+ * Evaluate a whole round's candidates at once; result[i] is the
+ * verdict for candidates[i]. The default driver adapts a SubsetTest
+ * onto a thread pool.
+ */
+using BatchTest = std::function<std::vector<char>(
+    const std::vector<std::vector<std::uint64_t>> &)>;
+
+/**
+ * ddmin (Zeller & Hildebrandt) over an ordinal set. `initial` must
+ * fail under `test`. Each round's candidate subsets and complements
+ * are evaluated as one batch; when several candidates fail, the
+ * lowest-index one wins, so the reduction path — and therefore the
+ * result — is deterministic at any thread count.
+ */
+MinimizeResult minimizeOrdinals(std::vector<std::uint64_t> initial,
+                                const BatchTest &test,
+                                const MinimizeOptions &opts = {});
+
+/** Convenience: run ddmin with a per-subset predicate on a pool. */
+MinimizeResult minimizeSchedule(
+    const std::vector<chaos::FaultEvent> &schedule,
+    const SubsetTest &test, const MinimizeOptions &opts = {});
+
+/**
+ * Minimize a captured failure end to end: rebuild the program once,
+ * share its reference execution across all candidate runs
+ * (sim::RunPool::runConfigs), and delta-debug the spec's schedule
+ * down to a subset that preserves the failure *kind* (SimError
+ * reason + invariant rule; the exact cycle may legitimately move).
+ * Returns an empty schedule when the failure does not depend on the
+ * injected faults at all (e.g. a pure protocol-mutation failure).
+ */
+MinimizeResult minimizeRepro(const ReproSpec &spec,
+                             const MinimizeOptions &opts = {});
+
+/**
+ * A copy of `spec` whose config replays only the minimized schedule
+ * (filterSchedule + allowedEvents baked in).
+ */
+ReproSpec applySchedule(const ReproSpec &spec,
+                        const MinimizeResult &minimized);
+
+} // namespace edge::triage
+
+#endif // EDGE_TRIAGE_MINIMIZE_HH

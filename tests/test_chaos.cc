@@ -6,9 +6,12 @@
  * failure reporting.
  */
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "chaos/chaos.hh"
+#include "chaos/trace_ring.hh"
 #include "compiler/builder.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
@@ -233,6 +236,73 @@ TEST(ChaosMutation, UnmutatedOverlappingStoresAreClean)
 }
 
 #endif // EDGE_MUTATIONS
+
+// ---------------------------------------------------------------------
+// TraceRing: the failure-report tail must be the populated prefix in
+// insertion order before the ring wraps, and the newest `depth`
+// events afterwards.
+// ---------------------------------------------------------------------
+
+chaos::TraceEvent
+cycleEvent(Cycle c)
+{
+    chaos::TraceEvent ev;
+    ev.cycle = c;
+    ev.kind = chaos::TraceEvent::Kind::Commit;
+    return ev;
+}
+
+std::vector<Cycle>
+snapshotCycles(const chaos::TraceRing &ring)
+{
+    // The cycle leads each rendered line: "cycle <N> ...".
+    std::vector<Cycle> out;
+    for (const std::string &line : ring.snapshot())
+        out.push_back(std::strtoull(line.c_str() + 6, nullptr, 10));
+    return out;
+}
+
+TEST(TraceRing, PartialFillReportsInsertionOrder)
+{
+    chaos::TraceRing ring(8);
+    for (Cycle c = 1; c <= 3; ++c)
+        ring.push(cycleEvent(c));
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(snapshotCycles(ring), (std::vector<Cycle>{1, 2, 3}));
+}
+
+TEST(TraceRing, ExactFillReportsAllEvents)
+{
+    chaos::TraceRing ring(4);
+    for (Cycle c = 1; c <= 4; ++c)
+        ring.push(cycleEvent(c));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(snapshotCycles(ring), (std::vector<Cycle>{1, 2, 3, 4}));
+}
+
+TEST(TraceRing, WraparoundKeepsNewestDepthEvents)
+{
+    chaos::TraceRing ring(4);
+    for (Cycle c = 1; c <= 6; ++c)
+        ring.push(cycleEvent(c));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(snapshotCycles(ring), (std::vector<Cycle>{3, 4, 5, 6}));
+}
+
+TEST(TraceRing, DepthZeroIsInertAndSafe)
+{
+    chaos::TraceRing ring(0);
+    for (Cycle c = 1; c <= 3; ++c)
+        ring.push(cycleEvent(c));
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TraceRing, EmptyRingSnapshotIsEmpty)
+{
+    chaos::TraceRing ring(8);
+    EXPECT_TRUE(ring.snapshot().empty());
+}
 
 } // namespace
 } // namespace edge

@@ -11,10 +11,21 @@
  *   edgesim --kernel parserish --chaos-profile heavy --chaos-seed 7 \
  *           --check-invariants
  *   edgesim --kernel mcfish --chaos-profile light --chaos-sweep 20
+ *   edgesim --replay failures/parserish-...-seed5.repro.json
  *
  * Recognised --set keys:
  *   frames, hop, fetch, commitports, l1dkb, l2kb, l2lat, dram,
  *   budget, seed
+ *
+ * Exit codes (see docs/PROTOCOL.md, "Failure triage"):
+ *    0  clean run / convergent sweep / replay reproduced
+ *    1  usage or configuration error
+ *    2  architectural divergence (state differs from the reference)
+ *    3  one or more sweep cells failed
+ *    4  replay did NOT reproduce the recorded failure signature
+ *   10  deadlock watchdog        11  invariant violation
+ *   12  protocol panic           13  livelock
+ *   14  host wall-clock deadline
  */
 
 #include <cstdio>
@@ -26,6 +37,8 @@
 #include "common/logging.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
+#include "triage/minimize.hh"
+#include "triage/repro.hh"
 #include "workloads/workloads.hh"
 
 using namespace edge;
@@ -40,11 +53,26 @@ usage()
         "               [--iterations N] [--seed N] [--stats]\n"
         "               [--chaos-profile <name>] [--chaos-seed N]\n"
         "               [--check-invariants] [--chaos-sweep N]\n"
+        "               [--mutate <name>] [--mutate-node N]\n"
+        "               [--wall-deadline-ms N]\n"
+        "               [--capture-repro <dir>] [--minimize]\n"
         "               [-j N] [--set key=value ...]\n"
+        "       edgesim --replay <file.repro.json> [--minimize] [-j N]\n"
         "\n"
-        "  -j N   run chaos-sweep grids on N worker threads\n"
+        "  -j N   run grids / minimization on N worker threads\n"
         "         (default: hardware concurrency; results are\n"
         "         bit-identical to -j 1)\n"
+        "  --capture-repro <dir>  write a .repro.json for every\n"
+        "         failing run / sweep cell into <dir>\n"
+        "  --replay <file>  re-run a captured failure; exits 0 iff\n"
+        "         the failure signature reproduces exactly\n"
+        "  --minimize  delta-debug the fault schedule of the failure\n"
+        "         down to a locally minimal event set\n"
+        "\n"
+        "exit codes: 0 ok, 1 usage/config, 2 divergence, 3 sweep\n"
+        "  failures, 4 replay mismatch, 10 watchdog, 11 invariant\n"
+        "  violation, 12 protocol panic, 13 livelock, 14 host\n"
+        "  deadline\n"
         "\n"
         "configs: ");
     for (const auto &c : sim::Configs::allNames())
@@ -82,6 +110,64 @@ applyOverride(core::MachineConfig &cfg, const std::string &key,
         fatal("unknown --set key '%s'", key.c_str());
 }
 
+/** The documented exit status for one finished run. */
+int
+runExitCode(const sim::RunResult &r)
+{
+    if (!r.error.ok()) {
+        std::fprintf(stderr, "edgesim: %s\n",
+                     chaos::reasonName(r.error.reason));
+        return chaos::exitCodeFor(r.error.reason);
+    }
+    if (!(r.archMatch && r.halted)) {
+        std::fprintf(stderr, "edgesim: divergence\n");
+        return 2;
+    }
+    return 0;
+}
+
+void
+printMinimized(const triage::MinimizeResult &m)
+{
+    std::printf("minimized schedule: %zu event(s) (from %zu tests, "
+                "%u rounds%s):\n",
+                m.schedule.size(), m.testsRun, m.rounds,
+                m.converged ? "" : ", round cap hit");
+    for (const chaos::FaultEvent &e : m.schedule)
+        std::printf("  #%llu %s magnitude=%llu\n",
+                    static_cast<unsigned long long>(e.ordinal),
+                    chaos::faultSiteName(e.site),
+                    static_cast<unsigned long long>(e.magnitude));
+}
+
+int
+replayMain(const std::string &path, bool minimize, unsigned threads)
+{
+    triage::ReproSpec spec;
+    std::string err;
+    if (!triage::load(path, &spec, &err))
+        fatal("--replay: %s", err.c_str());
+
+    std::printf("replaying %s\n  recorded: %s\n", path.c_str(),
+                triage::signatureLine(spec).c_str());
+    sim::RunResult r = triage::replay(spec);
+
+    triage::ReproSpec observed = triage::captureFromResult(
+        spec.program, spec.config, spec.maxCycles, r);
+    std::printf("  observed: %s\n",
+                triage::signatureLine(observed).c_str());
+
+    bool match = triage::sameSignature(spec, r);
+    std::printf("replay %s the recorded failure\n",
+                match ? "reproduced" : "DID NOT reproduce");
+    if (match && minimize) {
+        triage::MinimizeOptions mo;
+        mo.threads = threads;
+        printMinimized(triage::minimizeRepro(spec, mo));
+    }
+    return match ? 0 : 4;
+}
+
 } // namespace
 
 int
@@ -97,6 +183,12 @@ main(int argc, char **argv)
     bool check_invariants = false;
     std::uint64_t sweep_seeds = 0;
     unsigned threads = 0;
+    chaos::Mutation mutation = chaos::Mutation::None;
+    unsigned mutation_node = 0;
+    std::uint64_t wall_deadline_ms = 0;
+    std::string repro_dir;
+    std::string replay_path;
+    bool minimize = false;
     std::vector<std::pair<std::string, std::uint64_t>> overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -134,6 +226,23 @@ main(int argc, char **argv)
             check_invariants = true;
         } else if (arg == "--chaos-sweep") {
             sweep_seeds = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--mutate") {
+            mutation = chaos::mutationByName(next());
+#ifndef EDGE_MUTATIONS
+            fatal_if(mutation != chaos::Mutation::None,
+                     "--mutate requires a build with EDGE_MUTATIONS=ON");
+#endif
+        } else if (arg == "--mutate-node") {
+            mutation_node = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--wall-deadline-ms") {
+            wall_deadline_ms = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--capture-repro") {
+            repro_dir = next();
+        } else if (arg == "--replay") {
+            replay_path = next();
+        } else if (arg == "--minimize") {
+            minimize = true;
         } else if (arg == "-j") {
             threads = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
@@ -158,6 +267,10 @@ main(int argc, char **argv)
             fatal("unknown argument '%s'", arg.c_str());
         }
     }
+
+    if (!replay_path.empty())
+        return replayMain(replay_path, minimize, threads);
+
     if (kernel.empty()) {
         usage();
         return 1;
@@ -168,7 +281,12 @@ main(int argc, char **argv)
         applyOverride(cfg, k, v);
     cfg.rngSeed = run_seed;
     cfg.chaos = chaos::ChaosParams::byProfile(chaos_profile, chaos_seed);
+    cfg.chaos.mutation = mutation;
+    cfg.chaos.mutationNode = mutation_node;
     cfg.checkInvariants = check_invariants;
+    cfg.wallDeadlineMs = wall_deadline_ms;
+
+    triage::ProgramRef prog_ref{kernel, kp};
 
     if (sweep_seeds > 0) {
         sim::ChaosSweepParams sp;
@@ -179,12 +297,17 @@ main(int argc, char **argv)
                          ? chaos::Profile::Light
                          : chaos_profile;
         sp.threads = threads;
+        sp.mutation = mutation;
+        sp.mutationNode = mutation_node;
         isa::Program prog = wl::build(kernel, kp);
         sim::ChaosSweepReport rep = sim::chaosSweep(prog, sp);
+        if (!repro_dir.empty())
+            triage::captureSweepFailures(rep, prog_ref, sp.maxCycles,
+                                         repro_dir);
         std::printf("%s / %s chaos sweep (%s):\n%s", kernel.c_str(),
                     config.c_str(), chaos::profileName(sp.profile),
                     rep.summary().c_str());
-        return rep.allConverged() ? 0 : 1;
+        return rep.allConverged() ? 0 : 3;
     }
 
     sim::Simulator sim(wl::build(kernel, kp), cfg);
@@ -226,5 +349,21 @@ main(int argc, char **argv)
                     r.error.format().c_str());
     if (dump_stats)
         std::printf("\n%s", sim.stats().dump().c_str());
-    return r.archMatch && r.halted ? 0 : 1;
+
+    bool failed = !r.error.ok() || !(r.archMatch && r.halted);
+    if (failed && !repro_dir.empty()) {
+        triage::ReproSpec spec =
+            triage::captureFromResult(prog_ref, cfg, 500'000'000, r);
+        std::string path = triage::captureToFile(spec, repro_dir);
+        if (!path.empty()) {
+            std::printf("to reproduce: edgesim --replay %s\n",
+                        path.c_str());
+            if (minimize) {
+                triage::MinimizeOptions mo;
+                mo.threads = threads;
+                printMinimized(triage::minimizeRepro(spec, mo));
+            }
+        }
+    }
+    return runExitCode(r);
 }
