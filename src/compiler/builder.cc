@@ -380,15 +380,17 @@ BlockBuilder::finalize(const std::map<std::string, BlockId> &resolve) const
         }
     }
 
-    panic_if(insts.size() > isa::kMaxBlockInsts,
-             "block %s: %zu instructions after fanout expansion "
-             "(max %u) — split the block",
-             _name.c_str(), insts.size(), isa::kMaxBlockInsts);
-
-    std::string why;
-    if (!block.validate(&why)) {
-        panic("block %s failed validation: %s\n%s", _name.c_str(),
-              why.c_str(), block.disassemble().c_str());
+    // The structured validator covers every ISA limit, including the
+    // post-fanout instruction count.
+    std::vector<isa::ValidationIssue> issues;
+    if (block.validateInto(issues) != 0) {
+        std::string msg;
+        for (const auto &is : issues)
+            msg += "  " + is.str() + "\n";
+        const char *hint = insts.size() > isa::kMaxBlockInsts
+                               ? " — split the block\n" : "";
+        panic("block %s failed validation:\n%s%s%s", _name.c_str(),
+              msg.c_str(), hint, block.disassemble().c_str());
     }
     return block;
 }
@@ -454,9 +456,13 @@ ProgramBuilder::build() const
     for (const auto &init : _memInits)
         prog.memImage().push_back(init);
 
-    std::string why;
-    panic_if(!prog.validate(&why), "program %s invalid: %s",
-             _name.c_str(), why.c_str());
+    std::vector<isa::ValidationIssue> issues = prog.validateAll();
+    if (!issues.empty()) {
+        std::string msg;
+        for (const auto &is : issues)
+            msg += "  " + is.str() + "\n";
+        panic("program %s invalid:\n%s", _name.c_str(), msg.c_str());
+    }
     return prog;
 }
 

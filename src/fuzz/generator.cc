@@ -1,0 +1,394 @@
+#include "fuzz/generator.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/strutil.hh"
+#include "compiler/builder.hh"
+
+namespace edge::fuzz {
+
+namespace {
+
+using compiler::BlockBuilder;
+using compiler::ProgramBuilder;
+using compiler::Val;
+using isa::Opcode;
+
+/**
+ * How one block computes its load/store addresses — the axis that
+ * spans EXPERIMENTS.md Table 2's aliasing spectrum, from swimish-like
+ * deterministic aliasing to mcfish/artish-like none.
+ */
+enum class AliasMode : std::uint8_t
+{
+    Hot,      ///< every op hits one word: dense same/cross-block aliasing
+    Strided,  ///< static stride walk: deterministic, predictable aliasing
+    Birthday, ///< data-dependent index into 8 words: frequent collisions
+    Pointer,  ///< address loaded from memory: data-dependent chasing
+    Disjoint, ///< per-block private region: alias-free
+    NumModes,
+};
+
+/**
+ * The dataflow value pool of one block under construction. Limits
+ * every value to four consumers so the builder's fanout trees stay
+ * small, and tracks an upper estimate of the post-fanout instruction
+ * count so a generated block provably fits kMaxBlockInsts.
+ */
+class Pool
+{
+  public:
+    Pool(BlockBuilder &b, Rng &rng) : _b(b), _rng(rng) {}
+
+    void
+    put(Val v)
+    {
+        _vals.push_back(v);
+        _uses.push_back(0);
+    }
+
+    /** A random pool value, charged as one consumer use. */
+    Val
+    pick()
+    {
+        // Always succeeds: values saturate at 4 uses, but the pool
+        // only ever grows and fresh imm() values are use-free.
+        for (unsigned tries = 0; tries < 16; ++tries) {
+            std::size_t i = _rng.below(_vals.size());
+            if (_uses[i] < 4)
+                return use(i);
+        }
+        Val v = _b.imm(static_cast<std::int64_t>(_rng.next() & 0xffff));
+        put(v);
+        return use(_vals.size() - 1);
+    }
+
+    /** Extra post-fanout MOV instructions the uses so far imply. */
+    unsigned fanoutExtra() const { return _extra; }
+
+  private:
+    Val
+    use(std::size_t i)
+    {
+        if (++_uses[i] > 2)
+            ++_extra; // each consumer beyond two costs one MOV
+        return _vals[i];
+    }
+
+    BlockBuilder &_b;
+    Rng &_rng;
+    std::vector<Val> _vals;
+    std::vector<unsigned> _uses;
+    unsigned _extra = 0;
+};
+
+/** Safe (evalOp-total) two-operand integer/FP opcodes. */
+constexpr Opcode kBinOps[] = {
+    Opcode::ADD,  Opcode::SUB,  Opcode::MUL,  Opcode::DIVS,
+    Opcode::DIVU, Opcode::REMU, Opcode::AND,  Opcode::OR,
+    Opcode::XOR,  Opcode::SHL,  Opcode::SHR,  Opcode::SRA,
+    Opcode::TEQ,  Opcode::TNE,  Opcode::TLT,  Opcode::TLE,
+    Opcode::TLTU, Opcode::TLEU, Opcode::FADD, Opcode::FSUB,
+    Opcode::FMUL, Opcode::FDIV, Opcode::FEQ,  Opcode::FLT,
+};
+
+constexpr Opcode kImmOps[] = {
+    Opcode::ADDI, Opcode::MULI, Opcode::ANDI, Opcode::ORI,
+    Opcode::XORI, Opcode::SHLI, Opcode::SHRI, Opcode::SRAI,
+    Opcode::TEQI, Opcode::TLTI, Opcode::TLTUI,
+};
+
+/** Largest power of two <= n (n >= 1). */
+unsigned
+floorPow2(unsigned n)
+{
+    unsigned p = 1;
+    while (p * 2 <= n)
+        p *= 2;
+    return p;
+}
+
+struct BlockPlan
+{
+    std::string name;
+    AliasMode alias = AliasMode::Hot;
+    unsigned ops = 0;
+    unsigned memOps = 0;
+    unsigned fuelDec = 1;
+    std::vector<unsigned> succs; ///< body successors (exit 1..k)
+};
+
+class Generator
+{
+  public:
+    Generator(std::uint64_t seed, const GenOptions &opts)
+        : _rng(seed ^ 0x9e3779b97f4a7c15ULL), _opts(opts),
+          _arenaMask(floorPow2(opts.arenaWords) - 1)
+    {
+        _pb = std::make_unique<ProgramBuilder>(
+            strfmt("fuzz-%llu", static_cast<unsigned long long>(seed)));
+    }
+
+    isa::Program
+    run()
+    {
+        const unsigned nblocks = static_cast<unsigned>(
+            _rng.range(_opts.minBlocks, _opts.maxBlocks));
+
+        std::vector<BlockPlan> plans(nblocks);
+        for (unsigned i = 0; i < nblocks; ++i) {
+            BlockPlan &p = plans[i];
+            p.name = strfmt("b%u", i);
+            p.alias = static_cast<AliasMode>(
+                _rng.below(static_cast<unsigned>(AliasMode::NumModes)));
+            p.ops = static_cast<unsigned>(
+                _rng.range(_opts.minOps, _opts.maxOps));
+            p.memOps = static_cast<unsigned>(
+                _rng.range(1, _opts.maxMemOps));
+            p.fuelDec = static_cast<unsigned>(_rng.range(1, 2));
+            unsigned nsucc = static_cast<unsigned>(_rng.range(1, 3));
+            for (unsigned s = 0; s < nsucc; ++s)
+                p.succs.push_back(
+                    static_cast<unsigned>(_rng.below(nblocks)));
+        }
+        // Make every block reachable-ish: successor s of block i
+        // defaults above to anything, but wire i -> i+1 somewhere so
+        // chains beyond the entry actually run.
+        for (unsigned i = 0; i + 1 < nblocks; ++i)
+            plans[i].succs[0] = i + 1;
+        // The builder dedups exits by successor name, so a repeated
+        // successor would shrink the exit table below the branch's
+        // computed range [1, k] — keep only first occurrences.
+        for (BlockPlan &p : plans) {
+            std::vector<unsigned> uniq;
+            for (unsigned s : p.succs)
+                if (std::find(uniq.begin(), uniq.end(), s) ==
+                    uniq.end())
+                    uniq.push_back(s);
+            p.succs = std::move(uniq);
+        }
+
+        for (const BlockPlan &p : plans)
+            emitBlock(p);
+
+        _pb->setEntry("b0");
+        _pb->setInitReg(kFuelReg, _opts.fuel);
+        for (unsigned r = 0; r < kNumValueRegs; ++r)
+            _pb->setInitReg(kFirstValueReg + r, _rng.next());
+        for (unsigned r = 0; r < kNumStateRegs; ++r)
+            _pb->setInitReg(kFirstStateReg + r, _rng.below(1024));
+
+        std::vector<Word> arena(_opts.arenaWords);
+        for (Word &w : arena)
+            w = _rng.next();
+        _pb->initDataWords(_opts.arenaBase, arena);
+
+        return _pb->build();
+    }
+
+  private:
+    /** A word-aligned static arena address with room for `off`+8. */
+    Addr
+    arenaWordAddr(unsigned word) const
+    {
+        unsigned clamped = word % (_opts.arenaWords - 1);
+        return _opts.arenaBase + static_cast<Addr>(clamped) * 8;
+    }
+
+    /** Dynamic address: arenaBase + (v & mask) * 8, mask a pow2-1. */
+    Val
+    dynAddr(BlockBuilder &b, Val v, unsigned mask)
+    {
+        Val idx = b.andi(v, mask);
+        return b.opImm(Opcode::ADDI, b.shli(idx, 3),
+                       static_cast<std::int64_t>(_opts.arenaBase));
+    }
+
+    void
+    emitBlock(const BlockPlan &plan)
+    {
+        BlockBuilder &b = _pb->newBlock(plan.name);
+        Pool pool(b, _rng);
+
+        // Fuel bookkeeping: every block pays fuel, and exit 0 (halt)
+        // is taken as soon as it runs out — the termination proof.
+        Val fuel = b.readReg(kFuelReg);
+        Val new_fuel = b.addi(
+            fuel, -static_cast<std::int64_t>(plan.fuelDec));
+        b.writeReg(kFuelReg, new_fuel);
+        Val done = b.tlti(new_fuel, 1);
+
+        // Seed the pool: a few input registers and constants.
+        unsigned nreads = static_cast<unsigned>(_rng.range(2, 4));
+        for (unsigned i = 0; i < nreads; ++i)
+            pool.put(b.readReg(kFirstValueReg +
+                               static_cast<unsigned>(
+                                   _rng.below(kNumValueRegs))));
+        pool.put(b.readReg(kFirstStateReg +
+                           static_cast<unsigned>(
+                               _rng.below(kNumStateRegs))));
+        pool.put(b.imm(static_cast<std::int64_t>(_rng.next())));
+        pool.put(b.imm(static_cast<std::int64_t>(_rng.below(256))));
+
+        // For Pointer mode, chase an index loaded from the arena.
+        unsigned mem_left = plan.memOps;
+        if (plan.alias == AliasMode::Pointer && mem_left > 1) {
+            Val p = b.load(
+                b.imm(static_cast<std::int64_t>(arenaWordAddr(
+                    static_cast<unsigned>(_rng.below(64))))),
+                8);
+            pool.put(p);
+            --mem_left;
+        }
+
+        // Disjoint mode confines this block to a private region.
+        unsigned region = 0;
+        if (plan.alias == AliasMode::Disjoint)
+            region = static_cast<unsigned>(_rng.below(256)) * 8;
+        unsigned hot_word = static_cast<unsigned>(_rng.below(64));
+        unsigned stride = static_cast<unsigned>(_rng.range(1, 7));
+        unsigned stride_pos = static_cast<unsigned>(_rng.below(64));
+
+        // Interleave ALU ops and memory ops; stop early if the
+        // post-fanout size estimate approaches the ISA limit.
+        unsigned ops_left = plan.ops;
+        unsigned mem_idx = 0;
+        while (ops_left > 0 || mem_left > 0) {
+            if (b.numNodes() + pool.fanoutExtra() > 96)
+                break;
+            bool do_mem =
+                mem_left > 0 &&
+                (ops_left == 0 || _rng.chance(mem_left, mem_left + ops_left));
+            if (do_mem) {
+                emitMemOp(b, pool, plan, mem_idx++, hot_word, stride,
+                          stride_pos, region);
+                --mem_left;
+            } else {
+                emitAluOp(b, pool);
+                --ops_left;
+            }
+        }
+
+        // Block outputs: a few state registers (predication included
+        // via SEL values already in the pool).
+        unsigned nwrites = static_cast<unsigned>(_rng.range(1, 4));
+        for (unsigned i = 0; i < nwrites; ++i)
+            b.writeReg(kFirstStateReg +
+                           static_cast<unsigned>(_rng.below(kNumStateRegs)),
+                       pool.pick());
+        // Occasionally evolve an input register too.
+        if (_rng.chance(1, 3))
+            b.writeReg(kFirstValueReg +
+                           static_cast<unsigned>(_rng.below(kNumValueRegs)),
+                       pool.pick());
+
+        // Exit structure: exit 0 halts (fuel exhausted); exits 1..k
+        // are the planned successors, chosen data-dependently.
+        b.addExitHalt();
+        for (unsigned succ : plan.succs)
+            b.addExit(strfmt("b%u", succ));
+        const auto k = static_cast<std::uint64_t>(plan.succs.size());
+        Val choice;
+        if (k == 1) {
+            choice = b.imm(1);
+        } else {
+            Val r = b.op2(Opcode::REMU, pool.pick(),
+                          b.imm(static_cast<std::int64_t>(k)));
+            choice = b.addi(r, 1); // [1, k]: past the halt exit
+        }
+        b.branch(b.sel(done, b.imm(0), choice));
+    }
+
+    void
+    emitAluOp(BlockBuilder &b, Pool &pool)
+    {
+        unsigned pickKind = static_cast<unsigned>(_rng.below(10));
+        if (pickKind < 5) {
+            Opcode op = kBinOps[_rng.below(std::size(kBinOps))];
+            pool.put(b.op2(op, pool.pick(), pool.pick()));
+        } else if (pickKind < 8) {
+            Opcode op = kImmOps[_rng.below(std::size(kImmOps))];
+            pool.put(b.opImm(op, pool.pick(),
+                             static_cast<std::int64_t>(_rng.next() & 0xff)));
+        } else if (pickKind < 9) {
+            // Predicated arm: if-converted value selection.
+            pool.put(b.sel(pool.pick(), pool.pick(), pool.pick()));
+        } else {
+            pool.put(_rng.chance(1, 2) ? b.i2f(pool.pick())
+                                       : b.f2i(pool.pick()));
+        }
+    }
+
+    void
+    emitMemOp(BlockBuilder &b, Pool &pool, const BlockPlan &plan,
+              unsigned mem_idx, unsigned hot_word, unsigned stride,
+              unsigned stride_pos, unsigned region)
+    {
+        // Mixed access widths with sub-word misalignment: a word-
+        // aligned base plus an offset of up to 7 bytes, so 2/4/8-byte
+        // accesses regularly straddle word boundaries.
+        unsigned bytes = 1u << _rng.below(4);
+        auto off = static_cast<std::int64_t>(_rng.below(8));
+
+        Val addr;
+        switch (plan.alias) {
+          case AliasMode::Hot:
+            addr = b.imm(static_cast<std::int64_t>(arenaWordAddr(hot_word)));
+            break;
+          case AliasMode::Strided:
+            addr = b.imm(static_cast<std::int64_t>(
+                arenaWordAddr(stride_pos + mem_idx * stride)));
+            break;
+          case AliasMode::Birthday:
+            addr = dynAddr(b, pool.pick(), 7);
+            break;
+          case AliasMode::Pointer:
+            addr = dynAddr(b, pool.pick(),
+                           _arenaMask >= 2 ? _arenaMask / 2 : 1);
+            break;
+          case AliasMode::Disjoint:
+          default:
+            addr = b.imm(static_cast<std::int64_t>(
+                _opts.arenaBase + 0x10000 + region +
+                (mem_idx % 4) * 8));
+            break;
+        }
+
+        // Predicated store address: one arm aliases, the other does
+        // not — the hardest case for dependence prediction.
+        if (_rng.chance(1, 5)) {
+            Val alt = b.imm(static_cast<std::int64_t>(
+                arenaWordAddr(static_cast<unsigned>(_rng.below(64)))));
+            addr = b.sel(pool.pick(), addr, alt);
+        }
+
+        if (_rng.chance(1, 2)) {
+            pool.put(b.load(addr, bytes, off));
+        } else {
+            b.store(addr, pool.pick(), bytes, off);
+        }
+    }
+
+    Rng _rng;
+    GenOptions _opts;
+    unsigned _arenaMask;
+    std::unique_ptr<ProgramBuilder> _pb;
+};
+
+} // namespace
+
+isa::Program
+generate(std::uint64_t seed, const GenOptions &opts)
+{
+    fatal_if(opts.minBlocks < 1 || opts.maxBlocks < opts.minBlocks,
+             "fuzz: bad block-count range");
+    fatal_if(opts.arenaWords < 8, "fuzz: arena too small");
+    fatal_if(opts.fuel < 1, "fuzz: fuel must be positive");
+    return Generator(seed, opts).run();
+}
+
+} // namespace edge::fuzz

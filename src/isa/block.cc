@@ -36,42 +36,39 @@ Block::branchSlot() const
     panic("block %s has no branch instruction", _name.c_str());
 }
 
-namespace {
-
-bool
-fail(std::string *why, std::string msg)
+std::size_t
+Block::validateInto(std::vector<ValidationIssue> &out,
+                    const std::string &where) const
 {
-    if (why)
-        *why = std::move(msg);
-    return false;
-}
+    const std::size_t before = out.size();
+    auto issue = [&](std::string at, std::string what) {
+        std::string w = where;
+        if (!at.empty())
+            w += (w.empty() ? "" : " ") + std::move(at);
+        out.push_back({std::move(w), std::move(what)});
+    };
 
-} // namespace
-
-bool
-Block::validate(std::string *why) const
-{
     if (_insts.empty())
-        return fail(why, "block has no instructions");
+        issue("", "block has no instructions");
     if (_insts.size() > kMaxBlockInsts)
-        return fail(why, strfmt("block has %zu insts (max %u)",
-                                _insts.size(), kMaxBlockInsts));
+        issue("", strfmt("block has %zu insts (max %u)",
+                         _insts.size(), kMaxBlockInsts));
     if (_reads.size() > kMaxBlockReads)
-        return fail(why, "too many register reads");
+        issue("", "too many register reads");
     if (_writes.size() > kMaxBlockWrites)
-        return fail(why, "too many register writes");
+        issue("", "too many register writes");
     if (_exits.empty() || _exits.size() > kMaxBlockExits)
-        return fail(why, "bad exit count");
+        issue("", strfmt("bad exit count (%zu, need 1..%u)",
+                         _exits.size(), kMaxBlockExits));
     if (numMemOps() > kMaxBlockMemOps)
-        return fail(why, "too many memory operations");
+        issue("", "too many memory operations");
 
     // Count the producers of every operand and write slot.
     std::vector<std::array<unsigned, kMaxOperands>> op_producers(
         _insts.size(), {0, 0, 0});
     std::vector<unsigned> write_producers(_writes.size(), 0);
 
-    auto check_target = [&](const Target &t, const char *from,
-                            std::size_t from_idx) -> const char * {
+    auto check_target = [&](const Target &t) -> const char * {
         if (!t.valid())
             return nullptr;
         if (t.kind == TargetKind::Operand) {
@@ -87,80 +84,102 @@ Block::validate(std::string *why) const
                 return "write target out of range";
             ++write_producers[t.index];
         }
-        (void)from;
-        (void)from_idx;
         return nullptr;
     };
 
     for (std::size_t i = 0; i < _reads.size(); ++i) {
         if (_reads[i].reg >= kNumArchRegs)
-            return fail(why, "read of nonexistent register");
+            issue(strfmt("read %zu", i), "read of nonexistent register");
         bool any = false;
         for (const auto &t : _reads[i].targets) {
-            if (const char *err = check_target(t, "read", i))
-                return fail(why, strfmt("read %zu: %s", i, err));
+            if (const char *err = check_target(t))
+                issue(strfmt("read %zu", i), err);
             any = any || t.valid();
         }
         if (!any)
-            return fail(why, strfmt("read %zu has no targets", i));
+            issue(strfmt("read %zu", i), "has no targets");
     }
 
     unsigned branches = 0;
     Lsid next_lsid = 0;
     for (std::size_t i = 0; i < _insts.size(); ++i) {
         const Instruction &in = _insts[i];
-        if (isBranch(in.op))
+        if (isBranch(in.op)) {
             ++branches;
+            // A BRO exit index is static: check it against the exit
+            // table here rather than letting the executor trap it.
+            if (opInfo(in.op).hasImm &&
+                (in.imm < 0 ||
+                 static_cast<std::uint64_t>(in.imm) >= _exits.size())) {
+                issue(strfmt("slot %zu", i),
+                      strfmt("branch exit index %lld out of range "
+                             "(block has %zu exits)",
+                             static_cast<long long>(in.imm),
+                             _exits.size()));
+            }
+        }
         if (isMem(in.op)) {
             if (in.lsid != next_lsid)
-                return fail(why, strfmt("slot %zu: lsid %u, expected %u "
-                                        "(LSIDs must be dense, slot order)",
-                                        i, in.lsid, next_lsid));
+                issue(strfmt("slot %zu", i),
+                      strfmt("lsid %u, expected %u (LSIDs must be dense, "
+                             "slot order)", in.lsid, next_lsid));
             ++next_lsid;
         }
         for (const auto &t : in.targets) {
             if (isStore(in.op) && t.valid())
-                return fail(why, strfmt("slot %zu: store has targets", i));
+                issue(strfmt("slot %zu", i), "store has targets");
             if (isBranch(in.op) && t.valid())
-                return fail(why, strfmt("slot %zu: branch has targets", i));
-            if (const char *err = check_target(t, "inst", i))
-                return fail(why, strfmt("slot %zu: %s", i, err));
+                issue(strfmt("slot %zu", i), "branch has targets");
+            if (const char *err = check_target(t))
+                issue(strfmt("slot %zu", i), err);
         }
     }
     if (branches != 1)
-        return fail(why, strfmt("block has %u branches (need exactly 1)",
-                                branches));
+        issue("", strfmt("block has %u branches (need exactly 1, so "
+                         "every path takes exactly one exit)", branches));
 
     for (std::size_t i = 0; i < _insts.size(); ++i) {
         unsigned n = _insts[i].numOperands();
         for (unsigned k = 0; k < n; ++k) {
             if (op_producers[i][k] != 1)
-                return fail(why,
-                            strfmt("slot %zu operand %u has %u producers "
-                                   "(need exactly 1)",
-                                   i, k, op_producers[i][k]));
+                issue(strfmt("slot %zu", i),
+                      strfmt("operand %u has %u producers (need exactly 1)",
+                             k, op_producers[i][k]));
         }
         for (unsigned k = n; k < kMaxOperands; ++k) {
             if (op_producers[i][k] != 0)
-                return fail(why, strfmt("slot %zu operand %u is wired but "
-                                        "not consumed", i, k));
+                issue(strfmt("slot %zu", i),
+                      strfmt("operand %u is wired but not consumed", k));
         }
     }
     for (std::size_t w = 0; w < _writes.size(); ++w) {
         if (_writes[w].reg >= kNumArchRegs)
-            return fail(why, "write of nonexistent register");
+            issue(strfmt("write %zu", w), "write of nonexistent register");
         if (write_producers[w] != 1)
-            return fail(why, strfmt("write %zu has %u producers", w,
-                                    write_producers[w]));
+            issue(strfmt("write %zu", w),
+                  strfmt("has %u producers", write_producers[w]));
     }
     // No two writes may name the same architectural register: a block
     // commits atomically, so the last write would be ambiguous.
     for (std::size_t a = 0; a < _writes.size(); ++a)
         for (std::size_t b = a + 1; b < _writes.size(); ++b)
             if (_writes[a].reg == _writes[b].reg)
-                return fail(why, strfmt("register r%u written twice",
-                                        _writes[a].reg));
-    return true;
+                issue("", strfmt("register r%u written twice",
+                                 _writes[a].reg));
+    return out.size() - before;
+}
+
+bool
+Block::validate(std::string *why) const
+{
+    std::vector<ValidationIssue> issues;
+    if (validateInto(issues) == 0)
+        return true;
+    if (why) {
+        const ValidationIssue &first = issues.front();
+        *why = first.where.empty() ? first.what : first.str();
+    }
+    return false;
 }
 
 namespace {

@@ -37,6 +37,18 @@ struct RegWrite
  */
 inline constexpr BlockId kHaltBlock = kInvalidBlock;
 
+/**
+ * One structural validation failure. `where` locates the problem
+ * ("slot 7", "read 2", "block 3 (body)"), `what` describes it.
+ */
+struct ValidationIssue
+{
+    std::string where;
+    std::string what;
+
+    std::string str() const { return where + ": " + what; }
+};
+
 /** One static hyperblock. */
 class Block
 {
@@ -72,9 +84,21 @@ class Block
      * Structural validation. Checks every ISA limit, that each
      * instruction operand is wired by exactly one producer, that
      * each write slot has exactly one producer, that LSIDs are dense
-     * and in slot order, and that exactly one branch exists.
+     * and in slot order, that exactly one branch exists (so every
+     * dynamic path takes exactly one exit), and that a BRO immediate
+     * names an exit that exists.
      *
-     * @param why on failure, receives a human-readable reason
+     * Collects *every* issue rather than stopping at the first; each
+     * issue's `where` is prefixed with @p where.
+     *
+     * @return the number of issues appended to @p out
+     */
+    std::size_t validateInto(std::vector<ValidationIssue> &out,
+                             const std::string &where = "") const;
+
+    /**
+     * Convenience wrapper over validateInto().
+     * @param why on failure, receives the first issue's description
      * @return true iff the block is well-formed
      */
     bool validate(std::string *why = nullptr) const;

@@ -1,5 +1,6 @@
 #include "isa/opcode.hh"
 
+#include <cstring>
 #include <limits>
 
 #include "common/logging.hh"
@@ -87,6 +88,19 @@ safeDivS(SWord a, SWord b)
 }
 
 } // namespace
+
+bool
+opcodeByName(const char *name, Opcode *out)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::NUM_OPCODES); ++i) {
+        if (std::strcmp(kOpTable[i].name, name) == 0) {
+            *out = static_cast<Opcode>(i);
+            return true;
+        }
+    }
+    return false;
+}
 
 const OpInfo &
 opInfo(Opcode op)

@@ -87,6 +87,14 @@ const OpInfo &opInfo(Opcode op);
 /** Mnemonic shorthand. */
 inline const char *opName(Opcode op) { return opInfo(op).name; }
 
+/**
+ * Reverse mnemonic lookup (for deserializing programs).
+ * @param name the mnemonic, as produced by opName()
+ * @param out receives the opcode on success
+ * @return true iff @p name names an opcode
+ */
+bool opcodeByName(const char *name, Opcode *out);
+
 inline bool isLoad(Opcode op) { return opInfo(op).isLoad; }
 inline bool isStore(Opcode op) { return opInfo(op).isStore; }
 inline bool isMem(Opcode op) { return isLoad(op) || isStore(op); }

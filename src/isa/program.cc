@@ -40,36 +40,39 @@ Program::blockByName(const std::string &name) const
     return it->second;
 }
 
+std::vector<ValidationIssue>
+Program::validateAll() const
+{
+    std::vector<ValidationIssue> issues;
+    if (_blocks.empty()) {
+        issues.push_back({"program", "has no blocks"});
+        return issues;
+    }
+    if (_entry >= _blocks.size())
+        issues.push_back({"program", "entry block out of range"});
+    for (std::size_t i = 0; i < _blocks.size(); ++i) {
+        std::string where = strfmt("block %zu (%s)", i,
+                                   _blocks[i].name().c_str());
+        _blocks[i].validateInto(issues, where);
+        for (std::size_t e = 0; e < _blocks[i].exits().size(); ++e) {
+            BlockId succ = _blocks[i].exits()[e];
+            if (succ != kHaltBlock && succ >= _blocks.size())
+                issues.push_back(
+                    {where, strfmt("exit %zu to bad block %u", e, succ)});
+        }
+    }
+    return issues;
+}
+
 bool
 Program::validate(std::string *why) const
 {
-    if (_blocks.empty()) {
-        if (why)
-            *why = "program has no blocks";
-        return false;
-    }
-    if (_entry >= _blocks.size()) {
-        if (why)
-            *why = "entry block out of range";
-        return false;
-    }
-    for (std::size_t i = 0; i < _blocks.size(); ++i) {
-        std::string reason;
-        if (!_blocks[i].validate(&reason)) {
-            if (why)
-                *why = strfmt("block %zu (%s): %s", i,
-                              _blocks[i].name().c_str(), reason.c_str());
-            return false;
-        }
-        for (BlockId succ : _blocks[i].exits()) {
-            if (succ != kHaltBlock && succ >= _blocks.size()) {
-                if (why)
-                    *why = strfmt("block %zu exit to bad block %u", i, succ);
-                return false;
-            }
-        }
-    }
-    return true;
+    std::vector<ValidationIssue> issues = validateAll();
+    if (issues.empty())
+        return true;
+    if (why)
+        *why = issues.front().str();
+    return false;
 }
 
 std::size_t

@@ -54,8 +54,16 @@ class Program
     const std::vector<MemInit> &memImage() const { return _memImage; }
 
     /**
-     * Validate every block and every exit edge.
-     * @param why receives the failing block and reason on failure
+     * Validate every block and every exit edge, collecting every
+     * issue found (block-structure problems, out-of-range exit
+     * edges, bad entry). An empty result means the program is
+     * well-formed.
+     */
+    std::vector<ValidationIssue> validateAll() const;
+
+    /**
+     * Convenience wrapper over validateAll().
+     * @param why receives the first issue (block and reason) on failure
      */
     bool validate(std::string *why = nullptr) const;
 

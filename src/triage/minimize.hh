@@ -92,6 +92,57 @@ MinimizeResult minimizeRepro(const ReproSpec &spec,
 ReproSpec applySchedule(const ReproSpec &spec,
                         const MinimizeResult &minimized);
 
+/** Outcome of program-level (block + effect) delta debugging. */
+struct ProgramMinimizeResult
+{
+    /** The minimized program (always validator-clean and halting). */
+    isa::Program program;
+    std::size_t blocksBefore = 0;
+    std::size_t blocksAfter = 0;
+    /** Observable effects: stores + register writes. */
+    std::size_t effectsBefore = 0;
+    std::size_t effectsAfter = 0;
+    std::size_t testsRun = 0;
+    unsigned rounds = 0;
+    /** True when both phases reached local 1-minimality. */
+    bool converged = false;
+};
+
+/**
+ * Block-and-instruction-level ddmin over the spec's program,
+ * composing with the chaos-event ddmin above (minimize the program
+ * first, then minimizeRepro the schedule of the shrunk spec). Two
+ * phases, both driven by minimizeOrdinals so the reduction path is
+ * deterministic at any thread count:
+ *
+ *  1. Block-level: the ordinal universe is every non-entry block;
+ *     a candidate keeps a subset and redirects exits to removed
+ *     blocks back to the entry block (keeping loops alive; the
+ *     tester re-proves termination on the reference).
+ *  2. Effect-level: the universe is every observable effect (store
+ *     instruction or register-write slot) of the phase-1 winner; a
+ *     candidate keeps a subset, recomputes liveness from the kept
+ *     roots (branch + kept stores + kept writes), drops dead
+ *     instructions, renumbers slots and targets, and re-densifies
+ *     LSIDs — so every candidate is validator-clean by construction.
+ *
+ * Candidates that fail validation or whose reference execution does
+ * not halt are treated as "does not reproduce". The verdict
+ * predicate is sameFailureKind (the exact failure cycle may move).
+ */
+ProgramMinimizeResult minimizeProgram(const ReproSpec &spec,
+                                      const MinimizeOptions &opts = {});
+
+/**
+ * A copy of `spec` carrying `minimized` as its embedded program.
+ * Replays it once to re-capture the failure signature and chaos
+ * schedule (cycle and ordinals legitimately shift when the program
+ * shrinks), so the result both replays bit-identically and is a
+ * fresh starting point for minimizeRepro's schedule ddmin.
+ */
+ReproSpec applyProgram(const ReproSpec &spec,
+                       const isa::Program &minimized);
+
 } // namespace edge::triage
 
 #endif // EDGE_TRIAGE_MINIMIZE_HH

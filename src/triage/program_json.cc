@@ -1,0 +1,268 @@
+#include "triage/program_json.hh"
+
+#include "common/strutil.hh"
+
+namespace edge::triage {
+
+namespace {
+
+JsonValue
+targetToJson(const isa::Target &t)
+{
+    JsonValue o = JsonValue::object();
+    o.set("kind", JsonValue::str(
+                      t.kind == isa::TargetKind::Operand ? "operand"
+                                                         : "write"));
+    o.set("index", JsonValue::u64(t.index));
+    if (t.kind == isa::TargetKind::Operand)
+        o.set("operand", JsonValue::u64(t.operand));
+    return o;
+}
+
+bool
+targetFromJson(const JsonValue &o, isa::Target *t, std::string *err)
+{
+    std::string kind = o.getString("kind");
+    if (kind == "operand")
+        t->kind = isa::TargetKind::Operand;
+    else if (kind == "write")
+        t->kind = isa::TargetKind::RegWrite;
+    else {
+        if (err)
+            *err = "bad target kind '" + kind + "'";
+        return false;
+    }
+    t->index = static_cast<std::uint16_t>(o.getU64("index"));
+    t->operand = static_cast<std::uint8_t>(o.getU64("operand"));
+    return true;
+}
+
+std::string
+bytesToHex(const std::vector<std::uint8_t> &bytes)
+{
+    static const char kHex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out += kHex[b >> 4];
+        out += kHex[b & 0xf];
+    }
+    return out;
+}
+
+bool
+hexToBytes(const std::string &hex, std::vector<std::uint8_t> *bytes,
+           std::string *err)
+{
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    };
+    if (hex.size() % 2 != 0) {
+        if (err)
+            *err = "odd-length hex string";
+        return false;
+    }
+    bytes->clear();
+    bytes->reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0) {
+            if (err)
+                *err = "non-hex byte in memory image";
+            return false;
+        }
+        bytes->push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return true;
+}
+
+} // namespace
+
+JsonValue
+programToJson(const isa::Program &program)
+{
+    JsonValue root = JsonValue::object();
+    root.set("name", JsonValue::str(program.name()));
+    root.set("entry", JsonValue::u64(program.entry()));
+
+    JsonValue regs = JsonValue::array();
+    for (Word w : program.initRegs())
+        regs.push(JsonValue::u64(w));
+    root.set("init_regs", std::move(regs));
+
+    JsonValue image = JsonValue::array();
+    for (const isa::MemInit &chunk : program.memImage()) {
+        JsonValue c = JsonValue::object();
+        c.set("base", JsonValue::u64(chunk.base));
+        c.set("bytes_hex", JsonValue::str(bytesToHex(chunk.bytes)));
+        image.push(std::move(c));
+    }
+    root.set("mem_image", std::move(image));
+
+    JsonValue blocks = JsonValue::array();
+    for (std::size_t i = 0; i < program.numBlocks(); ++i) {
+        const isa::Block &b = program.block(static_cast<BlockId>(i));
+        JsonValue bo = JsonValue::object();
+        bo.set("name", JsonValue::str(b.name()));
+
+        JsonValue reads = JsonValue::array();
+        for (const isa::RegRead &rd : b.reads()) {
+            JsonValue ro = JsonValue::object();
+            ro.set("reg", JsonValue::u64(rd.reg));
+            JsonValue tgts = JsonValue::array();
+            for (const isa::Target &t : rd.targets)
+                if (t.valid())
+                    tgts.push(targetToJson(t));
+            ro.set("targets", std::move(tgts));
+            reads.push(std::move(ro));
+        }
+        bo.set("reads", std::move(reads));
+
+        JsonValue insts = JsonValue::array();
+        for (const isa::Instruction &in : b.insts()) {
+            JsonValue io = JsonValue::object();
+            io.set("op", JsonValue::str(isa::opName(in.op)));
+            if (isa::opInfo(in.op).hasImm)
+                io.set("imm", JsonValue::i64(in.imm));
+            if (isa::isMem(in.op))
+                io.set("lsid", JsonValue::u64(in.lsid));
+            JsonValue tgts = JsonValue::array();
+            for (const isa::Target &t : in.targets)
+                if (t.valid())
+                    tgts.push(targetToJson(t));
+            io.set("targets", std::move(tgts));
+            insts.push(std::move(io));
+        }
+        bo.set("insts", std::move(insts));
+
+        JsonValue writes = JsonValue::array();
+        for (const isa::RegWrite &w : b.writes())
+            writes.push(JsonValue::u64(w.reg));
+        bo.set("writes", std::move(writes));
+
+        JsonValue exits = JsonValue::array();
+        for (BlockId e : b.exits())
+            exits.push(JsonValue::u64(e));
+        bo.set("exits", std::move(exits));
+
+        blocks.push(std::move(bo));
+    }
+    root.set("blocks", std::move(blocks));
+    return root;
+}
+
+bool
+programFromJson(const JsonValue &root, isa::Program *program,
+                std::string *err)
+{
+    if (!root.isObject()) {
+        if (err)
+            *err = "embedded program is not an object";
+        return false;
+    }
+    isa::Program prog(root.getString("name", "embedded"));
+
+    const JsonValue *blocks = root.get("blocks");
+    if (!blocks || !blocks->isArray()) {
+        if (err)
+            *err = "embedded program has no blocks array";
+        return false;
+    }
+    for (const JsonValue &bo : blocks->items()) {
+        isa::Block b(bo.getString("name"));
+
+        if (const JsonValue *reads = bo.get("reads")) {
+            for (const JsonValue &ro : reads->items()) {
+                isa::RegRead rd;
+                rd.reg = static_cast<std::uint8_t>(ro.getU64("reg"));
+                if (const JsonValue *tgts = ro.get("targets")) {
+                    std::size_t k = 0;
+                    for (const JsonValue &to : tgts->items()) {
+                        if (k >= isa::kMaxTargets) {
+                            if (err)
+                                *err = "too many read targets";
+                            return false;
+                        }
+                        if (!targetFromJson(to, &rd.targets[k++], err))
+                            return false;
+                    }
+                }
+                b.reads().push_back(rd);
+            }
+        }
+
+        if (const JsonValue *insts = bo.get("insts")) {
+            for (const JsonValue &io : insts->items()) {
+                isa::Instruction in;
+                std::string op = io.getString("op");
+                if (!isa::opcodeByName(op.c_str(), &in.op)) {
+                    if (err)
+                        *err = "unknown opcode '" + op + "'";
+                    return false;
+                }
+                if (const JsonValue *imm = io.get("imm"))
+                    in.imm = imm->asI64();
+                in.lsid = static_cast<Lsid>(io.getU64("lsid"));
+                if (const JsonValue *tgts = io.get("targets")) {
+                    std::size_t k = 0;
+                    for (const JsonValue &to : tgts->items()) {
+                        if (k >= isa::kMaxTargets) {
+                            if (err)
+                                *err = "too many targets";
+                            return false;
+                        }
+                        if (!targetFromJson(to, &in.targets[k++], err))
+                            return false;
+                    }
+                }
+                b.insts().push_back(in);
+            }
+        }
+
+        if (const JsonValue *writes = bo.get("writes")) {
+            for (const JsonValue &w : writes->items()) {
+                isa::RegWrite wr;
+                wr.reg = static_cast<std::uint8_t>(w.asU64());
+                b.writes().push_back(wr);
+            }
+        }
+
+        if (const JsonValue *exits = bo.get("exits"))
+            for (const JsonValue &e : exits->items())
+                b.exits().push_back(static_cast<BlockId>(e.asU64()));
+
+        prog.addBlock(std::move(b));
+    }
+
+    prog.setEntry(static_cast<BlockId>(root.getU64("entry")));
+
+    if (const JsonValue *regs = root.get("init_regs")) {
+        std::size_t i = 0;
+        for (const JsonValue &r : regs->items()) {
+            if (i >= prog.initRegs().size())
+                break;
+            prog.initRegs()[i++] = r.asU64();
+        }
+    }
+
+    if (const JsonValue *image = root.get("mem_image")) {
+        for (const JsonValue &c : image->items()) {
+            isa::MemInit chunk;
+            chunk.base = c.getU64("base");
+            if (!hexToBytes(c.getString("bytes_hex"), &chunk.bytes, err))
+                return false;
+            prog.memImage().push_back(std::move(chunk));
+        }
+    }
+
+    *program = std::move(prog);
+    return true;
+}
+
+} // namespace edge::triage

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Full (de)serialization of an isa::Program to JSON — the repro
+ * format's "embedded program" extension. Kernel-built programs are
+ * identified by (kernel, params) and rebuilt on replay; fuzz-
+ * generated and minimized programs have no generator to call back
+ * into, so the repro file carries the program itself: every block's
+ * instructions with opcodes by mnemonic, immediates, LSIDs and
+ * direct targets, the register read/write interfaces, exit tables,
+ * entry block, initial registers, and the initial memory image.
+ */
+
+#ifndef EDGE_TRIAGE_PROGRAM_JSON_HH
+#define EDGE_TRIAGE_PROGRAM_JSON_HH
+
+#include <string>
+
+#include "isa/program.hh"
+#include "triage/jsonio.hh"
+
+namespace edge::triage {
+
+/** Serialize a whole program (lossless round-trip). */
+JsonValue programToJson(const isa::Program &program);
+
+/**
+ * Rebuild a program from programToJson() output.
+ * @return false (with *err set) on malformed input — unknown
+ *         opcodes, bad target kinds, or non-hex image bytes. The
+ *         result is NOT validated here; callers run
+ *         Program::validateAll() before executing it.
+ */
+bool programFromJson(const JsonValue &root, isa::Program *program,
+                     std::string *err);
+
+} // namespace edge::triage
+
+#endif // EDGE_TRIAGE_PROGRAM_JSON_HH

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "lsq/lsq.hh"
 #include "predictor/dependence.hh"
+#include "triage/program_json.hh"
 
 namespace edge::triage {
 
@@ -399,9 +400,24 @@ programHash(const isa::Program &program)
     return f.h;
 }
 
+ProgramRef
+embeddedRef(std::string label, isa::Program program,
+            std::uint64_t generator_seed)
+{
+    ProgramRef ref;
+    ref.kernel = std::move(label);
+    ref.params.iterations = 0;
+    ref.params.seed = generator_seed;
+    ref.hasEmbedded = true;
+    ref.embedded = std::move(program);
+    return ref;
+}
+
 isa::Program
 buildProgram(const ProgramRef &ref)
 {
+    if (ref.hasEmbedded)
+        return ref.embedded;
     return wl::build(ref.kernel, ref.params);
 }
 
@@ -417,6 +433,8 @@ toJson(const ReproSpec &spec)
     prog.set("iterations", JsonValue::u64(spec.program.params.iterations));
     prog.set("seed", JsonValue::u64(spec.program.params.seed));
     prog.set("hash", JsonValue::u64(spec.programHash));
+    if (spec.program.hasEmbedded)
+        prog.set("embedded", programToJson(spec.program.embedded));
     root.set("program", std::move(prog));
 
     root.set("config", configToJson(spec.config));
@@ -463,6 +481,12 @@ fromJson(const JsonValue &root, ReproSpec *spec, std::string *err)
     spec->program.params.seed =
         prog->getU64("seed", spec->program.params.seed);
     spec->programHash = prog->getU64("hash");
+    spec->program.hasEmbedded = false;
+    if (const JsonValue *embedded = prog->get("embedded")) {
+        if (!programFromJson(*embedded, &spec->program.embedded, err))
+            return false;
+        spec->program.hasEmbedded = true;
+    }
 
     if (const JsonValue *cfg = root.get("config"))
         configFromJson(*cfg, &spec->config);
@@ -601,6 +625,14 @@ sim::RunResult
 replay(const ReproSpec &spec)
 {
     isa::Program prog = buildProgram(spec.program);
+    if (spec.program.hasEmbedded) {
+        // Loaded from disk, so check before the Simulator's fatal-on-
+        // invalid constructor produces an opaque message.
+        std::vector<isa::ValidationIssue> issues = prog.validateAll();
+        fatal_if(!issues.empty(),
+                 "repro: embedded program is invalid: %s",
+                 issues.front().str().c_str());
+    }
     std::uint64_t hash = programHash(prog);
     if (spec.programHash != 0 && hash != spec.programHash)
         warn("repro: program hash mismatch (spec %016llx, built "

@@ -24,12 +24,26 @@
 
 namespace edge::triage {
 
-/** How to rebuild the failing program from the workload suite. */
+/**
+ * How to rebuild the failing program. Two flavours: a workload-suite
+ * kernel identified by (kernel, params) and rebuilt via wl::build on
+ * replay, or — for fuzz-generated and minimized programs, which have
+ * no kernel to call back into — the program itself, embedded in the
+ * repro file (see triage/program_json.hh).
+ */
 struct ProgramRef
 {
-    std::string kernel;             ///< wl::build name
+    std::string kernel;             ///< wl::build name, or "fuzz"
     wl::KernelParams params;        ///< generator iterations + seed
+    /** When set, `embedded` IS the program; `kernel` is just a label
+     *  (and `params.seed` records the fuzz generator seed). */
+    bool hasEmbedded = false;
+    isa::Program embedded;
 };
+
+/** A ProgramRef carrying the program itself. */
+ProgramRef embeddedRef(std::string label, isa::Program program,
+                       std::uint64_t generator_seed = 0);
 
 /** Everything needed to replay one failing run. */
 struct ReproSpec

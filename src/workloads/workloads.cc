@@ -55,6 +55,15 @@ kernelNames()
     return names;
 }
 
+bool
+exists(const std::string &name)
+{
+    for (const KernelInfo &k : kernels())
+        if (k.name == name)
+            return true;
+    return false;
+}
+
 isa::Program
 build(const std::string &name, const KernelParams &params)
 {

@@ -44,6 +44,9 @@ const std::vector<KernelInfo> &kernels();
 /** Names only, presentation order. */
 std::vector<std::string> kernelNames();
 
+/** Is `name` a kernel build() accepts? */
+bool exists(const std::string &name);
+
 /** Build the named kernel (fatal on unknown name). */
 isa::Program build(const std::string &name,
                    const KernelParams &params = {});

@@ -240,6 +240,61 @@ TEST(RefExecutor, SubWordAccessesMerge)
     EXPECT_EQ(ref.regs()[1], 0x11111111AB111111ull);
 }
 
+TEST(RefExecutor, MisalignedLoadsStraddleWords)
+{
+    ProgramBuilder pb("t");
+    auto &b = pb.newBlock("only");
+    compiler::Val base = b.imm(0x300);
+    b.writeReg(1, b.load(base, 4, 6)); // bytes 6..9
+    b.writeReg(2, b.load(base, 8, 3)); // bytes 3..10
+    b.branchHalt();
+    pb.initDataWords(0x300,
+                     {0x0807060504030201ull, 0x100f0e0d0c0b0a09ull});
+    RefExecutor ref(pb.build());
+    EXPECT_TRUE(ref.run(10).halted);
+    EXPECT_EQ(ref.regs()[1], 0x0a090807u);
+    EXPECT_EQ(ref.regs()[2], 0x0b0a090807060504ull);
+}
+
+TEST(RefExecutor, PartialWidthStoreToLoadForwarding)
+{
+    // A narrow store must be visible to wider (and narrower) loads
+    // later in the same block.
+    ProgramBuilder pb("t");
+    auto &b = pb.newBlock("only");
+    compiler::Val base = b.imm(0x400);
+    b.store(base, b.imm(0xBEEF), 2, 2); // halfword at 0x402
+    b.writeReg(1, b.load(base, 8));     // whole word sees the patch
+    b.writeReg(2, b.load(base, 1, 3));  // one byte of the patch
+    b.branchHalt();
+    pb.initDataWords(0x400, {0xffffffffffffffffull});
+    RefExecutor ref(pb.build());
+    EXPECT_TRUE(ref.run(10).halted);
+    EXPECT_EQ(ref.regs()[1], 0xffffffffbeefffffull);
+    EXPECT_EQ(ref.regs()[2], 0xbeu);
+}
+
+TEST(RefExecutor, SameAddressMixedWidthsInLsidOrder)
+{
+    // Loads and stores to one address interleave strictly in LSID
+    // order within a block, whatever their widths.
+    ProgramBuilder pb("t");
+    auto &b = pb.newBlock("only");
+    compiler::Val addr = b.imm(0x500);
+    b.writeReg(1, b.load(addr, 8));  // lsid 0: pristine word
+    b.store(addr, b.imm(0xAA), 1);   // lsid 1: patch low byte
+    b.writeReg(2, b.load(addr, 2));  // lsid 2: sees the byte
+    b.store(addr, b.imm(0x9988), 2); // lsid 3: patch halfword
+    b.writeReg(3, b.load(addr, 8));  // lsid 4: sees both stores
+    b.branchHalt();
+    pb.initDataWords(0x500, {0x1122334455667788ull});
+    RefExecutor ref(pb.build());
+    EXPECT_TRUE(ref.run(10).halted);
+    EXPECT_EQ(ref.regs()[1], 0x1122334455667788ull);
+    EXPECT_EQ(ref.regs()[2], 0x77aau);
+    EXPECT_EQ(ref.regs()[3], 0x1122334455669988ull);
+}
+
 TEST(RefExecutor, BlockAtomicRegisterCommit)
 {
     // A block's reads must see pre-block register values even when

@@ -280,6 +280,51 @@ TEST(BlockValidate, RejectsTargetOutOfRange)
     EXPECT_FALSE(b.validate());
 }
 
+TEST(BlockValidate, RejectsBranchExitIndexOutOfRange)
+{
+    // A BRO's exit index is static, so the validator can check it
+    // against the exit table instead of leaving it to the executor.
+    Block b = validBlock();
+    b.insts()[1].op = Opcode::BRO;
+    b.insts()[1].imm = 3;               // only exit 0 exists
+    b.insts()[0].targets[0] = Target{}; // BRO consumes no operands
+    std::string why;
+    EXPECT_FALSE(b.validate(&why));
+    EXPECT_NE(why.find("exit index"), std::string::npos);
+
+    b.insts()[1].imm = 0;
+    EXPECT_TRUE(b.validate(&why)) << why;
+}
+
+TEST(BlockValidate, CollectsEveryIssue)
+{
+    // validateInto keeps going after the first problem: an empty
+    // exit table AND an unwired operand produce two issues, each
+    // locating itself with the caller's `where` prefix.
+    Block b = validBlock();
+    b.exits().clear();
+    b.insts()[0].targets[0] = Target{};
+    std::vector<ValidationIssue> issues;
+    EXPECT_EQ(b.validateInto(issues, "here"), 2u);
+    ASSERT_EQ(issues.size(), 2u);
+    for (const ValidationIssue &is : issues)
+        EXPECT_EQ(is.where.rfind("here", 0), 0u) << is.str();
+}
+
+TEST(Program, ValidateAllNamesTheFailingBlock)
+{
+    Program p("t");
+    p.addBlock(validBlock());
+    Block bad = validBlock();
+    bad.setName("oops");
+    bad.exits()[0] = 42;
+    p.addBlock(bad);
+    std::vector<ValidationIssue> issues = p.validateAll();
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_NE(issues[0].where.find("oops"), std::string::npos);
+    EXPECT_NE(issues[0].what.find("bad block"), std::string::npos);
+}
+
 TEST(Block, Disassembly)
 {
     Block b = validBlock();

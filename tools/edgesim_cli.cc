@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "fuzz/diff.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "triage/minimize.hh"
@@ -58,6 +59,18 @@ usage()
         "               [--capture-repro <dir>] [--minimize]\n"
         "               [-j N] [--set key=value ...]\n"
         "       edgesim --replay <file.repro.json> [--minimize] [-j N]\n"
+        "       edgesim --fuzz N [--fuzz-seed S] [--fuzz-chaos <name>]\n"
+        "               [--corpus-dir <dir>] [--minimize] [-j N]\n"
+        "\n"
+        "  --fuzz N  differential fuzzing: N random hyperblock\n"
+        "         programs, each run under every mechanism and\n"
+        "         cross-checked against the reference executor\n"
+        "  --fuzz-seed S  base generator seed (program i uses S+i)\n"
+        "  --fuzz-chaos <name>  layer a chaos profile onto every run\n"
+        "  --corpus-dir <dir>  one .repro.json per unique failure\n"
+        "         signature, program embedded (with --minimize, also\n"
+        "         a ddmin-shrunk .min.repro.json)\n"
+        "  --list-kernels  print the kernel names, one per line\n"
         "\n"
         "  -j N   run grids / minimization on N worker threads\n"
         "         (default: hardware concurrency; results are\n"
@@ -140,6 +153,49 @@ printMinimized(const triage::MinimizeResult &m)
                     static_cast<unsigned long long>(e.magnitude));
 }
 
+/**
+ * Full minimization of one captured failure: program-level ddmin
+ * first (for embedded programs), then the chaos-schedule ddmin on
+ * the shrunk spec. Returns the minimized spec.
+ */
+triage::ReproSpec
+minimizeSpec(const triage::ReproSpec &spec, unsigned threads)
+{
+    triage::MinimizeOptions mo;
+    mo.threads = threads;
+    triage::ReproSpec cur = spec;
+    if (spec.program.hasEmbedded) {
+        triage::ProgramMinimizeResult pm =
+            triage::minimizeProgram(spec, mo);
+        std::printf("minimized program: %zu block(s) (from %zu), "
+                    "%zu effect(s) (from %zu); %zu tests, %u "
+                    "rounds%s\n",
+                    pm.blocksAfter, pm.blocksBefore, pm.effectsAfter,
+                    pm.effectsBefore, pm.testsRun, pm.rounds,
+                    pm.converged ? "" : ", round cap hit");
+        cur = triage::applyProgram(cur, pm.program);
+    }
+    if (!cur.schedule.empty()) {
+        triage::MinimizeResult sm = triage::minimizeRepro(cur, mo);
+        printMinimized(sm);
+        cur = triage::applySchedule(cur, sm);
+    }
+    return cur;
+}
+
+/** `foo.repro.json` -> `foo.min.repro.json` (or append `.min`). */
+std::string
+minimizedPath(const std::string &path)
+{
+    const std::string suffix = ".repro.json";
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) == 0)
+        return path.substr(0, path.size() - suffix.size()) +
+               ".min.repro.json";
+    return path + ".min";
+}
+
 int
 replayMain(const std::string &path, bool minimize, unsigned threads)
 {
@@ -161,11 +217,75 @@ replayMain(const std::string &path, bool minimize, unsigned threads)
     std::printf("replay %s the recorded failure\n",
                 match ? "reproduced" : "DID NOT reproduce");
     if (match && minimize) {
-        triage::MinimizeOptions mo;
-        mo.threads = threads;
-        printMinimized(triage::minimizeRepro(spec, mo));
+        triage::ReproSpec min_spec = minimizeSpec(spec, threads);
+        std::string out = minimizedPath(path);
+        if (triage::save(min_spec, out, &err))
+            std::printf("minimized repro: %s\n", out.c_str());
+        else
+            warn("could not save minimized repro: %s", err.c_str());
     }
     return match ? 0 : 4;
+}
+
+int
+fuzzMain(const fuzz::FuzzOptions &opts, bool minimize,
+         unsigned threads)
+{
+    fatal_if(minimize && opts.corpusDir.empty(),
+             "--fuzz --minimize needs --corpus-dir (minimization "
+             "starts from the captured .repro.json)");
+
+    const std::vector<std::string> &configs =
+        opts.configs.empty() ? fuzz::defaultConfigs() : opts.configs;
+    std::printf("fuzz: %llu program(s) x %zu mechanism(s), base seed "
+                "%llu%s\n",
+                static_cast<unsigned long long>(opts.count),
+                configs.size(),
+                static_cast<unsigned long long>(opts.seed),
+                opts.chaosProfile != chaos::Profile::None
+                    ? ", chaos layered on"
+                    : "");
+
+    fuzz::FuzzReport rep = fuzz::runCampaign(opts);
+
+    std::printf("fuzz: %llu run(s), %llu pass(es), %zu failure(s) "
+                "(%llu duplicate(s)), %llu ref-hang(s)\n",
+                static_cast<unsigned long long>(rep.runs),
+                static_cast<unsigned long long>(rep.passes),
+                rep.failures.size(),
+                static_cast<unsigned long long>(rep.duplicates),
+                static_cast<unsigned long long>(rep.refHangs));
+    for (const fuzz::FuzzFailure &f : rep.failures) {
+        if (!f.unique)
+            continue;
+        std::printf("  seed %llu / %s: %s [%s]\n",
+                    static_cast<unsigned long long>(f.seed),
+                    f.config.c_str(), fuzz::outcomeName(f.outcome),
+                    f.signature.c_str());
+        if (f.reproPath.empty())
+            continue;
+        std::printf("  to reproduce: edgesim --replay %s\n",
+                    f.reproPath.c_str());
+        if (minimize && f.outcome != fuzz::Outcome::RefHang) {
+            triage::ReproSpec spec;
+            std::string err;
+            if (!triage::load(f.reproPath, &spec, &err)) {
+                warn("cannot minimize %s: %s", f.reproPath.c_str(),
+                     err.c_str());
+                continue;
+            }
+            triage::ReproSpec min_spec = minimizeSpec(spec, threads);
+            std::string out = minimizedPath(f.reproPath);
+            if (triage::save(min_spec, out, &err))
+                std::printf("  minimized repro: %s\n", out.c_str());
+            else
+                warn("could not save minimized repro: %s",
+                     err.c_str());
+        }
+    }
+    if (rep.clean())
+        std::printf("fuzz: all mechanisms agree with the reference\n");
+    return rep.clean() ? 0 : 2;
 }
 
 } // namespace
@@ -189,6 +309,9 @@ main(int argc, char **argv)
     std::string repro_dir;
     std::string replay_path;
     bool minimize = false;
+    std::uint64_t fuzz_count = 0;
+    std::uint64_t fuzz_seed = 1;
+    std::string corpus_dir;
     std::vector<std::pair<std::string, std::uint64_t>> overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -206,8 +329,20 @@ main(int argc, char **argv)
                             info.specAnalog.c_str(),
                             info.description.c_str());
             return 0;
+        } else if (arg == "--list-kernels") {
+            for (const auto &name : wl::kernelNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
         } else if (arg == "--kernel") {
             kernel = next();
+        } else if (arg == "--fuzz") {
+            fuzz_count = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--fuzz-seed") {
+            fuzz_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--fuzz-chaos") {
+            chaos_profile = chaos::ChaosParams::profileByName(next());
+        } else if (arg == "--corpus-dir") {
+            corpus_dir = next();
         } else if (arg == "--config") {
             config = next();
         } else if (arg == "--iterations") {
@@ -271,9 +406,30 @@ main(int argc, char **argv)
     if (!replay_path.empty())
         return replayMain(replay_path, minimize, threads);
 
+    if (fuzz_count > 0) {
+        fuzz::FuzzOptions fo;
+        fo.count = fuzz_count;
+        fo.seed = fuzz_seed;
+        fo.chaosProfile = chaos_profile;
+        fo.mutation = mutation;
+        fo.mutationNode = mutation_node;
+        fo.checkInvariants = check_invariants;
+        fo.threads = threads;
+        fo.corpusDir = corpus_dir;
+        return fuzzMain(fo, minimize, threads);
+    }
+
     if (kernel.empty()) {
         usage();
         return 1;
+    }
+    if (!wl::exists(kernel)) {
+        std::fprintf(stderr,
+                     "edgesim: unknown kernel '%s'; valid kernels:\n",
+                     kernel.c_str());
+        for (const auto &name : wl::kernelNames())
+            std::fprintf(stderr, "  %s\n", name.c_str());
+        return 2;
     }
 
     core::MachineConfig cfg = sim::Configs::byName(config);
