@@ -36,7 +36,8 @@ main(int argc, char **argv)
     // sharing the kernel's reference execution.
     std::vector<RunRow> rows =
         runMatrix(wl::kernelNames(), {"dsre", "dsre-vp"},
-                  args.iterations, nullptr, args.threads);
+                  args.iterations, nullptr, args,
+                  "bench_ext_value_pred");
 
     std::vector<double> ratios;
     std::size_t idx = 0;

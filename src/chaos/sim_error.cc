@@ -15,6 +15,10 @@ reasonName(SimError::Reason reason)
       case SimError::Reason::ProtocolPanic: return "protocol-panic";
       case SimError::Reason::Livelock: return "livelock";
       case SimError::Reason::HostDeadline: return "host-deadline";
+      case SimError::Reason::WorkerCrash: return "worker-crash";
+      case SimError::Reason::WorkerKilled: return "worker-killed";
+      case SimError::Reason::WorkerTimeout: return "worker-timeout";
+      case SimError::Reason::WorkerProtocol: return "worker-protocol";
     }
     return "?";
 }
@@ -26,7 +30,10 @@ reasonByName(const std::string &name)
          {SimError::Reason::None, SimError::Reason::Watchdog,
           SimError::Reason::InvariantViolation,
           SimError::Reason::ProtocolPanic, SimError::Reason::Livelock,
-          SimError::Reason::HostDeadline}) {
+          SimError::Reason::HostDeadline, SimError::Reason::WorkerCrash,
+          SimError::Reason::WorkerKilled,
+          SimError::Reason::WorkerTimeout,
+          SimError::Reason::WorkerProtocol}) {
         if (name == reasonName(r))
             return r;
     }
@@ -43,6 +50,10 @@ exitCodeFor(SimError::Reason reason)
       case SimError::Reason::ProtocolPanic: return 12;
       case SimError::Reason::Livelock: return 13;
       case SimError::Reason::HostDeadline: return 14;
+      case SimError::Reason::WorkerCrash: return 15;
+      case SimError::Reason::WorkerKilled: return 16;
+      case SimError::Reason::WorkerTimeout: return 17;
+      case SimError::Reason::WorkerProtocol: return 18;
     }
     return 1;
 }
@@ -50,7 +61,22 @@ exitCodeFor(SimError::Reason reason)
 bool
 isTransient(SimError::Reason reason)
 {
-    return reason == SimError::Reason::HostDeadline;
+    return reason == SimError::Reason::HostDeadline ||
+           reason == SimError::Reason::WorkerTimeout;
+}
+
+bool
+isWorkerFailure(SimError::Reason reason)
+{
+    switch (reason) {
+      case SimError::Reason::WorkerCrash:
+      case SimError::Reason::WorkerKilled:
+      case SimError::Reason::WorkerTimeout:
+      case SimError::Reason::WorkerProtocol:
+        return true;
+      default:
+        return false;
+    }
 }
 
 std::string

@@ -31,6 +31,14 @@ struct SimError
         ProtocolPanic,      ///< a panic() in the timing machinery
         Livelock,           ///< activity repeats with no commit
         HostDeadline,       ///< per-run wall-clock deadline exceeded
+
+        // --- supervised-campaign (process isolation) kinds ---------
+        // Produced by the campaign supervisor (src/super/) when an
+        // isolated worker cell dies instead of returning a result.
+        WorkerCrash,    ///< child died on SIGSEGV/SIGABRT/SIGBUS/...
+        WorkerKilled,   ///< child SIGKILLed (OOM killer / external)
+        WorkerTimeout,  ///< supervisor deadline or RLIMIT_CPU kill
+        WorkerProtocol, ///< child exited without a valid result
     };
 
     Reason reason = Reason::None;
@@ -62,12 +70,24 @@ SimError::Reason reasonByName(const std::string &name);
 int exitCodeFor(SimError::Reason reason);
 
 /**
- * Host-level failures (wall-clock deadline today) are transient: the
- * same cell may pass on a retry. Everything else — watchdog,
- * invariant violation, protocol panic, livelock — is a deterministic
- * property of (program, config, seed) and must never be retried.
+ * Host-level failures (wall-clock deadline, supervised-cell timeout)
+ * are transient: the same cell may pass on a retry. Everything else —
+ * watchdog, invariant violation, protocol panic, livelock, a worker
+ * segfault — is a deterministic property of (program, config, seed)
+ * and must never be retried in-session. (A SIGKILLed worker is not
+ * retried either: the supervisor quarantines it with a repro and the
+ * journal marks it re-runnable, so `--resume` re-executes it.)
  */
 bool isTransient(SimError::Reason reason);
+
+/**
+ * Supervised-campaign failure kinds: the worker process died (or
+ * broke protocol) instead of returning a structured result. These
+ * are journal records marked non-final — `--resume` selectively
+ * re-executes exactly these cells, the way DSRE re-executes only the
+ * mis-speculated subgraph instead of flushing the world.
+ */
+bool isWorkerFailure(SimError::Reason reason);
 
 /** An invariant-checker failure: carries the invariant's name. */
 class InvariantFailure : public SimFailure

@@ -54,6 +54,17 @@ Histogram::reset()
     _max = 0;
 }
 
+void
+Histogram::restore(std::vector<std::uint64_t> buckets,
+                   std::uint64_t samples, std::uint64_t sum,
+                   std::uint64_t max)
+{
+    _buckets = std::move(buckets);
+    _samples = samples;
+    _sum = sum;
+    _max = max;
+}
+
 double
 Histogram::mean() const
 {

@@ -45,6 +45,18 @@ class Histogram
     void sample(std::uint64_t v, std::uint64_t count = 1);
     void reset();
 
+    /**
+     * Overwrite this histogram with a previously captured snapshot
+     * (buckets + aggregate moments). Exists for the supervised-
+     * campaign path, where a worker process serializes its
+     * RunResult::histograms over a pipe and the supervisor must
+     * reconstruct them bit-identically — resampling representative
+     * values would reproduce the buckets but not sum() / maxValue().
+     */
+    void restore(std::vector<std::uint64_t> buckets,
+                 std::uint64_t samples, std::uint64_t sum,
+                 std::uint64_t max);
+
     std::uint64_t samples() const { return _samples; }
     std::uint64_t sum() const { return _sum; }
     std::uint64_t maxValue() const { return _max; }

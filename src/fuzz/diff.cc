@@ -48,6 +48,13 @@ classify(const sim::RunResult &result)
       case Reason::ProtocolPanic:
       case Reason::HostDeadline:
         return Outcome::Crash;
+      case Reason::WorkerCrash:
+      case Reason::WorkerKilled:
+      case Reason::WorkerTimeout:
+      case Reason::WorkerProtocol:
+        // Supervised-campaign cells whose worker process died: the
+        // crash bucket, with the Worker* reason carrying the detail.
+        return Outcome::Crash;
       case Reason::None:
         break;
     }
@@ -148,13 +155,28 @@ runCampaign(const FuzzOptions &opts)
                 jobs.push_back(std::move(job));
             }
         }
-        std::vector<sim::RunResult> results = pool.runAll(jobs);
+        std::vector<std::optional<sim::RunResult>> results;
+        if (opts.batchRunner) {
+            results = opts.batchRunner(jobs);
+            fatal_if(results.size() != jobs.size(),
+                     "fuzz: batch runner returned %zu results for "
+                     "%zu jobs",
+                     results.size(), jobs.size());
+        } else {
+            results.reserve(jobs.size());
+            for (sim::RunResult &r : pool.runAll(jobs))
+                results.emplace_back(std::move(r));
+        }
 
         for (std::size_t j = 0; j < results.size(); ++j) {
+            if (!results[j]) {
+                report.interrupted = true;
+                continue;
+            }
             ++report.runs;
             const std::size_t p = j / configs.size();
             const std::string &cname = configs[j % configs.size()];
-            Outcome outcome = classify(results[j]);
+            Outcome outcome = classify(*results[j]);
             if (outcome == Outcome::Pass) {
                 ++report.passes;
                 continue;
@@ -163,20 +185,22 @@ runCampaign(const FuzzOptions &opts)
             f.seed = seeds[p];
             f.config = cname;
             f.outcome = outcome;
-            f.result = results[j];
-            f.signature = signatureOf(cname, results[j]);
+            f.result = *results[j];
+            f.signature = signatureOf(cname, *results[j]);
             f.unique = seen.insert(f.signature).second;
             if (!f.unique)
                 ++report.duplicates;
             if (f.unique && !opts.corpusDir.empty()) {
                 triage::ReproSpec spec = triage::captureFromResult(
                     triage::embeddedRef("fuzz", programs[p], f.seed),
-                    jobs[j].config, opts.maxCycles, results[j]);
+                    jobs[j].config, opts.maxCycles, *results[j]);
                 f.reproPath =
                     triage::captureToFile(spec, opts.corpusDir);
             }
             report.failures.push_back(std::move(f));
         }
+        if (report.interrupted)
+            break;
     }
     return report;
 }

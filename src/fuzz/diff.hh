@@ -18,6 +18,8 @@
 #ifndef EDGE_FUZZ_DIFF_HH
 #define EDGE_FUZZ_DIFF_HH
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,6 +86,19 @@ struct FuzzOptions
     /** When nonempty, capture one repro per unique failure signature
      *  (program embedded) into this directory. */
     std::string corpusDir;
+
+    /**
+     * Pluggable batch executor. Null (the default) runs every batch
+     * on the in-process RunPool; the campaign supervisor injects its
+     * process-isolated runner here, so supervised and in-process
+     * campaigns share ALL of the driver — generation, grid order,
+     * classification, dedup, corpus capture — and produce identical
+     * reports. One entry per job; nullopt marks a cell the runner
+     * did not execute because the campaign was interrupted.
+     */
+    std::function<std::vector<std::optional<sim::RunResult>>(
+        const std::vector<sim::RunJob> &)>
+        batchRunner;
 };
 
 /** The paper's four mechanisms, the default cross-check set. */
@@ -99,6 +114,10 @@ struct FuzzReport
     std::vector<FuzzFailure> failures;
     /** Failures carrying an already-seen signature. */
     std::uint64_t duplicates = 0;
+    /** True when the campaign stopped early (supervised runs only):
+     *  the report covers the cells that completed, and the campaign
+     *  journal carries what is needed to `--resume`. */
+    bool interrupted = false;
 
     bool clean() const { return failures.empty() && refHangs == 0; }
 };

@@ -15,6 +15,7 @@
 #ifndef EDGE_SIM_RUN_POOL_HH
 #define EDGE_SIM_RUN_POOL_HH
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
@@ -50,13 +51,29 @@ struct RetryPolicy
     unsigned maxAttempts = 3;
     /** Sleep before the first retry; doubles on each further one. */
     unsigned backoffMs = 10;
+    /**
+     * Hard cap on the *total* milliseconds of backoff one cell may
+     * accumulate across all its retries. Exponential doubling is
+     * clipped against whatever budget remains, so a cell can never
+     * stall a grid for more than this long in sleeps.
+     */
+    std::uint64_t maxTotalBackoffMs = 2'000;
+    /**
+     * Cooperative cancellation flag (not owned; may be null). A
+     * backoff sleep polls it and aborts early — during shutdown no
+     * cell sits in an un-cancellable sleep. When it becomes true the
+     * cell's current result is accepted as-is, with no further
+     * attempts. The campaign supervisor points this at its stop flag.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 
     /** Should this result be retried at the given attempt number? */
     bool
     shouldRetry(const RunResult &result, unsigned attempt) const
     {
         return attempt < maxAttempts &&
-               chaos::isTransient(result.error.reason);
+               chaos::isTransient(result.error.reason) &&
+               !(cancel && cancel->load(std::memory_order_relaxed));
     }
 };
 

@@ -58,6 +58,13 @@ struct RunResult
      * host-level transient failures are ever retried).
      */
     unsigned retries = 0;
+    /**
+     * Total milliseconds the retry policy spent backing off before
+     * this result was accepted (0 when no retry happened). Surfaced
+     * in per-cell JSON rows and journal records so slow hosts are
+     * visible in campaign artifacts.
+     */
+    std::uint64_t backoffMs = 0;
 
     /**
      * Snapshot of every counter of the run's StatSet, sorted by

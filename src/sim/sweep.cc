@@ -31,53 +31,76 @@ ChaosSweepReport::summary() const
     return out;
 }
 
-ChaosSweepReport
-chaosSweep(const isa::Program &program, const ChaosSweepParams &params)
+std::vector<SweepCell>
+sweepCells(const ChaosSweepParams &params)
 {
-    // Build the whole grid up front (config-major, seed-minor — the
-    // historical serial order), then run it on the pool. All cells
-    // share one read-only reference execution of `program`; results
-    // come back in submission order, so the report is bit-identical
-    // at any thread count.
-    std::vector<RunJob> jobs;
-    jobs.reserve(params.configs.size() * params.seeds.size());
+    std::vector<SweepCell> cells;
+    cells.reserve(params.configs.size() * params.seeds.size());
     for (const std::string &name : params.configs) {
         core::MachineConfig base = Configs::byName(name);
         for (std::uint64_t seed : params.seeds) {
-            RunJob job;
-            job.program = &program;
-            job.config = base;
-            job.config.rngSeed = seed;
-            job.config.chaos =
+            SweepCell cell;
+            cell.seed = seed;
+            cell.config = name;
+            cell.machine = base;
+            cell.machine.rngSeed = seed;
+            cell.machine.chaos =
                 chaos::ChaosParams::byProfile(params.profile, seed);
-            job.config.chaos.mutation = params.mutation;
-            job.config.chaos.mutationNode = params.mutationNode;
-            job.config.checkInvariants = params.checkInvariants;
-            job.maxCycles = params.maxCycles;
-            jobs.push_back(std::move(job));
+            cell.machine.chaos.mutation = params.mutation;
+            cell.machine.chaos.mutationNode = params.mutationNode;
+            cell.machine.checkInvariants = params.checkInvariants;
+            cells.push_back(std::move(cell));
         }
+    }
+    return cells;
+}
+
+ChaosSweepReport
+assembleSweepReport(std::vector<ChaosSweepOutcome> runs)
+{
+    ChaosSweepReport report;
+    report.runs = std::move(runs);
+    for (const ChaosSweepOutcome &o : report.runs) {
+        report.totalInjections += o.result.injections.total();
+        report.totalChecks += o.result.invariantChecks;
+        if (!o.converged())
+            ++report.failures;
+    }
+    return report;
+}
+
+ChaosSweepReport
+chaosSweep(const isa::Program &program, const ChaosSweepParams &params)
+{
+    // Build the whole grid up front, then run it on the pool. All
+    // cells share one read-only reference execution of `program`;
+    // results come back in submission order, so the report is
+    // bit-identical at any thread count.
+    std::vector<SweepCell> cells = sweepCells(params);
+    std::vector<RunJob> jobs;
+    jobs.reserve(cells.size());
+    for (const SweepCell &cell : cells) {
+        RunJob job;
+        job.program = &program;
+        job.config = cell.machine;
+        job.maxCycles = params.maxCycles;
+        jobs.push_back(std::move(job));
     }
 
     RunPool pool(params.threads);
     std::vector<RunResult> results = pool.runAll(jobs, params.retry);
 
-    ChaosSweepReport report;
-    std::size_t idx = 0;
-    for (const std::string &name : params.configs) {
-        for (std::uint64_t seed : params.seeds) {
-            ChaosSweepOutcome o;
-            o.seed = seed;
-            o.config = name;
-            o.machine = jobs[idx].config;
-            o.result = std::move(results[idx++]);
-            report.totalInjections += o.result.injections.total();
-            report.totalChecks += o.result.invariantChecks;
-            if (!o.converged())
-                ++report.failures;
-            report.runs.push_back(std::move(o));
-        }
+    std::vector<ChaosSweepOutcome> runs;
+    runs.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        ChaosSweepOutcome o;
+        o.seed = cells[i].seed;
+        o.config = cells[i].config;
+        o.machine = std::move(cells[i].machine);
+        o.result = std::move(results[i]);
+        runs.push_back(std::move(o));
     }
-    return report;
+    return assembleSweepReport(std::move(runs));
 }
 
 } // namespace edge::sim

@@ -85,6 +85,31 @@ struct ChaosSweepReport
 ChaosSweepReport chaosSweep(const isa::Program &program,
                             const ChaosSweepParams &params);
 
+/** One cell of the grid before it runs: identity plus the fully
+ *  resolved config. */
+struct SweepCell
+{
+    std::uint64_t seed = 0;
+    std::string config;
+    core::MachineConfig machine;
+};
+
+/**
+ * Materialize the seed x config grid (config-major, seed-minor — the
+ * historical serial order). Shared by the in-process chaosSweep and
+ * the process-isolated campaign supervisor so both run the exact
+ * same cells in the exact same order.
+ */
+std::vector<SweepCell> sweepCells(const ChaosSweepParams &params);
+
+/**
+ * Tally a report from per-cell outcomes (in grid order). The other
+ * shared half of the chaosSweep path: a report assembled from
+ * supervised worker results is byte-identical to the in-process one.
+ */
+ChaosSweepReport
+assembleSweepReport(std::vector<ChaosSweepOutcome> runs);
+
 } // namespace edge::sim
 
 #endif // EDGE_SIM_SWEEP_HH

@@ -1,0 +1,196 @@
+#include "super/journal.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/build_info.hh"
+#include "common/logging.hh"
+#include "triage/result_json.hh"
+
+namespace edge::super {
+
+using triage::JsonValue;
+
+namespace {
+
+JsonValue
+recordToJson(const JournalRecord &rec)
+{
+    JsonValue o = JsonValue::object();
+    o.set("cell", JsonValue::u64(rec.cell));
+    o.set("final", JsonValue::boolean(rec.final));
+    if (!rec.reproPath.empty())
+        o.set("repro", JsonValue::str(rec.reproPath));
+    o.set("result", triage::resultToJson(rec.result));
+    return o;
+}
+
+bool
+recordFromJson(const JsonValue &o, JournalRecord *rec,
+               std::string *err)
+{
+    if (!o.isObject() || !o.get("cell") || !o.get("result")) {
+        if (err)
+            *err = "journal record missing cell/result";
+        return false;
+    }
+    rec->cell = o.getU64("cell");
+    rec->final = o.getBool("final", true);
+    rec->reproPath = o.getString("repro");
+    return triage::resultFromJson(*o.get("result"), &rec->result, err);
+}
+
+} // namespace
+
+bool
+Journal::load(const std::string &path, std::vector<JournalRecord> *out,
+              std::string *build_line, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = "journal '" + path + "': cannot open";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    out->clear();
+    if (build_line)
+        build_line->clear();
+
+    std::size_t lineno = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        const bool lastAndUnterminated = nl == std::string::npos;
+        std::string line = text.substr(
+            pos, lastAndUnterminated ? std::string::npos : nl - pos);
+        pos = lastAndUnterminated ? text.size() : nl + 1;
+        ++lineno;
+        if (line.empty())
+            continue;
+
+        JsonValue v;
+        std::string perr;
+        if (!JsonValue::parse(line, &v, &perr)) {
+            // A torn FINAL line is the one legal corruption: an
+            // append that died mid-write on a filesystem without the
+            // durability guarantees. Everything before it is intact —
+            // keep it and move on.
+            if (pos >= text.size()) {
+                warn("journal '%s': dropping truncated final line "
+                     "%zu (%s)",
+                     path.c_str(), lineno, perr.c_str());
+                break;
+            }
+            if (err)
+                *err = "journal '" + path + "': torn record at line " +
+                       std::to_string(lineno) + ": " + perr;
+            return false;
+        }
+
+        if (lineno == 1) {
+            if (v.getString("format") != "edgesim-journal") {
+                if (err)
+                    *err = "journal '" + path +
+                           "': not an edgesim-journal file";
+                return false;
+            }
+            if (build_line)
+                *build_line = v.getString("build");
+            continue;
+        }
+
+        JournalRecord rec;
+        std::string rerr;
+        if (!recordFromJson(v, &rec, &rerr)) {
+            if (pos >= text.size()) {
+                warn("journal '%s': dropping malformed final line "
+                     "%zu (%s)",
+                     path.c_str(), lineno, rerr.c_str());
+                break;
+            }
+            if (err)
+                *err = "journal '" + path + "': line " +
+                       std::to_string(lineno) + ": " + rerr;
+            return false;
+        }
+        out->push_back(std::move(rec));
+    }
+    if (lineno == 0) {
+        if (err)
+            *err = "journal '" + path + "': file is empty";
+        return false;
+    }
+    return true;
+}
+
+bool
+Journal::open(const std::string &path, std::string *err)
+{
+    _path = path;
+    _loaded.clear();
+    _buildLine.clear();
+    _content.clear();
+
+    if (std::filesystem::exists(path)) {
+        if (!load(path, &_loaded, &_buildLine, err))
+            return false;
+        if (!_buildLine.empty()) {
+            std::string mismatch = buildMismatch(_buildLine);
+            if (!mismatch.empty())
+                warn("journal '%s': written by a different build "
+                     "(%s) — replayed results may not match this "
+                     "binary",
+                     path.c_str(), mismatch.c_str());
+        }
+        // Rebuild the canonical content from what survived loading,
+        // so the next append also repairs any dropped torn tail.
+        JsonValue header = JsonValue::object();
+        header.set("format", JsonValue::str("edgesim-journal"));
+        header.set("version", JsonValue::u64(1));
+        header.set("build", JsonValue::str(_buildLine.empty()
+                                               ? buildInfoLine()
+                                               : _buildLine));
+        _content = header.dumpCompact() + "\n";
+        for (const JournalRecord &rec : _loaded)
+            _content += recordToJson(rec).dumpCompact() + "\n";
+        return true;
+    }
+
+    std::error_code ec;
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+
+    JsonValue header = JsonValue::object();
+    header.set("format", JsonValue::str("edgesim-journal"));
+    header.set("version", JsonValue::u64(1));
+    header.set("build", JsonValue::str(buildInfoLine()));
+    _buildLine = buildInfoLine();
+    _content = header.dumpCompact() + "\n";
+    return triage::writeFileDurable(_path, _content, err);
+}
+
+bool
+Journal::append(const JournalRecord &rec, std::string *err)
+{
+    if (_path.empty()) {
+        if (err)
+            *err = "journal not open";
+        return false;
+    }
+    _content += recordToJson(rec).dumpCompact() + "\n";
+    // Whole-file durable rewrite per record: a reader (or a resumed
+    // supervisor) sees either the journal without this record or
+    // with it complete — never a torn line. Journals are
+    // campaign-sized (hundreds of lines), so the O(n) rewrite is
+    // noise next to the cells themselves.
+    return triage::writeFileDurable(_path, _content, err);
+}
+
+} // namespace edge::super

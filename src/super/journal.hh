@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The campaign journal: an append-only JSONL file recording every
+ * completed cell of a supervised campaign. Line 1 is a header with
+ * format, version, and the build provenance line; every further line
+ * is one record — the cell's stable hash, a `final` flag, the
+ * complete (losslessly serialized) RunResult, and the captured repro
+ * path if any. Each append rewrites the file durably (temp file +
+ * fsync + atomic rename, see triage::writeFileDurable), so after a
+ * crash, SIGKILL, or power loss the journal on disk is always a
+ * complete prefix of the campaign — never a torn record.
+ *
+ * The `final` flag carries the resume semantics. Clean passes and
+ * deterministic simulation failures are final: re-running them would
+ * reproduce the same bits, so `--resume` replays them from the
+ * journal. Worker-death records (SIGSEGV, OOM kill, timeout) are
+ * NOT final: the result describes how the child died, not what the
+ * cell computes, so `--resume` selectively re-executes exactly those
+ * cells — the DSRE discipline applied to campaign recovery.
+ */
+
+#ifndef EDGE_SUPER_JOURNAL_HH
+#define EDGE_SUPER_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace edge::super {
+
+/** One completed cell, as journaled. */
+struct JournalRecord
+{
+    std::uint64_t cell = 0; ///< cellHash identity
+    /** Replayable from the journal on resume? (False for worker
+     *  deaths: those re-execute.) */
+    bool final = true;
+    sim::RunResult result;
+    /** Captured .repro.json for a failing cell, if any. */
+    std::string reproPath;
+};
+
+class Journal
+{
+  public:
+    /**
+     * Open `path` for appending. An existing journal is loaded first
+     * (that is the resume path); a fresh one gets a header stamped
+     * with this build's provenance. Returns false (with *err) on I/O
+     * or format errors.
+     */
+    bool open(const std::string &path, std::string *err);
+
+    /** Durably append one record. */
+    bool append(const JournalRecord &rec, std::string *err);
+
+    /** Records loaded at open() time (earlier lines first). */
+    const std::vector<JournalRecord> &loaded() const
+    {
+        return _loaded;
+    }
+
+    /** Build-provenance line of the journal header ("" if new). */
+    const std::string &buildLine() const { return _buildLine; }
+
+    const std::string &path() const { return _path; }
+    bool isOpen() const { return !_path.empty(); }
+
+    /**
+     * Parse a journal file. Tolerates a truncated final line (the
+     * artifact of an append cut down mid-write by a filesystem that
+     * ignores the durability protocol) but rejects torn records
+     * anywhere else. Records are returned in file order; with
+     * duplicate cell hashes the LAST record wins — a resumed
+     * campaign appends the re-execution after the worker-death
+     * record it supersedes.
+     */
+    static bool load(const std::string &path,
+                     std::vector<JournalRecord> *out,
+                     std::string *build_line, std::string *err);
+
+  private:
+    std::string _path;
+    std::string _content; ///< complete serialized journal
+    std::string _buildLine;
+    std::vector<JournalRecord> _loaded;
+};
+
+} // namespace edge::super
+
+#endif // EDGE_SUPER_JOURNAL_HH

@@ -1,0 +1,96 @@
+#include "super/worker.hh"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "super/cell.hh"
+#include "triage/result_json.hh"
+
+namespace edge::super {
+
+namespace {
+
+/** Deliberate misbehaviour for the supervisor's classification
+ *  tests; see CellSpec::testCrash. Never returns when it acts. */
+void
+maybeTestCrash(const std::string &mode, std::ostream &out)
+{
+    if (mode.empty())
+        return;
+    if (mode == "segv") {
+        volatile int *p = nullptr;
+        *p = 1;
+    } else if (mode == "abort") {
+        std::abort();
+    } else if (mode == "kill") {
+        std::raise(SIGKILL);
+    } else if (mode == "hang") {
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+    } else if (mode == "exit3") {
+        std::exit(3);
+    } else if (mode == "garbage") {
+        out << "this is not a result document\n";
+        out.flush();
+        std::exit(0);
+    }
+    fprintf(stderr, "edgesim: unknown test_crash mode '%s'\n",
+            mode.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+workerCellMain(std::istream &in, std::ostream &out)
+{
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    triage::JsonValue root;
+    std::string err;
+    if (!triage::JsonValue::parse(buf.str(), &root, &err)) {
+        fprintf(stderr, "edgesim: worker-cell: bad spec: %s\n",
+                err.c_str());
+        return 2;
+    }
+    CellSpec cell;
+    if (!cellFromJson(root, &cell, &err)) {
+        fprintf(stderr, "edgesim: worker-cell: bad spec: %s\n",
+                err.c_str());
+        return 2;
+    }
+
+    maybeTestCrash(cell.testCrash, out);
+
+    isa::Program prog = triage::buildProgram(cell.program);
+    if (cell.program.hasEmbedded) {
+        std::vector<isa::ValidationIssue> issues = prog.validateAll();
+        if (!issues.empty()) {
+            fprintf(stderr,
+                    "edgesim: worker-cell: embedded program is "
+                    "invalid: %s\n",
+                    issues.front().str().c_str());
+            return 2;
+        }
+    }
+
+    // The run itself. Failures are structured data in the result;
+    // only the protocol can make this path return nonzero.
+    sim::Simulator sim(std::move(prog), cell.config);
+    sim::RunResult r = sim.run(cell.config, cell.maxCycles);
+
+    out << triage::resultToJson(r).dumpCompact() << "\n";
+    out.flush();
+    return out ? 0 : 2;
+}
+
+} // namespace edge::super

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The worker side of the supervised-campaign protocol. A child
+ * process exec'd as `edgesim --worker-cell` reads one CellSpec JSON
+ * document from stdin, runs the cell to completion, and writes the
+ * complete RunResult as one compact JSON line to stdout. All run
+ * failures (watchdog, invariant violation, divergence, ...) are DATA
+ * in that result — the worker still exits 0. A nonzero exit means the
+ * protocol itself broke (unparsable spec, invalid program), and a
+ * death by signal is what the whole subsystem exists to contain: the
+ * supervisor classifies it from the wait status, the campaign keeps
+ * running.
+ */
+
+#ifndef EDGE_SUPER_WORKER_HH
+#define EDGE_SUPER_WORKER_HH
+
+#include <iosfwd>
+
+namespace edge::super {
+
+/**
+ * Run one cell: parse a CellSpec from `in`, simulate, print the
+ * result document to `out`. Returns the process exit status (0 on a
+ * completed run — even a failing one). Exposed on streams so the test
+ * binary can dispatch `--worker-cell` through its own main() and the
+ * fork/exec tests can use `/proc/self/exe` as the worker image.
+ */
+int workerCellMain(std::istream &in, std::ostream &out);
+
+} // namespace edge::super
+
+#endif // EDGE_SUPER_WORKER_HH

@@ -1,8 +1,13 @@
 #include "triage/jsonio.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/strutil.hh"
 
@@ -239,6 +244,56 @@ JsonValue::dump() const
     std::string out;
     dumpTo(out, 0);
     out += '\n';
+    return out;
+}
+
+void
+JsonValue::dumpCompactTo(std::string &out) const
+{
+    switch (_type) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Type::Number:
+        out += _text;
+        break;
+      case Type::String:
+        out += '"';
+        out += escape(_text);
+        out += '"';
+        break;
+      case Type::Object:
+        out += '{';
+        for (std::size_t i = 0; i < _members.size(); ++i) {
+            if (i)
+                out += ',';
+            out += '"';
+            out += escape(_members[i].first);
+            out += "\":";
+            _members[i].second.dumpCompactTo(out);
+        }
+        out += '}';
+        break;
+      case Type::Array:
+        out += '[';
+        for (std::size_t i = 0; i < _items.size(); ++i) {
+            if (i)
+                out += ',';
+            _items[i].dumpCompactTo(out);
+        }
+        out += ']';
+        break;
+    }
+}
+
+std::string
+JsonValue::dumpCompact() const
+{
+    std::string out;
+    dumpCompactTo(out);
     return out;
 }
 
@@ -485,6 +540,66 @@ JsonValue::parse(const std::string &text, JsonValue *out,
         err->clear();
     Parser p(text, err);
     return p.document(out);
+}
+
+bool
+writeFileDurable(const std::string &path, const std::string &content,
+                 std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = "durable write of '" + path + "' failed: " + why;
+        return false;
+    };
+
+    std::string dir = ".";
+    std::string tmp;
+    if (std::size_t slash = path.find_last_of('/');
+        slash != std::string::npos) {
+        dir = path.substr(0, slash + 1);
+        tmp = dir + "." + path.substr(slash + 1);
+    } else {
+        tmp = "." + path;
+    }
+    tmp += strfmt(".tmp.%ld", static_cast<long>(::getpid()));
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return fail(std::string("open tmp: ") + std::strerror(errno));
+    std::size_t off = 0;
+    while (off < content.size()) {
+        ssize_t n = ::write(fd, content.data() + off,
+                            content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int e = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return fail(std::string("write: ") + std::strerror(e));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        int e = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return fail(std::string("fsync: ") + std::strerror(e));
+    }
+    if (::close(fd) != 0)
+        return fail(std::string("close: ") + std::strerror(errno));
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int e = errno;
+        ::unlink(tmp.c_str());
+        return fail(std::string("rename: ") + std::strerror(e));
+    }
+    // Make the rename itself durable.
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    return true;
 }
 
 } // namespace edge::triage

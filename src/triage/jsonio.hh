@@ -81,6 +81,13 @@ class JsonValue
     std::string dump() const;
 
     /**
+     * Serialize on a single line, no whitespace — the JSONL form the
+     * campaign journal appends one record per line in. Escaping
+     * guarantees the output itself contains no newline.
+     */
+    std::string dumpCompact() const;
+
+    /**
      * Parse a complete JSON document. Returns false (with a
      * position-bearing message in *err) on malformed input; trailing
      * garbage after the document is an error.
@@ -93,6 +100,7 @@ class JsonValue
 
   private:
     void dumpTo(std::string &out, unsigned depth) const;
+    void dumpCompactTo(std::string &out) const;
 
     Type _type = Type::Null;
     bool _bool = false;
@@ -101,6 +109,18 @@ class JsonValue
     std::vector<std::pair<std::string, JsonValue>> _members;
     std::vector<JsonValue> _items;
 };
+
+/**
+ * Crash-durable whole-file write: the content goes to a temp file in
+ * the same directory, is fsync'd, and is atomically renamed over
+ * `path` (the directory is fsync'd too). A reader therefore sees
+ * either the previous complete file or the new complete file — never
+ * a truncated half-write, even if the writer dies mid-call or the
+ * host loses power. Used for `.repro.json` captures and for every
+ * campaign-journal append.
+ */
+bool writeFileDurable(const std::string &path,
+                      const std::string &content, std::string *err);
 
 } // namespace edge::triage
 

@@ -5,10 +5,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/build_info.hh"
 #include "common/logging.hh"
 #include "lsq/lsq.hh"
 #include "predictor/dependence.hh"
 #include "triage/program_json.hh"
+#include "triage/result_json.hh"
 
 namespace edge::triage {
 
@@ -32,339 +34,6 @@ struct Fnv
     void str(const std::string &s) { bytes(s.data(), s.size()); }
     void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
 };
-
-pred::DepPolicy
-depPolicyByName(const std::string &name)
-{
-    for (pred::DepPolicy p :
-         {pred::DepPolicy::Blind, pred::DepPolicy::Conservative,
-          pred::DepPolicy::StoreSets, pred::DepPolicy::Oracle}) {
-        if (name == pred::depPolicyName(p))
-            return p;
-    }
-    fatal("repro: unknown dependence policy '%s'", name.c_str());
-}
-
-lsq::Recovery
-recoveryByName(const std::string &name)
-{
-    for (lsq::Recovery r : {lsq::Recovery::Flush, lsq::Recovery::Dsre}) {
-        if (name == lsq::recoveryName(r))
-            return r;
-    }
-    fatal("repro: unknown recovery mechanism '%s'", name.c_str());
-}
-
-JsonValue
-coreToJson(const core::CoreParams &p)
-{
-    JsonValue o = JsonValue::object();
-    o.set("rows", JsonValue::u64(p.rows));
-    o.set("cols", JsonValue::u64(p.cols));
-    o.set("slots_per_node", JsonValue::u64(p.slotsPerNode));
-    o.set("num_frames", JsonValue::u64(p.numFrames));
-    o.set("hop_latency", JsonValue::u64(p.hopLatency));
-    o.set("fetch_width", JsonValue::u64(p.fetchWidth));
-    o.set("reg_read_latency", JsonValue::u64(p.regReadLatency));
-    o.set("reg_ports_per_bank", JsonValue::u64(p.regPortsPerBank));
-    o.set("commit_ports_per_node", JsonValue::u64(p.commitPortsPerNode));
-    o.set("commit_wave_uses_alu", JsonValue::boolean(p.commitWaveUsesAlu));
-    o.set("squash_identical_values",
-          JsonValue::boolean(p.squashIdenticalValues));
-    o.set("lat_int_alu", JsonValue::u64(p.latIntAlu));
-    o.set("lat_int_mul", JsonValue::u64(p.latIntMul));
-    o.set("lat_int_div", JsonValue::u64(p.latIntDiv));
-    o.set("lat_fp_alu", JsonValue::u64(p.latFpAlu));
-    o.set("lat_fp_mul", JsonValue::u64(p.latFpMul));
-    o.set("lat_fp_div", JsonValue::u64(p.latFpDiv));
-    o.set("lat_ctrl", JsonValue::u64(p.latCtrl));
-    o.set("lat_mem_addr", JsonValue::u64(p.latMemAddr));
-    o.set("watchdog_cycles", JsonValue::u64(p.watchdogCycles));
-    o.set("livelock_interval", JsonValue::u64(p.livelockInterval));
-    o.set("livelock_repeats", JsonValue::u64(p.livelockRepeats));
-    return o;
-}
-
-void
-coreFromJson(const JsonValue &o, core::CoreParams *p)
-{
-    p->rows = static_cast<unsigned>(o.getU64("rows", p->rows));
-    p->cols = static_cast<unsigned>(o.getU64("cols", p->cols));
-    p->slotsPerNode = static_cast<unsigned>(
-        o.getU64("slots_per_node", p->slotsPerNode));
-    p->numFrames = static_cast<unsigned>(
-        o.getU64("num_frames", p->numFrames));
-    p->hopLatency = static_cast<unsigned>(
-        o.getU64("hop_latency", p->hopLatency));
-    p->fetchWidth = static_cast<unsigned>(
-        o.getU64("fetch_width", p->fetchWidth));
-    p->regReadLatency = static_cast<unsigned>(
-        o.getU64("reg_read_latency", p->regReadLatency));
-    p->regPortsPerBank = static_cast<unsigned>(
-        o.getU64("reg_ports_per_bank", p->regPortsPerBank));
-    p->commitPortsPerNode = static_cast<unsigned>(
-        o.getU64("commit_ports_per_node", p->commitPortsPerNode));
-    p->commitWaveUsesAlu =
-        o.getBool("commit_wave_uses_alu", p->commitWaveUsesAlu);
-    p->squashIdenticalValues =
-        o.getBool("squash_identical_values", p->squashIdenticalValues);
-    p->latIntAlu = static_cast<unsigned>(
-        o.getU64("lat_int_alu", p->latIntAlu));
-    p->latIntMul = static_cast<unsigned>(
-        o.getU64("lat_int_mul", p->latIntMul));
-    p->latIntDiv = static_cast<unsigned>(
-        o.getU64("lat_int_div", p->latIntDiv));
-    p->latFpAlu = static_cast<unsigned>(
-        o.getU64("lat_fp_alu", p->latFpAlu));
-    p->latFpMul = static_cast<unsigned>(
-        o.getU64("lat_fp_mul", p->latFpMul));
-    p->latFpDiv = static_cast<unsigned>(
-        o.getU64("lat_fp_div", p->latFpDiv));
-    p->latCtrl = static_cast<unsigned>(
-        o.getU64("lat_ctrl", p->latCtrl));
-    p->latMemAddr = static_cast<unsigned>(
-        o.getU64("lat_mem_addr", p->latMemAddr));
-    p->watchdogCycles = o.getU64("watchdog_cycles", p->watchdogCycles);
-    p->livelockInterval =
-        o.getU64("livelock_interval", p->livelockInterval);
-    p->livelockRepeats = static_cast<unsigned>(
-        o.getU64("livelock_repeats", p->livelockRepeats));
-}
-
-JsonValue
-memToJson(const mem::HierarchyParams &p)
-{
-    JsonValue o = JsonValue::object();
-    o.set("num_dbanks", JsonValue::u64(p.numDBanks));
-    o.set("l1d_size_bytes", JsonValue::u64(p.l1dSizeBytes));
-    o.set("l1d_assoc", JsonValue::u64(p.l1dAssoc));
-    o.set("l1d_hit_latency", JsonValue::u64(p.l1dHitLatency));
-    o.set("l1d_mshrs", JsonValue::u64(p.l1dMshrs));
-    o.set("l1i_size_bytes", JsonValue::u64(p.l1iSizeBytes));
-    o.set("l1i_assoc", JsonValue::u64(p.l1iAssoc));
-    o.set("l1i_hit_latency", JsonValue::u64(p.l1iHitLatency));
-    o.set("l2_size_bytes", JsonValue::u64(p.l2SizeBytes));
-    o.set("l2_assoc", JsonValue::u64(p.l2Assoc));
-    o.set("l2_hit_latency", JsonValue::u64(p.l2HitLatency));
-    o.set("l2_mshrs", JsonValue::u64(p.l2Mshrs));
-    o.set("l2_banks", JsonValue::u64(p.l2Banks));
-    o.set("line_bytes", JsonValue::u64(p.lineBytes));
-    o.set("dram_latency", JsonValue::u64(p.dramLatency));
-    o.set("dram_cycles_per_line", JsonValue::u64(p.dramCyclesPerLine));
-    return o;
-}
-
-void
-memFromJson(const JsonValue &o, mem::HierarchyParams *p)
-{
-    p->numDBanks = static_cast<unsigned>(
-        o.getU64("num_dbanks", p->numDBanks));
-    p->l1dSizeBytes = o.getU64("l1d_size_bytes", p->l1dSizeBytes);
-    p->l1dAssoc = static_cast<unsigned>(
-        o.getU64("l1d_assoc", p->l1dAssoc));
-    p->l1dHitLatency = static_cast<unsigned>(
-        o.getU64("l1d_hit_latency", p->l1dHitLatency));
-    p->l1dMshrs = static_cast<unsigned>(
-        o.getU64("l1d_mshrs", p->l1dMshrs));
-    p->l1iSizeBytes = o.getU64("l1i_size_bytes", p->l1iSizeBytes);
-    p->l1iAssoc = static_cast<unsigned>(
-        o.getU64("l1i_assoc", p->l1iAssoc));
-    p->l1iHitLatency = static_cast<unsigned>(
-        o.getU64("l1i_hit_latency", p->l1iHitLatency));
-    p->l2SizeBytes = o.getU64("l2_size_bytes", p->l2SizeBytes);
-    p->l2Assoc = static_cast<unsigned>(o.getU64("l2_assoc", p->l2Assoc));
-    p->l2HitLatency = static_cast<unsigned>(
-        o.getU64("l2_hit_latency", p->l2HitLatency));
-    p->l2Mshrs = static_cast<unsigned>(o.getU64("l2_mshrs", p->l2Mshrs));
-    p->l2Banks = static_cast<unsigned>(o.getU64("l2_banks", p->l2Banks));
-    p->lineBytes = static_cast<unsigned>(
-        o.getU64("line_bytes", p->lineBytes));
-    p->dramLatency = static_cast<unsigned>(
-        o.getU64("dram_latency", p->dramLatency));
-    p->dramCyclesPerLine = static_cast<unsigned>(
-        o.getU64("dram_cycles_per_line", p->dramCyclesPerLine));
-}
-
-JsonValue
-lsqToJson(const lsq::LsqParams &p)
-{
-    JsonValue o = JsonValue::object();
-    o.set("recovery", JsonValue::str(lsq::recoveryName(p.recovery)));
-    o.set("lsq_latency", JsonValue::u64(p.lsqLatency));
-    o.set("addr_based_violations",
-          JsonValue::boolean(p.addrBasedViolations));
-    o.set("max_resends_per_load", JsonValue::u64(p.maxResendsPerLoad));
-    o.set("charge_upgrade_ports",
-          JsonValue::boolean(p.chargeUpgradePorts));
-    o.set("value_predict_misses",
-          JsonValue::boolean(p.valuePredictMisses));
-    o.set("vp_latency_threshold", JsonValue::u64(p.vpLatencyThreshold));
-    o.set("vp_table_size", JsonValue::u64(p.vpTableSize));
-    return o;
-}
-
-void
-lsqFromJson(const JsonValue &o, lsq::LsqParams *p)
-{
-    p->recovery = recoveryByName(
-        o.getString("recovery", lsq::recoveryName(p->recovery)));
-    p->lsqLatency = static_cast<unsigned>(
-        o.getU64("lsq_latency", p->lsqLatency));
-    p->addrBasedViolations =
-        o.getBool("addr_based_violations", p->addrBasedViolations);
-    p->maxResendsPerLoad = static_cast<unsigned>(
-        o.getU64("max_resends_per_load", p->maxResendsPerLoad));
-    p->chargeUpgradePorts =
-        o.getBool("charge_upgrade_ports", p->chargeUpgradePorts);
-    p->valuePredictMisses =
-        o.getBool("value_predict_misses", p->valuePredictMisses);
-    p->vpLatencyThreshold = static_cast<unsigned>(
-        o.getU64("vp_latency_threshold", p->vpLatencyThreshold));
-    p->vpTableSize = o.getU64("vp_table_size", p->vpTableSize);
-}
-
-JsonValue
-chaosToJson(const chaos::ChaosParams &p)
-{
-    JsonValue o = JsonValue::object();
-    o.set("seed", JsonValue::u64(p.seed));
-    o.set("profile", JsonValue::str(chaos::profileName(p.profile)));
-    o.set("hop_delay_permille", JsonValue::u64(p.hopDelayPermille));
-    o.set("hop_delay_max", JsonValue::u64(p.hopDelayMax));
-    o.set("duplicate_permille", JsonValue::u64(p.duplicatePermille));
-    o.set("duplicate_skew_max", JsonValue::u64(p.duplicateSkewMax));
-    o.set("mem_jitter_permille", JsonValue::u64(p.memJitterPermille));
-    o.set("mem_jitter_max", JsonValue::u64(p.memJitterMax));
-    o.set("store_delay_permille", JsonValue::u64(p.storeDelayPermille));
-    o.set("store_delay_max", JsonValue::u64(p.storeDelayMax));
-    o.set("spurious_permille", JsonValue::u64(p.spuriousPermille));
-    o.set("mutation", JsonValue::str(chaos::mutationName(p.mutation)));
-    o.set("mutation_node", JsonValue::u64(p.mutationNode));
-    o.set("filter_schedule", JsonValue::boolean(p.filterSchedule));
-    JsonValue allowed = JsonValue::array();
-    for (std::uint64_t e : p.allowedEvents)
-        allowed.push(JsonValue::u64(e));
-    o.set("allowed_events", std::move(allowed));
-    return o;
-}
-
-void
-chaosFromJson(const JsonValue &o, chaos::ChaosParams *p)
-{
-    p->seed = o.getU64("seed", p->seed);
-    p->profile = chaos::ChaosParams::profileByName(
-        o.getString("profile", chaos::profileName(p->profile)));
-    p->hopDelayPermille = static_cast<unsigned>(
-        o.getU64("hop_delay_permille", p->hopDelayPermille));
-    p->hopDelayMax = static_cast<unsigned>(
-        o.getU64("hop_delay_max", p->hopDelayMax));
-    p->duplicatePermille = static_cast<unsigned>(
-        o.getU64("duplicate_permille", p->duplicatePermille));
-    p->duplicateSkewMax = static_cast<unsigned>(
-        o.getU64("duplicate_skew_max", p->duplicateSkewMax));
-    p->memJitterPermille = static_cast<unsigned>(
-        o.getU64("mem_jitter_permille", p->memJitterPermille));
-    p->memJitterMax = static_cast<unsigned>(
-        o.getU64("mem_jitter_max", p->memJitterMax));
-    p->storeDelayPermille = static_cast<unsigned>(
-        o.getU64("store_delay_permille", p->storeDelayPermille));
-    p->storeDelayMax = static_cast<unsigned>(
-        o.getU64("store_delay_max", p->storeDelayMax));
-    p->spuriousPermille = static_cast<unsigned>(
-        o.getU64("spurious_permille", p->spuriousPermille));
-    p->mutation = chaos::mutationByName(
-        o.getString("mutation", chaos::mutationName(p->mutation)));
-    p->mutationNode = static_cast<unsigned>(
-        o.getU64("mutation_node", p->mutationNode));
-    p->filterSchedule = o.getBool("filter_schedule", p->filterSchedule);
-    p->allowedEvents.clear();
-    if (const JsonValue *allowed = o.get("allowed_events"))
-        for (const JsonValue &e : allowed->items())
-            p->allowedEvents.push_back(e.asU64());
-}
-
-JsonValue
-configToJson(const core::MachineConfig &cfg)
-{
-    JsonValue o = JsonValue::object();
-    o.set("policy", JsonValue::str(pred::depPolicyName(cfg.policy)));
-    o.set("check_committed_path",
-          JsonValue::boolean(cfg.checkCommittedPath));
-    o.set("rng_seed", JsonValue::u64(cfg.rngSeed));
-    o.set("check_invariants", JsonValue::boolean(cfg.checkInvariants));
-    o.set("trace_depth", JsonValue::u64(cfg.traceDepth));
-    o.set("wall_deadline_ms", JsonValue::u64(cfg.wallDeadlineMs));
-    o.set("core", coreToJson(cfg.core));
-    o.set("mem", memToJson(cfg.mem));
-    o.set("lsq", lsqToJson(cfg.lsq));
-    JsonValue nbp = JsonValue::object();
-    nbp.set("table_size", JsonValue::u64(cfg.nbp.tableSize));
-    nbp.set("history_bits", JsonValue::u64(cfg.nbp.historyBits));
-    o.set("nbp", std::move(nbp));
-    o.set("chaos", chaosToJson(cfg.chaos));
-    return o;
-}
-
-void
-configFromJson(const JsonValue &o, core::MachineConfig *cfg)
-{
-    cfg->policy = depPolicyByName(
-        o.getString("policy", pred::depPolicyName(cfg->policy)));
-    cfg->checkCommittedPath =
-        o.getBool("check_committed_path", cfg->checkCommittedPath);
-    cfg->rngSeed = o.getU64("rng_seed", cfg->rngSeed);
-    cfg->checkInvariants =
-        o.getBool("check_invariants", cfg->checkInvariants);
-    cfg->traceDepth = o.getU64("trace_depth", cfg->traceDepth);
-    cfg->wallDeadlineMs = o.getU64("wall_deadline_ms", cfg->wallDeadlineMs);
-    if (const JsonValue *core_o = o.get("core"))
-        coreFromJson(*core_o, &cfg->core);
-    if (const JsonValue *mem_o = o.get("mem"))
-        memFromJson(*mem_o, &cfg->mem);
-    if (const JsonValue *lsq_o = o.get("lsq"))
-        lsqFromJson(*lsq_o, &cfg->lsq);
-    if (const JsonValue *nbp_o = o.get("nbp")) {
-        cfg->nbp.tableSize = nbp_o->getU64("table_size",
-                                           cfg->nbp.tableSize);
-        cfg->nbp.historyBits = static_cast<unsigned>(
-            nbp_o->getU64("history_bits", cfg->nbp.historyBits));
-    }
-    if (const JsonValue *chaos_o = o.get("chaos"))
-        chaosFromJson(*chaos_o, &cfg->chaos);
-}
-
-JsonValue
-errorToJson(const chaos::SimError &e)
-{
-    JsonValue o = JsonValue::object();
-    o.set("reason", JsonValue::str(chaos::reasonName(e.reason)));
-    o.set("invariant", JsonValue::str(e.invariant));
-    o.set("message", JsonValue::str(e.message));
-    o.set("cycle", JsonValue::u64(e.cycle));
-    o.set("seq", JsonValue::u64(e.seq));
-    o.set("node", JsonValue::u64(e.node));
-    JsonValue trace = JsonValue::array();
-    for (const std::string &line : e.trace)
-        trace.push(JsonValue::str(line));
-    o.set("trace", std::move(trace));
-    return o;
-}
-
-void
-errorFromJson(const JsonValue &o, chaos::SimError *e)
-{
-    e->reason = chaos::reasonByName(
-        o.getString("reason", chaos::reasonName(e->reason)));
-    e->invariant = o.getString("invariant");
-    e->message = o.getString("message");
-    e->cycle = o.getU64("cycle");
-    e->seq = o.getU64("seq");
-    e->node = static_cast<std::uint32_t>(o.getU64("node"));
-    e->trace.clear();
-    if (const JsonValue *trace = o.get("trace"))
-        for (const JsonValue &line : trace->items())
-            e->trace.push_back(line.asString());
-}
 
 /** Filename-safe slug: [a-z0-9-] only. */
 std::string
@@ -439,6 +108,8 @@ toJson(const ReproSpec &spec)
 
     root.set("config", configToJson(spec.config));
     root.set("max_cycles", JsonValue::u64(spec.maxCycles));
+    if (!spec.build.empty())
+        root.set("build", JsonValue::str(spec.build));
 
     JsonValue failure = JsonValue::object();
     failure.set("error", errorToJson(spec.error));
@@ -491,6 +162,7 @@ fromJson(const JsonValue &root, ReproSpec *spec, std::string *err)
     if (const JsonValue *cfg = root.get("config"))
         configFromJson(*cfg, &spec->config);
     spec->maxCycles = root.getU64("max_cycles", spec->maxCycles);
+    spec->build = root.getString("build");
 
     if (const JsonValue *failure = root.get("failure")) {
         if (const JsonValue *e = failure->get("error"))
@@ -517,20 +189,10 @@ fromJson(const JsonValue &root, ReproSpec *spec, std::string *err)
 bool
 save(const ReproSpec &spec, const std::string &path, std::string *err)
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-        if (err)
-            *err = "cannot open '" + path + "' for writing";
-        return false;
-    }
-    out << toJson(spec).dump();
-    out.flush();
-    if (!out) {
-        if (err)
-            *err = "write to '" + path + "' failed";
-        return false;
-    }
-    return true;
+    // Durable write: a repro capture is usually the only artifact of
+    // a crash, so it must never itself be lost to a half-write when
+    // the capturing process (or host) dies mid-save.
+    return writeFileDurable(path, toJson(spec).dump(), err);
 }
 
 bool
@@ -539,15 +201,33 @@ load(const std::string &path, ReproSpec *spec, std::string *err)
     std::ifstream in(path);
     if (!in) {
         if (err)
-            *err = "cannot open '" + path + "'";
+            *err = "repro '" + path + "': cannot open";
         return false;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    JsonValue root;
-    if (!JsonValue::parse(buf.str(), &root, err))
+    const std::string text = buf.str();
+    if (text.empty()) {
+        if (err)
+            *err = "repro '" + path +
+                   "': file is empty (truncated capture?)";
         return false;
-    return fromJson(root, spec, err);
+    }
+    JsonValue root;
+    std::string perr;
+    if (!JsonValue::parse(text, &root, &perr)) {
+        if (err)
+            *err = "repro '" + path + "': malformed JSON (" + perr +
+                   ") — the file is truncated or not a repro capture";
+        return false;
+    }
+    std::string ferr;
+    if (!fromJson(root, spec, &ferr)) {
+        if (err)
+            *err = "repro '" + path + "': " + ferr;
+        return false;
+    }
+    return true;
 }
 
 ReproSpec
@@ -565,6 +245,7 @@ captureFromResult(const ProgramRef &program,
     if (spec.config.chaos.enabled())
         spec.config.chaos.seed = result.chaosSeed;
     spec.maxCycles = max_cycles;
+    spec.build = buildInfoLine();
     spec.error = result.error;
     spec.halted = result.halted;
     spec.archMatch = result.archMatch;
@@ -632,6 +313,13 @@ replay(const ReproSpec &spec)
         fatal_if(!issues.empty(),
                  "repro: embedded program is invalid: %s",
                  issues.front().str().c_str());
+    }
+    if (!spec.build.empty()) {
+        std::string mismatch = buildMismatch(spec.build);
+        if (!mismatch.empty())
+            warn("repro: captured on a different build (%s) — the "
+                 "replay may legitimately not reproduce",
+                 mismatch.c_str());
     }
     std::uint64_t hash = programHash(prog);
     if (spec.programHash != 0 && hash != spec.programHash)

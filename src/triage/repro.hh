@@ -62,6 +62,14 @@ struct ReproSpec
      */
     core::MachineConfig config;
     Cycle maxCycles = 500'000'000;
+    /**
+     * Provenance line of the build that captured this spec (see
+     * edge::buildInfoLine). Replay compares it against the running
+     * binary and warns on mismatch: a capture from a different git
+     * revision, build type, or sanitizer mix may legitimately not
+     * reproduce.
+     */
+    std::string build;
 
     // --- observed failure signature -----------------------------------
     chaos::SimError error;

@@ -26,18 +26,27 @@
  *   10  deadlock watchdog        11  invariant violation
  *   12  protocol panic           13  livelock
  *   14  host wall-clock deadline
+ *   15  worker crash             16  worker killed
+ *   17  worker timeout           18  worker protocol
+ *   128+N  supervised campaign interrupted by signal N
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/build_info.hh"
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "fuzz/diff.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
+#include "super/campaign.hh"
+#include "super/worker.hh"
 #include "triage/minimize.hh"
 #include "triage/repro.hh"
 #include "workloads/workloads.hh"
@@ -75,6 +84,18 @@ usage()
         "  -j N   run grids / minimization on N worker threads\n"
         "         (default: hardware concurrency; results are\n"
         "         bit-identical to -j 1)\n"
+        "\n"
+        "supervised campaigns (sweeps and fuzzing):\n"
+        "  --isolate  run every grid cell in a sandboxed child\n"
+        "         process; a segfaulting/OOM-killed/hung cell becomes\n"
+        "         a structured failure row, never a dead campaign\n"
+        "  --journal-dir <dir>  durable JSONL journal of completed\n"
+        "         cells (implies --isolate)\n"
+        "  --resume <journal>  skip cells the journal marks final,\n"
+        "         re-execute the rest, merge (implies --isolate)\n"
+        "  --cell-timeout-ms N  SIGKILL a cell past this deadline\n"
+        "  --rlimit-as-mb N / --rlimit-cpu-sec N  child sandbox caps\n"
+        "  --version  print the build provenance line\n"
         "  --capture-repro <dir>  write a .repro.json for every\n"
         "         failing run / sweep cell into <dir>\n"
         "  --replay <file>  re-run a captured failure; exits 0 iff\n"
@@ -85,7 +106,8 @@ usage()
         "exit codes: 0 ok, 1 usage/config, 2 divergence, 3 sweep\n"
         "  failures, 4 replay mismatch, 10 watchdog, 11 invariant\n"
         "  violation, 12 protocol panic, 13 livelock, 14 host\n"
-        "  deadline\n"
+        "  deadline, 15-18 worker crash/kill/timeout/protocol,\n"
+        "  128+N interrupted by signal N\n"
         "\n"
         "configs: ");
     for (const auto &c : sim::Configs::allNames())
@@ -227,9 +249,26 @@ replayMain(const std::string &path, bool minimize, unsigned threads)
     return match ? 0 : 4;
 }
 
+/** Partial-campaign banner + resume hint, shared by the interrupted
+ *  sweep and fuzz paths. Returns the 128+signal exit status. */
+int
+interruptedExit(const super::Supervisor &sup)
+{
+    int sig = super::stopSignal() ? super::stopSignal() : SIGINT;
+    std::printf("campaign interrupted (%s): %zu cell(s) journaled "
+                "this session, %zu replayed from the journal, %zu "
+                "failure(s)\n",
+                strsignal(sig), sup.completed(), sup.skipped(),
+                sup.failures());
+    std::string hint = sup.resumeHint();
+    if (!hint.empty())
+        std::printf("  %s\n", hint.c_str());
+    return 128 + sig;
+}
+
 int
 fuzzMain(const fuzz::FuzzOptions &opts, bool minimize,
-         unsigned threads)
+         unsigned threads, const super::Supervisor *sup = nullptr)
 {
     fatal_if(minimize && opts.corpusDir.empty(),
              "--fuzz --minimize needs --corpus-dir (minimization "
@@ -283,6 +322,8 @@ fuzzMain(const fuzz::FuzzOptions &opts, bool minimize,
                      err.c_str());
         }
     }
+    if (rep.interrupted && sup)
+        return interruptedExit(*sup);
     if (rep.clean())
         std::printf("fuzz: all mechanisms agree with the reference\n");
     return rep.clean() ? 0 : 2;
@@ -293,6 +334,13 @@ fuzzMain(const fuzz::FuzzOptions &opts, bool minimize,
 int
 main(int argc, char **argv)
 {
+    // The worker half of the supervised-campaign protocol: re-entered
+    // via fork/exec of /proc/self/exe. Dispatch before any other
+    // argument handling — the spec arrives on stdin, the result
+    // leaves on stdout, and nothing else may write there.
+    if (argc >= 2 && std::strcmp(argv[1], "--worker-cell") == 0)
+        return super::workerCellMain(std::cin, std::cout);
+
     std::string kernel;
     std::string config = "dsre";
     wl::KernelParams kp;
@@ -312,6 +360,12 @@ main(int argc, char **argv)
     std::uint64_t fuzz_count = 0;
     std::uint64_t fuzz_seed = 1;
     std::string corpus_dir;
+    bool isolate = false;
+    std::string journal_dir;
+    std::string resume_path;
+    std::uint64_t cell_timeout_ms = 0;
+    std::uint64_t rlimit_as_mb = 0;
+    std::uint64_t rlimit_cpu_sec = 0;
     std::vector<std::pair<std::string, std::uint64_t>> overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -374,6 +428,23 @@ main(int argc, char **argv)
             wall_deadline_ms = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--capture-repro") {
             repro_dir = next();
+        } else if (arg == "--isolate") {
+            isolate = true;
+        } else if (arg == "--journal-dir") {
+            journal_dir = next();
+            isolate = true;
+        } else if (arg == "--resume") {
+            resume_path = next();
+            isolate = true;
+        } else if (arg == "--cell-timeout-ms") {
+            cell_timeout_ms = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--rlimit-as-mb") {
+            rlimit_as_mb = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--rlimit-cpu-sec") {
+            rlimit_cpu_sec = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--version") {
+            std::printf("edgesim %s\n", buildInfoLine().c_str());
+            return 0;
         } else if (arg == "--replay") {
             replay_path = next();
         } else if (arg == "--minimize") {
@@ -406,6 +477,23 @@ main(int argc, char **argv)
     if (!replay_path.empty())
         return replayMain(replay_path, minimize, threads);
 
+    // Shared supervisor setup for the --isolate campaign paths.
+    auto supervisorOptions =
+        [&](const std::string &campaign) -> super::SupervisorOptions {
+        super::SupervisorOptions so;
+        so.jobs = threads;
+        so.cellTimeoutMs = cell_timeout_ms;
+        so.rlimitAsMb = rlimit_as_mb;
+        so.rlimitCpuSec = rlimit_cpu_sec;
+        if (!resume_path.empty())
+            so.journalPath = resume_path;
+        else if (!journal_dir.empty())
+            so.journalPath =
+                journal_dir + "/" + campaign + ".journal.jsonl";
+        so.resume = !resume_path.empty();
+        return so;
+    };
+
     if (fuzz_count > 0) {
         fuzz::FuzzOptions fo;
         fo.count = fuzz_count;
@@ -416,6 +504,15 @@ main(int argc, char **argv)
         fo.checkInvariants = check_invariants;
         fo.threads = threads;
         fo.corpusDir = corpus_dir;
+        if (isolate) {
+            super::installStopHandlers();
+            super::Supervisor sup(supervisorOptions(strfmt(
+                "fuzz-seed%llu-n%llu",
+                static_cast<unsigned long long>(fuzz_seed),
+                static_cast<unsigned long long>(fuzz_count))));
+            fo.batchRunner = super::fuzzBatchRunner(sup);
+            return fuzzMain(fo, minimize, threads, &sup);
+        }
         return fuzzMain(fo, minimize, threads);
     }
 
@@ -455,6 +552,28 @@ main(int argc, char **argv)
         sp.threads = threads;
         sp.mutation = mutation;
         sp.mutationNode = mutation_node;
+        if (isolate) {
+            super::installStopHandlers();
+            super::Supervisor sup(supervisorOptions(
+                strfmt("sweep-%s-%s", kernel.c_str(),
+                       config.c_str())));
+            bool interrupted = false;
+            sim::ChaosSweepReport rep = super::chaosSweepIsolated(
+                sp, prog_ref, sup, &interrupted);
+            if (!repro_dir.empty())
+                triage::captureSweepFailures(rep, prog_ref,
+                                             sp.maxCycles, repro_dir);
+            // Same banner as the in-process path on purpose: an
+            // uninterrupted --isolate sweep's stdout is byte-
+            // identical to the default one.
+            std::printf("%s / %s chaos sweep (%s):\n%s",
+                        kernel.c_str(), config.c_str(),
+                        chaos::profileName(sp.profile),
+                        rep.summary().c_str());
+            if (interrupted)
+                return interruptedExit(sup);
+            return rep.allConverged() ? 0 : 3;
+        }
         isa::Program prog = wl::build(kernel, kp);
         sim::ChaosSweepReport rep = sim::chaosSweep(prog, sp);
         if (!repro_dir.empty())
