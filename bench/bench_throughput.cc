@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Campaign-throughput baseline (ROADMAP "make it fast"): how many
+ * grid cells per second the simulator sustains, per kernel x
+ * mechanism, plus the pooled whole-suite rate. Emits
+ * BENCH_throughput.json (override with --json) so CI archives a
+ * trajectory for the cycle-loop optimisation work to beat.
+ *
+ * Two measurements per kernel x config cell:
+ *  - serial cells/sec: best-of-N wall time of a single in-process
+ *    run (the per-cell cost a scheduler pays);
+ *  - simulated Mcycles/sec for the same run (the cycle-loop rate the
+ *    optimisation PRs target directly).
+ * Then the whole matrix once more through the -j thread pool for the
+ * aggregate suite cells/sec.
+ *
+ * Timings are wall-clock and hence machine-dependent; everything
+ * else in the JSON (cycles, insts) is deterministic.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+using namespace edge;
+using namespace edge::bench;
+
+namespace {
+
+constexpr int kReps = 3; ///< best-of-N serial timing
+
+struct CellRate
+{
+    RunSpec spec;
+    sim::RunResult result;
+    double cellsPerSec = 0.0;
+    double mcyclesPerSec = 0.0;
+};
+
+double
+secondsOf(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = benchArgs(argc, argv, 1000);
+    const auto kernels = wl::kernelNames();
+    const auto configs = sim::Configs::allNames();
+
+    std::printf("Campaign throughput: serial cells/sec per kernel x "
+                "mechanism (best of %d, %llu iterations)\n\n",
+                kReps,
+                static_cast<unsigned long long>(args.iterations));
+    printHeader("benchmark", configs, 14);
+
+    std::vector<CellRate> rates;
+    rates.reserve(kernels.size() * configs.size());
+    for (const auto &k : kernels) {
+        std::vector<std::string> cells;
+        for (const auto &c : configs) {
+            RunSpec spec;
+            spec.kernel = k;
+            spec.config = c;
+            spec.iterations = args.iterations;
+
+            CellRate rate;
+            rate.spec = spec;
+            double best = 0.0;
+            for (int rep = 0; rep < kReps; ++rep) {
+                auto t0 = std::chrono::steady_clock::now();
+                RunRow row = runOne(spec);
+                double secs =
+                    secondsOf(std::chrono::steady_clock::now() - t0);
+                if (rep == 0)
+                    rate.result = std::move(row.result);
+                if (secs > 0.0)
+                    best = std::max(best, 1.0 / secs);
+            }
+            rate.cellsPerSec = best;
+            rate.mcyclesPerSec =
+                best * static_cast<double>(rate.result.cycles) / 1e6;
+            cells.push_back(fmtF(rate.cellsPerSec, 1));
+            rates.push_back(std::move(rate));
+        }
+        printRow(k, cells, 14);
+    }
+
+    std::vector<double> per_cell;
+    for (const auto &r : rates)
+        per_cell.push_back(r.cellsPerSec > 0.0 ? r.cellsPerSec : 1e-9);
+    double gm = geomean(per_cell);
+
+    // The pooled pass: the whole matrix at -j, the rate a campaign
+    // actually sustains on this host.
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<RunRow> pooled =
+        runMatrix(kernels, configs, args.iterations, nullptr,
+                  args.threads);
+    double pooled_secs =
+        secondsOf(std::chrono::steady_clock::now() - t0);
+    double suite_rate = pooled_secs > 0.0
+                            ? static_cast<double>(pooled.size()) /
+                                  pooled_secs
+                            : 0.0;
+    unsigned threads = args.threads == 0
+                           ? ThreadPool::defaultThreads()
+                           : args.threads;
+
+    std::printf("\ngeomean serial rate : %8.1f cells/sec\n", gm);
+    std::printf("pooled suite rate   : %8.1f cells/sec "
+                "(%zu cells, -j %u, %.2fs)\n",
+                suite_rate, pooled.size(), threads, pooled_secs);
+
+    std::string json_path =
+        args.jsonPath.empty() ? "BENCH_throughput.json" : args.jsonPath;
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", json_path.c_str());
+    } else {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"bench_throughput\",\n"
+                     "  \"iterations\": %llu,\n"
+                     "  \"threads\": %u,\n"
+                     "  \"geomean_cells_per_sec\": %.3f,\n"
+                     "  \"suite_cells_per_sec\": %.3f,\n"
+                     "  \"suite_cells\": %zu,\n"
+                     "  \"suite_wall_seconds\": %.3f,\n"
+                     "  \"cells\": [\n",
+                     static_cast<unsigned long long>(args.iterations),
+                     threads, gm, suite_rate, pooled.size(),
+                     pooled_secs);
+        for (std::size_t i = 0; i < rates.size(); ++i) {
+            const CellRate &r = rates[i];
+            std::fprintf(
+                f,
+                "    {\"kernel\": \"%s\", \"config\": \"%s\", "
+                "\"cells_per_sec\": %.3f, "
+                "\"sim_mcycles_per_sec\": %.3f, "
+                "\"cycles\": %llu, \"insts\": %llu, \"ok\": %s}%s\n",
+                jsonEscape(r.spec.kernel).c_str(),
+                jsonEscape(r.spec.config).c_str(), r.cellsPerSec,
+                r.mcyclesPerSec,
+                static_cast<unsigned long long>(r.result.cycles),
+                static_cast<unsigned long long>(
+                    r.result.committedInsts),
+                r.result.halted && r.result.archMatch &&
+                        r.result.error.ok()
+                    ? "true"
+                    : "false",
+                i + 1 < rates.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    // finishBench reports any failing pooled cells (and honours
+    // --repro-dir); the JSON above is ours, so hide --json from it.
+    BenchArgs finish = args;
+    finish.jsonPath.clear();
+    return finishBench("bench_throughput", finish, pooled);
+}

@@ -13,6 +13,7 @@
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/thread_pool.hh"
+#include "serve/fabric.hh"
 #include "sim/run_pool.hh"
 #include "super/supervisor.hh"
 #include "super/worker.hh"
@@ -79,11 +80,16 @@ benchArgs(int argc, char **argv, std::uint64_t default_iters)
         } else if (arg == "--cell-timeout-ms") {
             args.cellTimeoutMs =
                 std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--agents") {
+            args.agentsPort = static_cast<std::uint16_t>(
+                std::strtoul(next(), nullptr, 10));
+            args.agents = true;
+            args.isolate = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [iterations] [-j N] [--json path] "
                         "[--repro-dir dir] [--isolate] "
                         "[--journal-dir dir] [--resume journal] "
-                        "[--cell-timeout-ms N]\n",
+                        "[--cell-timeout-ms N] [--agents port]\n",
                         argv[0]);
             std::exit(0);
         } else if (!arg.empty() && arg[0] != '-') {
@@ -92,7 +98,8 @@ benchArgs(int argc, char **argv, std::uint64_t default_iters)
             fatal("unknown bench argument '%s' "
                   "(usage: [iterations] [-j N] [--json path] "
                   "[--repro-dir dir] [--isolate] [--journal-dir dir] "
-                  "[--resume journal] [--cell-timeout-ms N])",
+                  "[--resume journal] [--cell-timeout-ms N] "
+                  "[--agents port])",
                   arg.c_str());
         }
     }
@@ -153,24 +160,51 @@ runSpecs(const std::vector<RunSpec> &specs, unsigned threads)
 
 namespace {
 
-/** The supervised grid: every spec as a sandboxed worker cell. */
+/** The supervised grid: every spec as a sandboxed worker cell, run by
+ *  the local fork/exec supervisor or — under --agents — by a campaign
+ *  fabric that leases cells to remote executors. */
 std::vector<RunRow>
 runSpecsIsolated(const std::vector<RunSpec> &specs,
                  const BenchArgs &args, const std::string &bench_name)
 {
     super::installStopHandlers();
-    super::SupervisorOptions so;
-    so.jobs = args.threads;
-    so.cellTimeoutMs = args.cellTimeoutMs;
+    std::string journal_path;
     if (!args.resumePath.empty())
-        so.journalPath = args.resumePath;
+        journal_path = args.resumePath;
     else if (!args.journalDir.empty())
-        so.journalPath =
+        journal_path =
             args.journalDir + "/" + bench_name + ".journal.jsonl";
-    so.resume = !args.resumePath.empty();
+
     // Repro capture stays in finishBench so isolated and in-process
     // grids produce their .repro.json files through one code path.
-    super::Supervisor sup(so);
+    std::unique_ptr<super::Supervisor> local;
+    std::unique_ptr<serve::Fabric> fabric;
+    super::CellRunner *runner = nullptr;
+    if (args.agents) {
+        serve::FabricOptions fo;
+        fo.listenPort = args.agentsPort;
+        fo.localJobs = args.threads;
+        fo.cellTimeoutMs = args.cellTimeoutMs;
+        fo.journalPath = journal_path;
+        fo.resume = !args.resumePath.empty();
+        fabric = std::make_unique<serve::Fabric>(fo);
+        std::string err;
+        fatal_if(!fabric->start(&err), "%s: --agents: %s",
+                 bench_name.c_str(), err.c_str());
+        inform("%s: fabric coordinator on port %u (cells lease to "
+               "connected agents; none connected -> local workers)",
+               bench_name.c_str(), fabric->port());
+        runner = fabric.get();
+    } else {
+        super::SupervisorOptions so;
+        so.jobs = args.threads;
+        so.cellTimeoutMs = args.cellTimeoutMs;
+        so.journalPath = journal_path;
+        so.resume = !args.resumePath.empty();
+        local = std::make_unique<super::Supervisor>(so);
+        runner = local.get();
+    }
+    super::CellRunner &sup = *runner;
 
     // One program hash per distinct (kernel, iterations, seed), same
     // sharing key as the in-process pool.

@@ -19,6 +19,7 @@ reasonName(SimError::Reason reason)
       case SimError::Reason::WorkerKilled: return "worker-killed";
       case SimError::Reason::WorkerTimeout: return "worker-timeout";
       case SimError::Reason::WorkerProtocol: return "worker-protocol";
+      case SimError::Reason::AgentLost: return "agent-lost";
     }
     return "?";
 }
@@ -33,7 +34,8 @@ reasonByName(const std::string &name)
           SimError::Reason::HostDeadline, SimError::Reason::WorkerCrash,
           SimError::Reason::WorkerKilled,
           SimError::Reason::WorkerTimeout,
-          SimError::Reason::WorkerProtocol}) {
+          SimError::Reason::WorkerProtocol,
+          SimError::Reason::AgentLost}) {
         if (name == reasonName(r))
             return r;
     }
@@ -54,6 +56,7 @@ exitCodeFor(SimError::Reason reason)
       case SimError::Reason::WorkerKilled: return 16;
       case SimError::Reason::WorkerTimeout: return 17;
       case SimError::Reason::WorkerProtocol: return 18;
+      case SimError::Reason::AgentLost: return 19;
     }
     return 1;
 }
@@ -62,7 +65,8 @@ bool
 isTransient(SimError::Reason reason)
 {
     return reason == SimError::Reason::HostDeadline ||
-           reason == SimError::Reason::WorkerTimeout;
+           reason == SimError::Reason::WorkerTimeout ||
+           reason == SimError::Reason::AgentLost;
 }
 
 bool
@@ -73,6 +77,7 @@ isWorkerFailure(SimError::Reason reason)
       case SimError::Reason::WorkerKilled:
       case SimError::Reason::WorkerTimeout:
       case SimError::Reason::WorkerProtocol:
+      case SimError::Reason::AgentLost:
         return true;
       default:
         return false;

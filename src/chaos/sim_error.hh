@@ -39,6 +39,13 @@ struct SimError
         WorkerKilled,   ///< child SIGKILLed (OOM killer / external)
         WorkerTimeout,  ///< supervisor deadline or RLIMIT_CPU kill
         WorkerProtocol, ///< child exited without a valid result
+
+        // --- campaign-fabric (multi-host) kind ---------------------
+        // Produced by the serve coordinator (src/serve/) when every
+        // lease on a cell was lost to dead/partitioned agents and the
+        // reassignment budget ran out. Transient: a resumed or
+        // re-run campaign re-executes the cell.
+        AgentLost, ///< all leases lost (agent death / partition)
     };
 
     Reason reason = Reason::None;

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * FNV-1a 64-bit, the one content hash the project uses everywhere a
+ * stable identity is needed: program content hashes, campaign cell
+ * identity, and journal record checksums. Header-only so the leaf
+ * libraries (triage, super, serve) share one definition instead of
+ * three hand-copied constants.
+ */
+
+#ifndef EDGE_COMMON_HASH_HH
+#define EDGE_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace edge {
+
+/** Incremental FNV-1a 64-bit hasher (classic offset basis / prime). */
+struct Fnv1a
+{
+    std::uint64_t state = 0xcbf29ce484222325ULL;
+
+    void
+    mix(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            state ^= p[i];
+            state *= 0x100000001b3ULL;
+        }
+    }
+
+    void mix(const std::string &s) { mix(s.data(), s.size()); }
+
+    void
+    mix64(std::uint64_t v)
+    {
+        mix(&v, sizeof(v));
+    }
+};
+
+/** One-shot FNV-1a of a byte string. */
+inline std::uint64_t
+fnv1a64(const std::string &s)
+{
+    Fnv1a f;
+    f.mix(s);
+    return f.state;
+}
+
+} // namespace edge
+
+#endif // EDGE_COMMON_HASH_HH

@@ -1,0 +1,323 @@
+#include "serve/agent.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+#include "serve/net.hh"
+#include "serve/proto.hh"
+#include "super/cell.hh"
+#include "super/supervisor.hh"
+
+namespace edge::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Agent
+{
+    AgentOptions opts;
+    std::unique_ptr<Conn> conn;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+
+    std::uint64_t heartbeatMs = 1000;
+    bool draining = false; ///< shutdown received: no new assigns
+
+    struct Running
+    {
+        std::thread th;
+        std::shared_ptr<super::Supervisor> sup;
+    };
+    std::map<std::uint64_t, Running> active; // by lease (main thread)
+
+    struct Done
+    {
+        std::uint64_t lease = 0;
+        std::uint64_t cell = 0;
+        sim::RunResult result;
+        bool ran = false;
+    };
+    std::mutex mu;
+    std::deque<Done> done; // cell threads -> main loop
+
+    std::uint64_t resultsSent = 0;
+
+    void
+    wake()
+    {
+        char b = 'x';
+        (void)!::write(wakeWrite, &b, 1);
+    }
+
+    /** Cell thread body: run one cell in a sandboxed child and hand
+     *  the result line back to the poll loop. */
+    void
+    runCell(std::uint64_t lease, super::CellSpec cell,
+            std::uint64_t timeoutMs, std::uint64_t asMb,
+            std::uint64_t cpuSec,
+            std::shared_ptr<super::Supervisor> sup)
+    {
+        (void)asMb;
+        (void)cpuSec;
+        (void)timeoutMs;
+        std::vector<super::CellOutcome> outs = sup->runAll({cell});
+        Done d;
+        d.lease = lease;
+        d.cell = super::cellHash(cell);
+        if (!outs.empty() && outs[0].ran) {
+            d.ran = true;
+            d.result = std::move(outs[0].result);
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            done.push_back(std::move(d));
+        }
+        wake();
+    }
+
+    void
+    handleAssign(const triage::JsonValue &doc)
+    {
+        std::uint64_t lease = doc.getU64("lease");
+        const triage::JsonValue *cellDoc = doc.get("cell");
+        super::CellSpec cell;
+        std::string err;
+        if (!cellDoc || !super::cellFromJson(*cellDoc, &cell, &err)) {
+            warn("agent: unusable assign for lease %llu: %s",
+                 static_cast<unsigned long long>(lease), err.c_str());
+            return; // the lease expires and is reassigned
+        }
+        if (draining)
+            return;
+
+        // One single-slot, single-attempt Supervisor per cell: the
+        // agent executes, the coordinator schedules and retries.
+        super::SupervisorOptions so;
+        so.jobs = 1;
+        so.cellTimeoutMs = doc.getU64("timeout_ms");
+        so.rlimitAsMb = doc.getU64("rlimit_as_mb");
+        so.rlimitCpuSec = doc.getU64("rlimit_cpu_sec");
+        so.workerPath = opts.workerPath;
+        so.retry.maxAttempts = 1;
+        auto sup = std::make_shared<super::Supervisor>(so);
+
+        Running r;
+        r.sup = sup;
+        r.th = std::thread(&Agent::runCell, this, lease,
+                           std::move(cell), so.cellTimeoutMs,
+                           so.rlimitAsMb, so.rlimitCpuSec, sup);
+        active.emplace(lease, std::move(r));
+    }
+
+    /** Flush everything queued on the connection (blocking). */
+    void
+    flushAll()
+    {
+        while (!conn->dead() && conn->wantWrite()) {
+            pollfd p = {conn->fd(), POLLOUT, 0};
+            if (::poll(&p, 1, 1000) <= 0)
+                break;
+            conn->onWritable();
+        }
+    }
+
+    /** Drain finished cells: join their threads, stream results. */
+    void
+    pumpDone()
+    {
+        for (;;) {
+            Done d;
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                if (done.empty())
+                    return;
+                d = std::move(done.front());
+                done.pop_front();
+            }
+            auto it = active.find(d.lease);
+            if (it != active.end()) {
+                it->second.th.join();
+                active.erase(it);
+            }
+            if (!d.ran)
+                continue; // stopped cell: the lease will be revoked
+            conn->send(proto::result(d.lease, d.cell, d.result));
+            ++resultsSent;
+            if (opts.dieAfterResults != 0 &&
+                resultsSent >= opts.dieAfterResults) {
+                // Test hook: die the hard way, leases still held.
+                flushAll();
+                std::raise(SIGKILL);
+            }
+        }
+    }
+
+    void
+    stopAll()
+    {
+        for (auto &kv : active)
+            kv.second.sup->requestStop();
+        for (auto &kv : active)
+            if (kv.second.th.joinable())
+                kv.second.th.join();
+        active.clear();
+    }
+};
+
+} // namespace
+
+int
+agentMain(const AgentOptions &opts)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    super::installStopHandlers();
+
+    Agent a;
+    a.opts = opts;
+    if (a.opts.slots == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        a.opts.slots = hw ? hw : 1;
+    }
+    if (a.opts.name.empty()) {
+        char host[256] = "agent";
+        ::gethostname(host, sizeof(host) - 1);
+        a.opts.name =
+            strfmt("%s/%d", host, static_cast<int>(::getpid()));
+    }
+
+    std::string err;
+    int fd = connectTo(opts.coordinator, &err);
+    if (fd < 0) {
+        fprintf(stderr, "edgesim: agent: %s\n", err.c_str());
+        return 1;
+    }
+    a.conn = std::make_unique<Conn>(fd);
+
+    int wakePipe[2];
+    if (::pipe(wakePipe) != 0) {
+        fprintf(stderr, "edgesim: agent: pipe: %s\n",
+                std::strerror(errno));
+        return 1;
+    }
+    a.wakeRead = wakePipe[0];
+    a.wakeWrite = wakePipe[1];
+    ::fcntl(a.wakeRead, F_SETFL,
+            ::fcntl(a.wakeRead, F_GETFL, 0) | O_NONBLOCK);
+
+    a.conn->send(proto::hello(a.opts.name, a.opts.slots));
+    inform("agent '%s': connected to %s (%u slot%s)",
+           a.opts.name.c_str(), opts.coordinator.c_str(),
+           a.opts.slots, a.opts.slots == 1 ? "" : "s");
+
+    Clock::time_point lastBeat = Clock::now();
+    int exitCode = 0;
+    bool shuttingDown = false;
+
+    for (;;) {
+        if (super::stopSignal() != 0) {
+            // Host-initiated stop: stop cells and leave; the
+            // coordinator reassigns the leases.
+            a.stopAll();
+            exitCode = 1;
+            break;
+        }
+
+        pollfd fds[2];
+        fds[0] = {a.conn->fd(), POLLIN, 0};
+        if (a.conn->wantWrite())
+            fds[0].events |= POLLOUT;
+        fds[1] = {a.wakeRead, POLLIN, 0};
+
+        auto now = Clock::now();
+        auto sinceBeat =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - lastBeat)
+                .count();
+        int timeout = static_cast<int>(
+            a.heartbeatMs -
+            std::min<long long>(sinceBeat,
+                                static_cast<long long>(a.heartbeatMs)));
+        (void)::poll(fds, 2, std::max(timeout, 1));
+
+        if (fds[1].revents & POLLIN) {
+            char buf[64];
+            while (::read(a.wakeRead, buf, sizeof(buf)) > 0)
+                ;
+        }
+        if (fds[0].revents & POLLOUT)
+            a.conn->onWritable();
+        if (fds[0].revents & (POLLIN | POLLHUP | POLLERR))
+            a.conn->onReadable();
+
+        std::string line;
+        while (!a.conn->dead() && a.conn->nextLine(&line)) {
+            triage::JsonValue doc;
+            std::string type, perr;
+            if (!proto::parse(line, &doc, &type, &perr)) {
+                warn("agent: malformed message: %s", perr.c_str());
+                continue;
+            }
+            if (type == "welcome") {
+                a.heartbeatMs =
+                    std::max<std::uint64_t>(
+                        10, doc.getU64("heartbeat_ms", 1000));
+            } else if (type == "assign") {
+                a.handleAssign(doc);
+            } else if (type == "shutdown") {
+                a.draining = true;
+                shuttingDown = true;
+            }
+        }
+
+        a.pumpDone();
+
+        if (a.conn->dead()) {
+            // Coordinator gone: our leases are being reassigned, so
+            // finishing the cells would only produce orphan results.
+            inform("agent '%s': coordinator connection closed",
+                   a.opts.name.c_str());
+            a.stopAll();
+            exitCode = 1;
+            break;
+        }
+
+        if (shuttingDown && a.active.empty()) {
+            bool queued;
+            {
+                std::lock_guard<std::mutex> lk(a.mu);
+                queued = !a.done.empty();
+            }
+            if (!queued) {
+                a.flushAll();
+                break;
+            }
+        }
+
+        now = Clock::now();
+        if (std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - lastBeat)
+                .count() >= static_cast<long long>(a.heartbeatMs)) {
+            a.conn->send(proto::heartbeat());
+            lastBeat = now;
+        }
+    }
+
+    ::close(a.wakeRead);
+    ::close(a.wakeWrite);
+    return exitCode;
+}
+
+} // namespace edge::serve

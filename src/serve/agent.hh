@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The campaign-fabric agent: `edgesim serve --agent <host:port>`.
+ * It registers with a coordinator, heartbeats on the interval the
+ * welcome message dictates, and runs assigned cells through the
+ * existing `--worker-cell` fork/exec isolation path — one
+ * single-slot, no-retry Supervisor per in-flight cell, on its own
+ * thread — streaming each lossless RunResult line back as it lands.
+ * The coordinator owns every campaign-level policy (retries,
+ * journaling, repro capture); the agent is deliberately stateless so
+ * that SIGKILLing one mid-cell loses nothing but the lease.
+ *
+ * Exit: 0 after a coordinator-initiated shutdown (in-flight cells
+ * finish and their results flush first); 1 when the coordinator
+ * connection drops (in-flight workers are stopped — their leases are
+ * already being reassigned).
+ */
+
+#ifndef EDGE_SERVE_AGENT_HH
+#define EDGE_SERVE_AGENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace edge::serve {
+
+struct AgentOptions
+{
+    /** Coordinator address, host:port. */
+    std::string coordinator;
+    /** Name reported in hello ("" = "<hostname>/<pid>"). */
+    std::string name;
+    /** Concurrent cells (0 = all hardware threads). */
+    unsigned slots = 0;
+    /** Worker image for cells ("" = /proc/self/exe). */
+    std::string workerPath;
+    /**
+     * Test hook: SIGKILL this process right after flushing its N-th
+     * result (0 = never). Gives the robustness tests a deterministic
+     * "agent dies mid-campaign while holding leases" schedule.
+     */
+    std::uint64_t dieAfterResults = 0;
+};
+
+int agentMain(const AgentOptions &opts);
+
+} // namespace edge::serve
+
+#endif // EDGE_SERVE_AGENT_HH

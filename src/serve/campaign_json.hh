@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Campaign submissions and reports as JSON, for the fabric's
+ * submit/report exchange. The client serializes exactly the
+ * parameters the local CLI would have used; the coordinator rebuilds
+ * them, runs the campaign through the same sim::sweepCells /
+ * fuzz::runCampaign drivers, and ships the report back in the same
+ * lossless forms (triage::result_json) the repro files use — so the
+ * client can print a remote campaign byte-identically to a local
+ * one.
+ */
+
+#ifndef EDGE_SERVE_CAMPAIGN_JSON_HH
+#define EDGE_SERVE_CAMPAIGN_JSON_HH
+
+#include <string>
+
+#include "fuzz/diff.hh"
+#include "sim/sweep.hh"
+#include "triage/jsonio.hh"
+#include "triage/repro.hh"
+
+namespace edge::serve {
+
+/** The `kind` member of a campaign document ("sweep" / "fuzz"). */
+std::string campaignKind(const triage::JsonValue &doc);
+
+// --- chaos sweeps ---------------------------------------------------
+
+triage::JsonValue
+sweepSubmission(const sim::ChaosSweepParams &params,
+                const triage::ProgramRef &program);
+
+bool sweepSubmissionFromJson(const triage::JsonValue &doc,
+                             sim::ChaosSweepParams *params,
+                             triage::ProgramRef *program,
+                             std::string *err);
+
+triage::JsonValue
+sweepReportToJson(const sim::ChaosSweepReport &report,
+                  bool interrupted);
+
+bool sweepReportFromJson(const triage::JsonValue &doc,
+                         sim::ChaosSweepReport *report,
+                         bool *interrupted, std::string *err);
+
+// --- differential fuzzing -------------------------------------------
+
+/** Serializes everything but the local-only knobs (corpusDir,
+ *  batchRunner, threads — the coordinator picks its own). */
+triage::JsonValue fuzzSubmission(const fuzz::FuzzOptions &opts);
+
+bool fuzzSubmissionFromJson(const triage::JsonValue &doc,
+                            fuzz::FuzzOptions *opts,
+                            std::string *err);
+
+triage::JsonValue fuzzReportToJson(const fuzz::FuzzReport &report);
+
+bool fuzzReportFromJson(const triage::JsonValue &doc,
+                        fuzz::FuzzReport *report, std::string *err);
+
+} // namespace edge::serve
+
+#endif // EDGE_SERVE_CAMPAIGN_JSON_HH

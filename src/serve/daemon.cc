@@ -1,0 +1,180 @@
+#include "serve/daemon.hh"
+
+#include <csignal>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "serve/proto.hh"
+#include "super/campaign.hh"
+
+namespace edge::serve {
+
+using triage::JsonValue;
+
+namespace {
+
+/** Run one submitted campaign on the fabric and build the reply. */
+std::string
+runSubmission(Fabric &fabric, const JsonValue &campaign)
+{
+    std::string kind = campaignKind(campaign);
+    std::string err;
+
+    if (kind == "sweep") {
+        sim::ChaosSweepParams params;
+        triage::ProgramRef program;
+        if (!sweepSubmissionFromJson(campaign, &params, &program,
+                                     &err))
+            return proto::error("bad sweep submission: " + err);
+        inform("serve: sweep campaign: %zu seed(s) x %zu "
+               "mechanism(s)",
+               params.seeds.size(), params.configs.size());
+        bool interrupted = false;
+        sim::ChaosSweepReport rep = super::chaosSweepIsolated(
+            params, program, fabric, &interrupted);
+        return proto::report(sweepReportToJson(rep, interrupted));
+    }
+
+    if (kind == "fuzz") {
+        fuzz::FuzzOptions opts;
+        if (!fuzzSubmissionFromJson(campaign, &opts, &err))
+            return proto::error("bad fuzz submission: " + err);
+        opts.batchRunner = super::fuzzBatchRunner(fabric);
+        inform("serve: fuzz campaign: %llu program(s), seed %llu",
+               static_cast<unsigned long long>(opts.count),
+               static_cast<unsigned long long>(opts.seed));
+        fuzz::FuzzReport rep = fuzz::runCampaign(opts);
+        return proto::report(fuzzReportToJson(rep));
+    }
+
+    return proto::error("unknown campaign kind '" + kind + "'");
+}
+
+} // namespace
+
+int
+serveMain(const ServeOptions &opts)
+{
+    Fabric fabric(opts.fabric);
+    std::string err;
+    if (!fabric.start(&err)) {
+        fprintf(stderr, "edgesim: serve: %s\n", err.c_str());
+        return 1;
+    }
+    super::installStopHandlers();
+    inform("serve: coordinator listening on port %u "
+           "(heartbeat %llu ms, timeout %llu ms, lease %llu ms)",
+           fabric.port(),
+           static_cast<unsigned long long>(opts.fabric.heartbeatMs),
+           static_cast<unsigned long long>(
+               opts.fabric.heartbeatTimeoutMs),
+           static_cast<unsigned long long>(opts.fabric.leaseMs));
+
+    std::size_t served = 0;
+    while (super::stopSignal() == 0) {
+        fabric.pump(200);
+        Fabric::Submission sub;
+        while (fabric.popSubmission(&sub)) {
+            std::string reply = runSubmission(fabric, sub.campaign);
+            if (!fabric.sendToClient(sub.client, reply))
+                warn("serve: client disconnected before its report "
+                     "could be delivered");
+            // Push the reply out before a potential --once exit.
+            for (int i = 0;
+                 i < 500 && !fabric.clientFlushed(sub.client); ++i)
+                fabric.pump(10);
+            ++served;
+            if (super::stopSignal() != 0)
+                break;
+        }
+        if (opts.once && served > 0)
+            break;
+    }
+
+    if (super::stopSignal() != 0)
+        inform("serve: stopping on signal %d", super::stopSignal());
+    inform("serve: %zu campaign(s) served, %llu duplicate result(s) "
+           "deduped, %llu lease(s) reassigned, %llu agent death(s)",
+           served,
+           static_cast<unsigned long long>(
+               fabric.duplicatesDeduped()),
+           static_cast<unsigned long long>(fabric.reassignments()),
+           static_cast<unsigned long long>(fabric.agentDeaths()));
+    return 0;
+}
+
+namespace {
+
+/** One submit round-trip: send the campaign, wait for report/error.
+ *  Plain blocking client — it has nothing else to do. */
+bool
+submitAndWait(const std::string &coordinator,
+              const JsonValue &campaign, JsonValue *reportBody,
+              std::string *err)
+{
+    int fd = connectTo(coordinator, err);
+    if (fd < 0)
+        return false;
+    bool ok = false;
+    if (sendLine(fd, proto::submit(campaign), err)) {
+        LineReader reader(fd);
+        std::string line;
+        for (;;) {
+            if (!reader.next(&line, err))
+                break;
+            JsonValue doc;
+            std::string type;
+            if (!proto::parse(line, &doc, &type, err))
+                break;
+            if (type == "error") {
+                if (err)
+                    *err = "coordinator: " +
+                           doc.getString("message", "unknown error");
+                break;
+            }
+            if (type != "report")
+                continue; // tolerate future chatter
+            const JsonValue *body = doc.get("report");
+            if (!body) {
+                if (err)
+                    *err = "report message without a body";
+                break;
+            }
+            *reportBody = *body;
+            ok = true;
+            break;
+        }
+    }
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+bool
+submitSweep(const std::string &coordinator,
+            const sim::ChaosSweepParams &params,
+            const triage::ProgramRef &program,
+            sim::ChaosSweepReport *report, bool *interrupted,
+            std::string *err)
+{
+    JsonValue body;
+    if (!submitAndWait(coordinator, sweepSubmission(params, program),
+                       &body, err))
+        return false;
+    return sweepReportFromJson(body, report, interrupted, err);
+}
+
+bool
+submitFuzz(const std::string &coordinator,
+           const fuzz::FuzzOptions &opts, fuzz::FuzzReport *report,
+           std::string *err)
+{
+    JsonValue body;
+    if (!submitAndWait(coordinator, fuzzSubmission(opts), &body,
+                       err))
+        return false;
+    return fuzzReportFromJson(body, report, err);
+}
+
+} // namespace edge::serve

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The `edgesim serve` coordinator daemon and the client side of
+ * campaign submission. The daemon owns one Fabric: it pumps the
+ * network between campaigns (agents register and heartbeat while
+ * idle), pops client submissions, decomposes them through the
+ * existing campaign entry points (super::chaosSweepIsolated,
+ * fuzz::runCampaign with the fabric batch runner), and answers with
+ * the report document. SIGTERM drains the in-flight campaign's
+ * leases before exit; SIGINT stops immediately.
+ *
+ * The submit helpers are what `edgesim --fuzz/--chaos-sweep
+ * --submit host:port` call: serialize the campaign, wait for the
+ * report, rebuild it for the CLI's normal printer.
+ */
+
+#ifndef EDGE_SERVE_DAEMON_HH
+#define EDGE_SERVE_DAEMON_HH
+
+#include <string>
+
+#include "serve/fabric.hh"
+#include "serve/campaign_json.hh"
+
+namespace edge::serve {
+
+struct ServeOptions
+{
+    FabricOptions fabric;
+    /** Exit after serving one campaign (CI smoke / tests). */
+    bool once = false;
+};
+
+/** Run the coordinator until stopped. Returns the process exit
+ *  code. */
+int serveMain(const ServeOptions &opts);
+
+/** Submit a sweep to `coordinator` (host:port) and wait for the
+ *  report. False (with *err) on connection or protocol failure. */
+bool submitSweep(const std::string &coordinator,
+                 const sim::ChaosSweepParams &params,
+                 const triage::ProgramRef &program,
+                 sim::ChaosSweepReport *report, bool *interrupted,
+                 std::string *err);
+
+/** Submit a fuzz campaign and wait for the report. */
+bool submitFuzz(const std::string &coordinator,
+                const fuzz::FuzzOptions &opts,
+                fuzz::FuzzReport *report, std::string *err);
+
+} // namespace edge::serve
+
+#endif // EDGE_SERVE_DAEMON_HH

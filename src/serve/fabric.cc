@@ -1,0 +1,760 @@
+#include "serve/fabric.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hh"
+#include "serve/proto.hh"
+#include "triage/repro.hh"
+#include "triage/result_json.hh"
+
+namespace edge::serve {
+
+using super::CellOutcome;
+using super::CellSpec;
+using triage::JsonValue;
+
+struct Fabric::Peer
+{
+    std::uint64_t id = 0;
+    std::unique_ptr<Conn> conn;
+    enum class Kind : std::uint8_t
+    {
+        Unknown,
+        Agent,
+        Client,
+    } kind = Kind::Unknown;
+
+    // --- agent state ------------------------------------------------
+    std::string name;
+    unsigned slots = 1;
+    std::uint64_t ordinal = 0; ///< registration order (chaos key)
+    bool live = false;         ///< registered and heartbeating
+    unsigned inFlight = 0;
+    Clock::time_point lastHeard;
+    std::uint64_t inOrdinal = 0;     ///< inbound messages (chaos key)
+    std::uint64_t resultOrdinal = 0; ///< inbound results (chaos key)
+    std::uint64_t assignOrdinal = 0; ///< outbound assigns (chaos key)
+};
+
+namespace {
+
+/** Structured result for a cell the fabric lost rather than ran. */
+sim::RunResult
+lostResult(const CellSpec &cell, chaos::SimError::Reason reason,
+           std::string message)
+{
+    sim::RunResult r;
+    r.error.reason = reason;
+    r.error.message = std::move(message);
+    r.rngSeed = cell.config.rngSeed;
+    r.chaosSeed = cell.config.chaos.seed;
+    return r;
+}
+
+} // namespace
+
+Fabric::Fabric(FabricOptions opts)
+    : _opts(std::move(opts)),
+      _chaos(_opts.chaosProfile, _opts.chaosSeed)
+{
+    // Writes to an agent that vanished mid-send must come back as
+    // errors, not process-fatal SIGPIPEs.
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+Fabric::~Fabric()
+{
+    if (_listenFd >= 0)
+        ::close(_listenFd);
+}
+
+bool
+Fabric::start(std::string *err)
+{
+    _listenFd = listenOn(_opts.listenPort, err);
+    if (_listenFd < 0)
+        return false;
+    _port = boundPort(_listenFd);
+    if (_chaos.active())
+        inform("fabric: chaos profile '%s' (seed %llu) armed",
+               fabricProfileName(_chaos.profile()),
+               static_cast<unsigned long long>(_opts.chaosSeed));
+    return true;
+}
+
+void
+Fabric::requestStop()
+{
+    _stop.store(true, std::memory_order_relaxed);
+    if (super::Supervisor *local =
+            _activeLocal.load(std::memory_order_relaxed))
+        local->requestStop();
+}
+
+bool
+Fabric::stopRequested() const
+{
+    return _stop.load(std::memory_order_relaxed) ||
+           super::stopSignal() != 0;
+}
+
+std::string
+Fabric::resumeHint() const
+{
+    if (!_journal.isOpen())
+        return "";
+    return strfmt("add --resume %s to the same command line to "
+                  "continue this campaign",
+                  _journal.path().c_str());
+}
+
+std::size_t
+Fabric::liveAgents() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : _peers)
+        if (kv.second->kind == Peer::Kind::Agent && kv.second->live)
+            ++n;
+    return n;
+}
+
+bool
+Fabric::popSubmission(Submission *out)
+{
+    if (_submissions.empty())
+        return false;
+    *out = std::move(_submissions.front());
+    _submissions.pop_front();
+    return true;
+}
+
+bool
+Fabric::sendToClient(std::uint64_t client, const std::string &line)
+{
+    auto it = _peers.find(client);
+    if (it == _peers.end() || it->second->conn->dead())
+        return false;
+    it->second->conn->send(line);
+    return true;
+}
+
+bool
+Fabric::clientFlushed(std::uint64_t client) const
+{
+    auto it = _peers.find(client);
+    if (it == _peers.end() || it->second->conn->dead())
+        return true;
+    return !it->second->conn->wantWrite();
+}
+
+void
+Fabric::ensureJournal()
+{
+    if (_journalReady || _opts.journalPath.empty())
+        return;
+    std::string err;
+    if (_journal.open(_opts.journalPath, &err))
+        _journalReady = true;
+    else
+        warn("fabric: %s — continuing without a journal", err.c_str());
+}
+
+// --- network turn ---------------------------------------------------
+
+void
+Fabric::pump(int timeoutMs)
+{
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> owner; // peer id per pollfd past [0]
+    fds.push_back({_listenFd, POLLIN, 0});
+    for (auto &kv : _peers) {
+        Peer &p = *kv.second;
+        if (p.conn->dead())
+            continue;
+        short ev = POLLIN;
+        if (p.conn->wantWrite())
+            ev |= POLLOUT;
+        fds.push_back({p.conn->fd(), ev, 0});
+        owner.push_back(p.id);
+    }
+
+    int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                    timeoutMs);
+    if (rc < 0 && errno != EINTR)
+        warn("fabric: poll: %s", std::strerror(errno));
+
+    if (fds[0].revents & POLLIN) {
+        for (;;) {
+            int cfd = ::accept(_listenFd, nullptr, nullptr);
+            if (cfd < 0)
+                break;
+            auto peer = std::make_unique<Peer>();
+            peer->id = ++_peerIds;
+            peer->conn = std::make_unique<Conn>(cfd);
+            peer->lastHeard = Clock::now();
+            _peers.emplace(peer->id, std::move(peer));
+        }
+    }
+
+    for (std::size_t fi = 1; fi < fds.size(); ++fi) {
+        if (fds[fi].revents == 0)
+            continue;
+        auto it = _peers.find(owner[fi - 1]);
+        if (it == _peers.end())
+            continue;
+        Peer &p = *it->second;
+        if (fds[fi].revents & POLLOUT)
+            p.conn->onWritable();
+        if (fds[fi].revents & (POLLIN | POLLHUP | POLLERR))
+            p.conn->onReadable();
+        std::string line;
+        while (!p.conn->dead() && p.conn->nextLine(&line))
+            handleLine(p, line);
+    }
+
+    // Dead-connection sweep: a closed agent socket is an immediate
+    // death (leases revoked, cells reassigned); a silent-but-open one
+    // is handled by the heartbeat sweep below.
+    for (auto it = _peers.begin(); it != _peers.end();) {
+        if (!it->second->conn->dead()) {
+            ++it;
+            continue;
+        }
+        if (it->second->kind == Peer::Kind::Agent)
+            agentLost(*it->second, "connection closed");
+        it = _peers.erase(it);
+    }
+
+    sweepDeadlines(Clock::now());
+}
+
+void
+Fabric::sweepDeadlines(Clock::time_point now)
+{
+    for (auto &kv : _peers) {
+        Peer &p = *kv.second;
+        if (p.kind != Peer::Kind::Agent || !p.live)
+            continue;
+        auto silent =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - p.lastHeard)
+                .count();
+        if (silent >= 0 && static_cast<std::uint64_t>(silent) >
+                               _opts.heartbeatTimeoutMs)
+            // The connection stays open: a partitioned agent heals by
+            // speaking again, and its stale results hit the dedup
+            // path.
+            agentLost(p, "missed heartbeats");
+    }
+
+    for (auto &kv : _leases) {
+        Lease &l = kv.second;
+        if (l.revoked || l.answered || now < l.expiry)
+            continue;
+        l.revoked = true;
+        auto pit = _peers.find(l.peer);
+        if (pit != _peers.end() && pit->second->inFlight > 0)
+            --pit->second->inFlight;
+        reassignCell(l.cell, kv.first, "lease expired");
+    }
+}
+
+void
+Fabric::handleLine(Peer &peer, const std::string &line)
+{
+    JsonValue doc;
+    std::string type, err;
+    if (!proto::parse(line, &doc, &type, &err)) {
+        if (peer.kind == Peer::Kind::Unknown) {
+            peer.conn->send(proto::error("bad message: " + err));
+            peer.conn->markDead();
+        } else {
+            warn("fabric: ignoring malformed message from peer %llu: "
+                 "%s",
+                 static_cast<unsigned long long>(peer.id),
+                 err.c_str());
+        }
+        return;
+    }
+
+    if (peer.kind == Peer::Kind::Unknown) {
+        if (type == "hello") {
+            peer.kind = Peer::Kind::Agent;
+            peer.name = doc.getString("name", "agent");
+            peer.slots = static_cast<unsigned>(
+                std::max<std::uint64_t>(1, doc.getU64("slots", 1)));
+            peer.ordinal = _agentOrdinals++;
+            peer.live = true;
+            peer.lastHeard = Clock::now();
+            peer.conn->send(
+                proto::welcome(peer.id, _opts.heartbeatMs));
+            inform("fabric: agent '%s' connected (%u slot%s)",
+                   peer.name.c_str(), peer.slots,
+                   peer.slots == 1 ? "" : "s");
+        } else if (type == "submit") {
+            peer.kind = Peer::Kind::Client;
+            if (const JsonValue *c = doc.get("campaign"))
+                _submissions.push_back({peer.id, *c});
+            else
+                peer.conn->send(
+                    proto::error("submit without a campaign"));
+        } else {
+            peer.conn->send(proto::error(
+                "expected hello or submit, got '" + type + "'"));
+            peer.conn->markDead();
+        }
+        return;
+    }
+
+    if (peer.kind == Peer::Kind::Client) {
+        if (type == "submit") {
+            if (const JsonValue *c = doc.get("campaign"))
+                _submissions.push_back({peer.id, *c});
+        }
+        return;
+    }
+
+    handleAgentMessage(peer, doc, type);
+}
+
+void
+Fabric::handleAgentMessage(Peer &peer, const JsonValue &doc,
+                           const std::string &type)
+{
+    std::uint64_t ordinal = peer.inOrdinal++;
+    if (_chaos.dropInbound(peer.ordinal, ordinal, type))
+        return; // dropped on the simulated wire: no liveness credit
+
+    if (!peer.live) {
+        // A partition healed: the agent was declared dead but the
+        // socket stayed up. It re-enters the pool; anything it
+        // answers for a revoked lease is deduped or, if the cell is
+        // still unfinished, accepted (same bits either way).
+        peer.live = true;
+        inform("fabric: agent '%s' healed after a partition",
+               peer.name.c_str());
+    }
+    peer.lastHeard = Clock::now();
+
+    if (type == "heartbeat")
+        return;
+    if (type == "result") {
+        std::uint64_t rord = peer.resultOrdinal++;
+        handleResult(peer, doc);
+        if (_chaos.duplicateResult(peer.ordinal, rord))
+            handleResult(peer, doc); // delivered twice by the "wire"
+        return;
+    }
+    warn("fabric: agent '%s' sent unexpected '%s'",
+         peer.name.c_str(), type.c_str());
+}
+
+// --- lease state machine --------------------------------------------
+
+void
+Fabric::agentLost(Peer &peer, const char *why)
+{
+    if (!peer.live)
+        return;
+    peer.live = false;
+    peer.inFlight = 0;
+    ++_agentDeaths;
+    warn("fabric: agent '%s' lost (%s) — revoking its leases",
+         peer.name.c_str(), why);
+    for (auto &kv : _leases) {
+        Lease &l = kv.second;
+        if (l.peer != peer.id || l.revoked || l.answered)
+            continue;
+        l.revoked = true;
+        reassignCell(l.cell, kv.first, why);
+    }
+}
+
+void
+Fabric::reassignCell(std::size_t i, std::uint64_t leaseId,
+                     const char *why)
+{
+    if (!_run || _run->st[i] != CState::Leased)
+        return;
+    ++_reassignments;
+    if (++_run->reassigns[i] > _opts.maxReassign) {
+        sim::RunResult r = lostResult(
+            (*_run->cells)[i], chaos::SimError::Reason::AgentLost,
+            strfmt("cell lost %u leases (last: %s) — quarantined",
+                   _run->reassigns[i], why));
+        r.retries = _run->attempt[i] - 1;
+        r.backoffMs = _run->backoffAccum[i];
+        finalizeCell(i, std::move(r), "", leaseId, _run->attempt[i]);
+        return;
+    }
+    // Same doubling backoff shape as transient retries, so a flapping
+    // agent can't spin the scheduler; the budget cap keeps a lost
+    // cell from stalling the grid.
+    std::uint64_t backoff = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(_opts.retry.backoffMs)
+            << std::min(_run->reassigns[i] - 1, 10u),
+        _opts.retry.maxTotalBackoffMs);
+    _run->st[i] = CState::Pending;
+    _run->notBefore[i] =
+        Clock::now() + std::chrono::milliseconds(backoff);
+}
+
+void
+Fabric::handleResult(Peer &peer, const JsonValue &doc)
+{
+    std::uint64_t leaseId = doc.getU64("lease");
+    auto it = _leases.find(leaseId);
+    if (it == _leases.end()) {
+        ++_staleIgnored; // lease from a previous batch or unknown
+        return;
+    }
+    Lease &l = it->second;
+    if (l.answered) {
+        ++_dupDeduped;
+        return;
+    }
+    l.answered = true;
+    if (!l.revoked && peer.inFlight > 0)
+        --peer.inFlight;
+
+    if (!_run)
+        return;
+    std::size_t i = l.cell;
+    if (_run->st[i] == CState::Done) {
+        // The cell already finished elsewhere (reassigned after a
+        // partition, or the local fallback got it first). Same cell,
+        // same bits — drop the copy.
+        ++_dupDeduped;
+        return;
+    }
+
+    std::uint64_t cellId = doc.getU64("cell");
+    if (cellId != 0 && cellId != _run->hash[i]) {
+        warn("fabric: agent '%s' answered lease %llu with the wrong "
+             "cell identity — ignoring",
+             peer.name.c_str(),
+             static_cast<unsigned long long>(leaseId));
+        ++_staleIgnored;
+        return;
+    }
+
+    sim::RunResult r;
+    std::string err;
+    const JsonValue *body = doc.get("result");
+    if (!body || !triage::resultFromJson(*body, &r, &err))
+        r = lostResult((*_run->cells)[i],
+                       chaos::SimError::Reason::WorkerProtocol,
+                       "agent returned an invalid result document (" +
+                           err + ")");
+
+    unsigned attempt = _run->attempt[i];
+    if (!l.revoked && _opts.retry.shouldRetry(r, attempt) &&
+        !stopRequested()) {
+        // Transient failure: same backoff math as the supervisor,
+        // scheduled on the fabric's clock.
+        std::uint64_t backoff = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(_opts.retry.backoffMs)
+                << (attempt - 1),
+            _opts.retry.maxTotalBackoffMs -
+                std::min(_opts.retry.maxTotalBackoffMs,
+                         _run->backoffAccum[i]));
+        _run->attempt[i] = attempt + 1;
+        _run->backoffAccum[i] += backoff;
+        _run->notBefore[i] =
+            Clock::now() + std::chrono::milliseconds(backoff);
+        _run->st[i] = CState::Pending;
+        return;
+    }
+    if (l.revoked && chaos::isTransient(r.error.reason)) {
+        // A stale transient death from a revoked lease: the
+        // reassignment already in flight IS the retry; recording this
+        // one would double-count.
+        ++_staleIgnored;
+        return;
+    }
+
+    // Deterministic content (or an exhausted retry budget): accept.
+    // The stamps mirror Supervisor::runAll exactly — a clean first-
+    // attempt result gets retries=0/backoffMs=0, identical to the
+    // single-host bytes.
+    r.retries = attempt - 1;
+    r.backoffMs = _run->backoffAccum[i];
+    finalizeCell(i, std::move(r), peer.name, leaseId, attempt);
+}
+
+void
+Fabric::finalizeCell(std::size_t i, sim::RunResult result,
+                     const std::string &agent, std::uint64_t lease,
+                     unsigned attempt)
+{
+    CellOutcome &o = (*_run->out)[i];
+    const CellSpec &cell = (*_run->cells)[i];
+    o.ran = true;
+    o.fromJournal = false;
+
+    const chaos::SimError::Reason reason = result.error.reason;
+    const bool worker_death = chaos::isWorkerFailure(reason);
+    if (worker_death && !_opts.reproDir.empty()) {
+        triage::ReproSpec spec = triage::captureFromResult(
+            cell.program, cell.config, cell.maxCycles, result);
+        o.reproPath = triage::captureToFile(spec, _opts.reproDir);
+    }
+    o.result = std::move(result);
+
+    ++_completed;
+    if (!(o.result.error.ok() && o.result.halted &&
+          o.result.archMatch))
+        ++_failures;
+
+    if (_journalReady) {
+        super::JournalRecord rec;
+        rec.cell = _run->hash[i];
+        rec.final = !worker_death && !chaos::isTransient(reason);
+        rec.result = o.result;
+        rec.reproPath = o.reproPath;
+        rec.agent = agent;
+        rec.lease = lease;
+        rec.attempt = attempt;
+        std::string err;
+        if (!_journal.append(rec, &err))
+            warn("fabric: journal append failed: %s", err.c_str());
+    }
+
+    _run->st[i] = CState::Done;
+    --_run->remaining;
+}
+
+// --- scheduling -----------------------------------------------------
+
+void
+Fabric::assignReady(Clock::time_point now)
+{
+    for (auto &kv : _peers) {
+        Peer &p = *kv.second;
+        if (p.kind != Peer::Kind::Agent || !p.live ||
+            p.conn->dead())
+            continue;
+        while (p.inFlight < p.slots) {
+            std::size_t pick = _run->st.size();
+            for (std::size_t i = 0; i < _run->st.size(); ++i)
+                if (_run->st[i] == CState::Pending &&
+                    _run->notBefore[i] <= now) {
+                    pick = i;
+                    break;
+                }
+            if (pick == _run->st.size())
+                return;
+
+            std::uint64_t id = ++_leaseIds;
+            Lease l;
+            l.cell = pick;
+            l.peer = p.id;
+            l.attempt = _run->attempt[pick];
+            l.expiry = now + std::chrono::milliseconds(_opts.leaseMs);
+            _leases.emplace(id, l);
+            _run->st[pick] = CState::Leased;
+            ++p.inFlight;
+
+            std::uint64_t aord = p.assignOrdinal++;
+            p.conn->send(proto::assign(
+                id, (*_run->cells)[pick], _opts.cellTimeoutMs,
+                _opts.rlimitAsMb, _opts.rlimitCpuSec));
+            if (_chaos.killOnAssign(p.ordinal, aord)) {
+                warn("fabric: chaos kill: severing agent '%s' after "
+                     "assign %llu",
+                     p.name.c_str(),
+                     static_cast<unsigned long long>(aord));
+                // Shut down the socket so the agent sees EOF and
+                // dies mid-cell; the dead-connection sweep revokes.
+                ::shutdown(p.conn->fd(), SHUT_RDWR);
+                p.conn->markDead();
+                break;
+            }
+        }
+    }
+}
+
+void
+Fabric::runLocalBatch()
+{
+    unsigned jobs = _opts.localJobs;
+    if (jobs == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw ? hw : 1;
+    }
+
+    Clock::time_point now = Clock::now();
+    std::vector<std::size_t> idx;
+    std::vector<CellSpec> batch;
+    for (std::size_t i = 0;
+         i < _run->st.size() && idx.size() < jobs; ++i) {
+        if (_run->st[i] == CState::Pending &&
+            _run->notBefore[i] <= now) {
+            idx.push_back(i);
+            batch.push_back((*_run->cells)[i]);
+        }
+    }
+    if (idx.empty())
+        return;
+
+    if (!_downgradeLogged) {
+        warn("fabric: no live agents — downgrading to local "
+             "fork/exec workers (campaign continues single-host)");
+        _downgradeLogged = true;
+    }
+
+    // The embedded local runner owns retries and stamps results the
+    // same way a single-host --isolate run would; the fabric journals
+    // and tallies, so no journal/repro dir is given to it. Batches
+    // are at most `jobs` cells so newly connected agents get picked
+    // up between batches.
+    super::SupervisorOptions so;
+    so.jobs = jobs;
+    so.cellTimeoutMs = _opts.cellTimeoutMs;
+    so.rlimitAsMb = _opts.rlimitAsMb;
+    so.rlimitCpuSec = _opts.rlimitCpuSec;
+    so.workerPath = _opts.workerPath;
+    so.retry = _opts.retry;
+    super::Supervisor sup(so);
+    _activeLocal.store(&sup, std::memory_order_relaxed);
+    if (_stop.load(std::memory_order_relaxed))
+        sup.requestStop();
+    std::vector<CellOutcome> outs = sup.runAll(batch);
+    _activeLocal.store(nullptr, std::memory_order_relaxed);
+
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+        if (!outs[k].ran)
+            continue; // stop hit mid-batch; still pending, resumable
+        if (_run->st[idx[k]] == CState::Done) {
+            ++_dupDeduped; // a healed agent raced us to it
+            continue;
+        }
+        ++_localCells;
+        // Local results arrive fully stamped; pass them through
+        // verbatim for byte-identity with a pure single-host run.
+        finalizeCell(idx[k], std::move(outs[k].result), "", 0,
+                     _run->attempt[idx[k]]);
+    }
+}
+
+std::size_t
+Fabric::outstandingLeases() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : _leases)
+        if (!kv.second.revoked && !kv.second.answered)
+            ++n;
+    return n;
+}
+
+bool
+Fabric::anyReady(Clock::time_point now) const
+{
+    for (std::size_t i = 0; i < _run->st.size(); ++i)
+        if (_run->st[i] == CState::Pending &&
+            _run->notBefore[i] <= now)
+            return true;
+    return false;
+}
+
+int
+Fabric::pollTimeout(Clock::time_point now, int base) const
+{
+    int t = base;
+    for (std::size_t i = 0; i < _run->st.size(); ++i) {
+        if (_run->st[i] != CState::Pending)
+            continue;
+        auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                _run->notBefore[i] - now)
+                .count();
+        if (left > 0)
+            t = std::min<int>(t, static_cast<int>(left));
+    }
+    return std::max(t, 1);
+}
+
+// --- the campaign slice ---------------------------------------------
+
+std::vector<CellOutcome>
+Fabric::runAll(const std::vector<CellSpec> &cells)
+{
+    panic_if(_listenFd < 0, "Fabric::runAll before start()");
+    ensureJournal();
+
+    std::map<std::uint64_t, const super::JournalRecord *> replayable;
+    if (_opts.resume && _journalReady)
+        replayable = super::Journal::resumeIndex(_journal.loaded());
+
+    std::vector<CellOutcome> out(cells.size());
+    RunCtx ctx;
+    ctx.cells = &cells;
+    ctx.out = &out;
+    ctx.st.assign(cells.size(), CState::Pending);
+    ctx.attempt.assign(cells.size(), 1);
+    ctx.reassigns.assign(cells.size(), 0);
+    ctx.backoffAccum.assign(cells.size(), 0);
+    ctx.notBefore.assign(cells.size(), Clock::now());
+    ctx.hash.resize(cells.size());
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        ctx.hash[i] = super::cellHash(cells[i]);
+        if (!replayable.empty()) {
+            auto it = replayable.find(ctx.hash[i]);
+            if (it != replayable.end()) {
+                out[i].ran = true;
+                out[i].fromJournal = true;
+                out[i].result = it->second->result;
+                out[i].reproPath = it->second->reproPath;
+                ctx.st[i] = CState::Done;
+                ++_skipped;
+                if (!(out[i].result.error.ok() &&
+                      out[i].result.halted &&
+                      out[i].result.archMatch))
+                    ++_failures;
+                continue;
+            }
+        }
+        ++ctx.remaining;
+    }
+
+    _run = &ctx;
+    while (ctx.remaining > 0) {
+        // requestStop() and SIGINT stop now (un-run cells resume
+        // later); SIGTERM drains what is already leased first.
+        if (_stop.load(std::memory_order_relaxed) ||
+            super::stopSignal() == SIGINT)
+            break;
+        const bool drain = super::stopSignal() == SIGTERM;
+
+        Clock::time_point now = Clock::now();
+        if (!drain) {
+            assignReady(now);
+            if (liveAgents() == 0 && _opts.localFallback &&
+                anyReady(now)) {
+                runLocalBatch();
+                // Re-enter the loop so a just-connected agent (or a
+                // stop) is noticed before the next batch.
+                pump(0);
+                continue;
+            }
+        } else if (outstandingLeases() == 0) {
+            break; // drained: everything in flight has landed
+        }
+
+        pump(pollTimeout(now, 50));
+    }
+    _run = nullptr;
+    _leases.clear();
+    return out;
+}
+
+} // namespace edge::serve

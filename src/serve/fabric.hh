@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The campaign fabric coordinator: a super::CellRunner that schedules
+ * cells across remote agents instead of local child processes. One
+ * Fabric owns the listening socket, the registered-agent table, and
+ * the lease state machine; campaign code (chaosSweepIsolated, the
+ * fuzz batch runner, the bench harness) drives it through the same
+ * CellRunner interface as the local Supervisor, so WHERE cells run is
+ * invisible to WHAT the campaign reports.
+ *
+ * The robustness contract, enforced by tests/test_serve.cc:
+ *
+ *  - Leases. A cell assigned to an agent carries a lease id and a
+ *    deadline. Missed heartbeats (or a closed connection) mark the
+ *    agent dead, revoke its leases, and put the cells back in the
+ *    pending queue; an expired lease does the same for a single cell.
+ *    Reassignment reuses the supervisor's transient-retry backoff
+ *    shape, and a cell that outlives `maxReassign` lost leases is
+ *    quarantined as a structured AgentLost failure row.
+ *
+ *  - Dedup. Results are keyed by lease and cell identity; a result
+ *    for an answered lease or a completed cell (an agent that healed
+ *    from a partition, a duplicated message) is counted and dropped.
+ *    First result wins; because every worker computes the same bits
+ *    for the same cell, which copy wins is unobservable in the
+ *    report.
+ *
+ *  - Degradation. With zero live agents and ready cells, the
+ *    coordinator logs the downgrade once and runs cells through an
+ *    embedded local fork/exec Supervisor, in small batches so newly
+ *    connected agents are picked up between batches. A campaign with
+ *    no agents at all is exactly a single-host `--isolate` run.
+ *
+ *  - Byte-identity. Successful results pass through verbatim and
+ *    fabric-level reassignments are never stamped into them, so the
+ *    merged report is byte-identical to a clean single-host run
+ *    regardless of agent count, kill schedule, or reassignment
+ *    history. (Lease provenance goes to the journal, not the
+ *    report.)
+ *
+ * SIGTERM drains: in-flight leases are pumped to completion, nothing
+ * new is assigned, and un-run cells come back !ran (resumable).
+ * SIGINT and requestStop() stop immediately.
+ */
+
+#ifndef EDGE_SERVE_FABRIC_HH
+#define EDGE_SERVE_FABRIC_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/fabric_chaos.hh"
+#include "serve/net.hh"
+#include "super/supervisor.hh"
+#include "triage/jsonio.hh"
+
+namespace edge::serve {
+
+struct FabricOptions
+{
+    /** Listening port for agents and clients (0 = ephemeral; see
+     *  Fabric::port). */
+    std::uint16_t listenPort = 0;
+    /** Worker processes for the zero-agent local fallback
+     *  (0 = all hardware threads). */
+    unsigned localJobs = 0;
+    /** Run cells locally when no agents are live (the graceful-
+     *  degradation path). Disabled only by tests that need to
+     *  observe pure fabric behaviour. */
+    bool localFallback = true;
+
+    /** Interval agents are told to heartbeat at. */
+    std::uint64_t heartbeatMs = 1000;
+    /** Silence past this marks an agent dead and revokes its
+     *  leases. */
+    std::uint64_t heartbeatTimeoutMs = 5000;
+    /** Per-lease deadline; an unanswered lease past it is revoked
+     *  and its cell reassigned. */
+    std::uint64_t leaseMs = 60000;
+    /** Lost-lease reassignment budget per cell before the cell is
+     *  quarantined as an AgentLost failure. */
+    unsigned maxReassign = 16;
+
+    // --- per-cell execution knobs, forwarded to executors ----------
+    std::uint64_t cellTimeoutMs = 0;
+    std::uint64_t rlimitAsMb = 0;
+    std::uint64_t rlimitCpuSec = 0;
+    /** Worker image for the LOCAL fallback ("" = /proc/self/exe);
+     *  agents choose their own. */
+    std::string workerPath;
+
+    // --- campaign durability (same semantics as SupervisorOptions) -
+    std::string journalPath;
+    bool resume = false;
+    std::string reproDir;
+    /** Transient-failure retry policy, applied coordinator-side to
+     *  remote results (agents run each cell exactly once). */
+    sim::RetryPolicy retry;
+
+    // --- deterministic fault injection -----------------------------
+    FabricProfile chaosProfile = FabricProfile::None;
+    std::uint64_t chaosSeed = 0;
+};
+
+class Fabric : public super::CellRunner
+{
+  public:
+    explicit Fabric(FabricOptions opts);
+    ~Fabric() override;
+
+    /** Bind the listening socket. Must succeed before runAll/pump. */
+    bool start(std::string *err);
+    /** The bound port (after start). */
+    std::uint16_t port() const { return _port; }
+
+    std::vector<super::CellOutcome>
+    runAll(const std::vector<super::CellSpec> &cells) override;
+
+    void requestStop() override;
+    bool stopRequested() const override;
+
+    std::size_t completed() const override { return _completed; }
+    std::size_t skipped() const override { return _skipped; }
+    std::size_t failures() const override { return _failures; }
+    std::string resumeHint() const override;
+
+    /**
+     * One network turn: accept connections, read/dispatch messages,
+     * flush queued writes, sweep heartbeat and lease deadlines.
+     * runAll pumps internally; the serve daemon pumps between
+     * campaigns to keep registrations and heartbeats flowing.
+     */
+    void pump(int timeoutMs);
+
+    /** A client campaign submission, surfaced to the daemon. */
+    struct Submission
+    {
+        std::uint64_t client = 0; ///< connection to answer on
+        triage::JsonValue campaign;
+    };
+    bool popSubmission(Submission *out);
+    /** Answer a client (false if it disconnected meanwhile). */
+    bool sendToClient(std::uint64_t client, const std::string &line);
+    /** Has the client's output queue drained (or the client gone)? */
+    bool clientFlushed(std::uint64_t client) const;
+
+    // --- observability (tests and the daemon's log lines) ----------
+    std::size_t liveAgents() const;
+    std::uint64_t duplicatesDeduped() const { return _dupDeduped; }
+    std::uint64_t reassignments() const { return _reassignments; }
+    std::uint64_t agentDeaths() const { return _agentDeaths; }
+    std::uint64_t staleResultsIgnored() const { return _staleIgnored; }
+    std::uint64_t localCellsRun() const { return _localCells; }
+    const FabricChaos::Tally &chaosTally() const
+    {
+        return _chaos.tally();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Peer;
+    enum class CState : std::uint8_t
+    {
+        Pending,
+        Leased,
+        Done,
+    };
+    struct Lease
+    {
+        std::size_t cell = 0;
+        std::uint64_t peer = 0;
+        unsigned attempt = 1; ///< scheduling attempt it was cut on
+        Clock::time_point expiry;
+        bool revoked = false;
+        bool answered = false;
+    };
+    /** Per-cell scheduling state for the active runAll. */
+    struct RunCtx
+    {
+        const std::vector<super::CellSpec> *cells = nullptr;
+        std::vector<super::CellOutcome> *out = nullptr;
+        std::vector<CState> st;
+        std::vector<unsigned> attempt;
+        std::vector<unsigned> reassigns;
+        std::vector<std::uint64_t> backoffAccum;
+        std::vector<Clock::time_point> notBefore;
+        std::vector<std::uint64_t> hash;
+        std::size_t remaining = 0;
+    };
+
+    void handleLine(Peer &peer, const std::string &line);
+    void handleAgentMessage(Peer &peer, const triage::JsonValue &doc,
+                            const std::string &type);
+    void handleResult(Peer &peer, const triage::JsonValue &doc);
+    void agentLost(Peer &peer, const char *why);
+    void reassignCell(std::size_t i, std::uint64_t leaseId,
+                      const char *why);
+    void finalizeCell(std::size_t i, sim::RunResult result,
+                      const std::string &agent, std::uint64_t lease,
+                      unsigned attempt);
+    void assignReady(Clock::time_point now);
+    void runLocalBatch();
+    void sweepDeadlines(Clock::time_point now);
+    std::size_t outstandingLeases() const;
+    bool anyReady(Clock::time_point now) const;
+    int pollTimeout(Clock::time_point now, int base) const;
+    void ensureJournal();
+
+    FabricOptions _opts;
+    int _listenFd = -1;
+    std::uint16_t _port = 0;
+
+    std::map<std::uint64_t, std::unique_ptr<Peer>> _peers;
+    std::uint64_t _peerIds = 0;
+    std::uint64_t _agentOrdinals = 0;
+    std::map<std::uint64_t, Lease> _leases;
+    std::uint64_t _leaseIds = 0;
+    std::deque<Submission> _submissions;
+
+    super::Journal _journal;
+    bool _journalReady = false;
+    FabricChaos _chaos;
+    RunCtx *_run = nullptr;
+
+    std::atomic<bool> _stop{false};
+    std::atomic<super::Supervisor *> _activeLocal{nullptr};
+
+    std::size_t _completed = 0;
+    std::size_t _skipped = 0;
+    std::size_t _failures = 0;
+    std::uint64_t _dupDeduped = 0;
+    std::uint64_t _reassignments = 0;
+    std::uint64_t _agentDeaths = 0;
+    std::uint64_t _staleIgnored = 0;
+    std::uint64_t _localCells = 0;
+    bool _downgradeLogged = false;
+};
+
+} // namespace edge::serve
+
+#endif // EDGE_SERVE_FABRIC_HH

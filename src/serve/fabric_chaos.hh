@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic fault injection for the campaign fabric — the
+ * network-layer sibling of the simulator's chaos engine. Every
+ * decision is a pure FNV-1a hash of (seed, agent ordinal, event
+ * ordinal, salt): no wall clock, no RNG state, so a profile+seed pair
+ * names one exact fault schedule and a flaky-looking fabric failure
+ * can be replayed on demand. The correctness contract under every
+ * profile is unchanged: the merged campaign report must be
+ * byte-identical to a clean single-host `--isolate` run.
+ *
+ * Profiles:
+ *   none       no interference (the default)
+ *   drop       drop ~1/4 of inbound heartbeats and results
+ *   duplicate  deliver every inbound result twice
+ *   partition  drop windows of consecutive inbound messages — long
+ *              enough to trip the heartbeat timeout — then heal
+ *   kill       close an agent's connection right after its second
+ *              assignment (an agent death mid-cell)
+ *   heavy      drop + duplicate + partition together
+ */
+
+#ifndef EDGE_SERVE_FABRIC_CHAOS_HH
+#define EDGE_SERVE_FABRIC_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace edge::serve {
+
+enum class FabricProfile : std::uint8_t
+{
+    None,
+    Drop,
+    Duplicate,
+    Partition,
+    Kill,
+    Heavy,
+};
+
+const char *fabricProfileName(FabricProfile p);
+
+/** Parse a profile name; false on an unknown name. */
+bool fabricProfileByName(const std::string &name, FabricProfile *out);
+
+class FabricChaos
+{
+  public:
+    FabricChaos() = default;
+    FabricChaos(FabricProfile profile, std::uint64_t seed)
+        : _profile(profile), _seed(seed)
+    {
+    }
+
+    FabricProfile profile() const { return _profile; }
+    bool active() const { return _profile != FabricProfile::None; }
+
+    /**
+     * Should this inbound message (the `ordinal`-th from this agent)
+     * be dropped before processing? A dropped message never updates
+     * the agent's last-heard time, so drop/partition schedules
+     * exercise the heartbeat-timeout path. `hello` is never dropped —
+     * an agent that can't register models a different failure (a
+     * never-started agent), which the zero-agent fallback covers.
+     */
+    bool dropInbound(std::uint64_t agentOrdinal, std::uint64_t ordinal,
+                     const std::string &type);
+
+    /** Should this inbound result be delivered a second time? */
+    bool duplicateResult(std::uint64_t agentOrdinal,
+                         std::uint64_t ordinal);
+
+    /** Should the agent's connection be severed after sending its
+     *  `assignOrdinal`-th assignment (0-based)? */
+    bool killOnAssign(std::uint64_t agentOrdinal,
+                      std::uint64_t assignOrdinal);
+
+    struct Tally
+    {
+        std::uint64_t dropped = 0;
+        std::uint64_t duplicated = 0;
+        std::uint64_t kills = 0;
+    };
+    const Tally &tally() const { return _tally; }
+
+  private:
+    std::uint64_t decision(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t salt) const;
+
+    FabricProfile _profile = FabricProfile::None;
+    std::uint64_t _seed = 0;
+    Tally _tally;
+};
+
+} // namespace edge::serve
+
+#endif // EDGE_SERVE_FABRIC_CHAOS_HH

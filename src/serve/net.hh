@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The fabric's transport: line-delimited JSON over TCP, on plain
+ * POSIX sockets (the build's no-external-dependencies rule applies
+ * to the network layer too). Two shapes share the framing:
+ *
+ *  - Conn: a nonblocking, buffered connection for the coordinator's
+ *    poll loop and the agent's main loop. Reads accumulate into an
+ *    input buffer that complete lines are peeled off of; writes are
+ *    queued and flushed as the socket drains. A line longer than
+ *    kMaxLineBytes marks the connection dead instead of buffering
+ *    without bound — the network twin of the worker's bounded stdin
+ *    read.
+ *
+ *  - The blocking helpers (connectTo / sendLine / LineReader) for
+ *    the submission client, which has nothing else to do while it
+ *    waits.
+ */
+
+#ifndef EDGE_SERVE_NET_HH
+#define EDGE_SERVE_NET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace edge::serve {
+
+/** Bound on one protocol line (cell specs and results with embedded
+ *  fuzz programs included). */
+constexpr std::size_t kMaxLineBytes = 32u * 1024 * 1024;
+
+/**
+ * Open a listening TCP socket on `port` (0 picks an ephemeral port;
+ * see boundPort). Returns the fd, or -1 with *err set.
+ */
+int listenOn(std::uint16_t port, std::string *err);
+
+/** The port a listening socket is actually bound to. */
+std::uint16_t boundPort(int listen_fd);
+
+/**
+ * Blocking connect to "host:port" (numeric or resolvable host).
+ * Returns the fd, or -1 with *err set.
+ */
+int connectTo(const std::string &host_port, std::string *err);
+
+/** Blocking write of `line` plus the terminating newline. */
+bool sendLine(int fd, const std::string &line, std::string *err);
+
+/** Blocking line reader for the submission client. */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : _fd(fd) {}
+
+    /** Read the next complete line (without the newline). False on
+     *  EOF, error, or an over-long line, with *err set. */
+    bool next(std::string *line, std::string *err);
+
+  private:
+    int _fd;
+    std::string _buf;
+    std::size_t _off = 0;
+};
+
+/** Nonblocking buffered line connection (see file comment). */
+class Conn
+{
+  public:
+    /** Takes ownership of `fd`; sets O_NONBLOCK and FD_CLOEXEC. */
+    explicit Conn(int fd);
+    ~Conn();
+    Conn(const Conn &) = delete;
+    Conn &operator=(const Conn &) = delete;
+
+    int fd() const { return _fd; }
+    bool dead() const { return _dead; }
+    void markDead() { _dead = true; }
+
+    /** Does the poll set need POLLOUT for this connection? */
+    bool wantWrite() const { return _outOff < _out.size(); }
+
+    /** Drain the socket into the input buffer; marks the connection
+     *  dead on EOF, error, or an over-long line. */
+    void onReadable();
+
+    /** Flush as much queued output as the socket accepts. */
+    void onWritable();
+
+    /** Peel the next complete line off the input buffer. */
+    bool nextLine(std::string *line);
+
+    /** Queue `line` (newline appended) and try an immediate flush. */
+    void send(const std::string &line);
+
+  private:
+    int _fd;
+    bool _dead = false;
+    std::string _in;
+    std::size_t _inOff = 0;
+    std::string _out;
+    std::size_t _outOff = 0;
+};
+
+} // namespace edge::serve
+
+#endif // EDGE_SERVE_NET_HH

@@ -4,8 +4,8 @@ namespace edge::super {
 
 sim::ChaosSweepReport
 chaosSweepIsolated(const sim::ChaosSweepParams &params,
-                   const triage::ProgramRef &program, Supervisor &sup,
-                   bool *interrupted)
+                   const triage::ProgramRef &program,
+                   CellRunner &runner, bool *interrupted)
 {
     std::vector<sim::SweepCell> grid = sim::sweepCells(params);
 
@@ -22,7 +22,7 @@ chaosSweepIsolated(const sim::ChaosSweepParams &params,
         cells.push_back(std::move(cell));
     }
 
-    std::vector<CellOutcome> outs = sup.runAll(cells);
+    std::vector<CellOutcome> outs = runner.runAll(cells);
 
     // Assemble through the same tally code as the in-process sweep.
     // On interruption the un-run cells are simply absent — they have
@@ -50,9 +50,9 @@ chaosSweepIsolated(const sim::ChaosSweepParams &params,
 
 std::function<std::vector<std::optional<sim::RunResult>>(
     const std::vector<sim::RunJob> &)>
-fuzzBatchRunner(Supervisor &sup)
+fuzzBatchRunner(CellRunner &runner)
 {
-    return [&sup](const std::vector<sim::RunJob> &jobs) {
+    return [&runner](const std::vector<sim::RunJob> &jobs) {
         std::vector<CellSpec> cells;
         cells.reserve(jobs.size());
         for (const sim::RunJob &job : jobs) {
@@ -67,7 +67,7 @@ fuzzBatchRunner(Supervisor &sup)
             cell.maxCycles = job.maxCycles;
             cells.push_back(std::move(cell));
         }
-        std::vector<CellOutcome> outs = sup.runAll(cells);
+        std::vector<CellOutcome> outs = runner.runAll(cells);
         std::vector<std::optional<sim::RunResult>> results;
         results.reserve(outs.size());
         for (CellOutcome &o : outs) {

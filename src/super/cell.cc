@@ -1,5 +1,6 @@
 #include "super/cell.hh"
 
+#include "common/hash.hh"
 #include "triage/program_json.hh"
 #include "triage/result_json.hh"
 
@@ -18,20 +19,11 @@ cellHash(const CellSpec &cell)
     // config is hashed through its serialized form so every field —
     // including the run seed and the chaos schedule parameters —
     // participates without a hand-maintained field list.
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    auto mix = [&h](const void *data, std::size_t n) {
-        const auto *p = static_cast<const std::uint8_t *>(data);
-        for (std::size_t i = 0; i < n; ++i) {
-            h ^= p[i];
-            h *= 0x100000001b3ULL;
-        }
-    };
-    mix(&phash, sizeof(phash));
-    std::string cfg = triage::configToJson(cell.config).dumpCompact();
-    mix(cfg.data(), cfg.size());
-    std::uint64_t budget = cell.maxCycles;
-    mix(&budget, sizeof(budget));
-    return h;
+    Fnv1a f;
+    f.mix64(phash);
+    f.mix(triage::configToJson(cell.config).dumpCompact());
+    f.mix64(cell.maxCycles);
+    return f.state;
 }
 
 JsonValue

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/build_info.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "triage/result_json.hh"
 
@@ -22,8 +23,32 @@ recordToJson(const JournalRecord &rec)
     o.set("final", JsonValue::boolean(rec.final));
     if (!rec.reproPath.empty())
         o.set("repro", JsonValue::str(rec.reproPath));
+    if (!rec.agent.empty())
+        o.set("agent", JsonValue::str(rec.agent));
+    if (rec.lease != 0)
+        o.set("lease", JsonValue::u64(rec.lease));
+    if (rec.attempt > 1)
+        o.set("attempt", JsonValue::u64(rec.attempt));
     o.set("result", triage::resultToJson(rec.result));
+    // The checksum covers the serialized record exactly as written
+    // above — computed last, verified by stripping it again on load.
+    o.set("crc", JsonValue::u64(fnv1a64(o.dumpCompact())));
     return o;
+}
+
+/**
+ * Verify a record's `crc` against the rest of the record. Records
+ * without one (older builds) pass vacuously.
+ */
+bool
+checksumOk(const JsonValue &o)
+{
+    const JsonValue *crc = o.get("crc");
+    if (!crc)
+        return true;
+    JsonValue body = o;
+    body.remove("crc");
+    return crc->asU64() == fnv1a64(body.dumpCompact());
 }
 
 bool
@@ -38,6 +63,9 @@ recordFromJson(const JsonValue &o, JournalRecord *rec,
     rec->cell = o.getU64("cell");
     rec->final = o.getBool("final", true);
     rec->reproPath = o.getString("repro");
+    rec->agent = o.getString("agent");
+    rec->lease = o.getU64("lease");
+    rec->attempt = static_cast<unsigned>(o.getU64("attempt", 1));
     return triage::resultFromJson(*o.get("result"), &rec->result, err);
 }
 
@@ -102,6 +130,18 @@ Journal::load(const std::string &path, std::vector<JournalRecord> *out,
             if (build_line)
                 *build_line = v.getString("build");
             continue;
+        }
+
+        // A parseable record with a bad checksum is bit-level
+        // corruption, not a torn append — reject it wherever it
+        // sits, final line included.
+        if (!checksumOk(v)) {
+            if (err)
+                *err = "journal '" + path +
+                       "': record checksum mismatch at line " +
+                       std::to_string(lineno) +
+                       " (corrupt record)";
+            return false;
         }
 
         JournalRecord rec;
@@ -174,6 +214,19 @@ Journal::open(const std::string &path, std::string *err)
     _buildLine = buildInfoLine();
     _content = header.dumpCompact() + "\n";
     return triage::writeFileDurable(_path, _content, err);
+}
+
+std::map<std::uint64_t, const JournalRecord *>
+Journal::resumeIndex(const std::vector<JournalRecord> &records)
+{
+    std::map<std::uint64_t, const JournalRecord *> index;
+    for (const JournalRecord &rec : records) {
+        if (rec.final)
+            index[rec.cell] = &rec;
+        else
+            index.erase(rec.cell);
+    }
+    return index;
 }
 
 bool

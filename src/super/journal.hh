@@ -10,6 +10,12 @@
  * crash, SIGKILL, or power loss the journal on disk is always a
  * complete prefix of the campaign — never a torn record.
  *
+ * Every record also carries a `crc` field — FNV-1a over the
+ * serialized record content — so bit-level corruption anywhere in a
+ * record (not just a torn tail) is detected on load and rejected
+ * with a structured error naming the line. Checksumless journals
+ * written by older builds still load.
+ *
  * The `final` flag carries the resume semantics. Clean passes and
  * deterministic simulation failures are final: re-running them would
  * reproduce the same bits, so `--resume` replays them from the
@@ -23,6 +29,7 @@
 #define EDGE_SUPER_JOURNAL_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -40,6 +47,14 @@ struct JournalRecord
     sim::RunResult result;
     /** Captured .repro.json for a failing cell, if any. */
     std::string reproPath;
+
+    // --- lease provenance (campaign fabric; empty for local runs) --
+    /** Executor that produced the result ("" = local worker). */
+    std::string agent;
+    /** Fabric lease under which the cell ran (0 = none). */
+    std::uint64_t lease = 0;
+    /** Scheduling attempt that produced the result (1 = first). */
+    unsigned attempt = 1;
 };
 
 class Journal
@@ -80,6 +95,17 @@ class Journal
     static bool load(const std::string &path,
                      std::vector<JournalRecord> *out,
                      std::string *build_line, std::string *err);
+
+    /**
+     * The resume index over loaded records: last record per cell
+     * hash wins, and only cells whose LAST record is final replay —
+     * a non-final record (worker death, lost lease) erases any
+     * earlier final one, so `--resume` re-executes exactly those
+     * cells. Shared by the Supervisor and the serve Fabric so both
+     * runners resume with identical semantics.
+     */
+    static std::map<std::uint64_t, const JournalRecord *>
+    resumeIndex(const std::vector<JournalRecord> &records);
 
   private:
     std::string _path;

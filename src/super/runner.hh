@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The abstract cell runner: the one interface both executors of
+ * supervised campaign cells implement — the single-host fork/exec
+ * Supervisor (src/super/supervisor.hh) and the multi-host campaign
+ * Fabric coordinator (src/serve/fabric.hh). Campaign entry points
+ * (super::chaosSweepIsolated, super::fuzzBatchRunner, the bench
+ * grids) are written against this interface, so WHERE cells run —
+ * local sandboxed children or remote agents with leases and
+ * heartbeats — is invisible to report assembly, and the merged
+ * report stays byte-identical by construction.
+ */
+
+#ifndef EDGE_SUPER_RUNNER_HH
+#define EDGE_SUPER_RUNNER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "super/cell.hh"
+
+namespace edge::super {
+
+/** What one supervised cell produced. */
+struct CellOutcome
+{
+    sim::RunResult result;
+    /** False only when the campaign stopped before this cell ran —
+     *  such cells have no journal record and no meaningful result. */
+    bool ran = false;
+    /** True when `result` was replayed from the resume journal. */
+    bool fromJournal = false;
+    /** Automatic crash capture, when one was written. */
+    std::string reproPath;
+};
+
+/** An executor of campaign cells; see the file comment. */
+class CellRunner
+{
+  public:
+    virtual ~CellRunner() = default;
+
+    /**
+     * Run every cell (subject to any resume journal). Outcomes come
+     * back indexed like `cells` regardless of completion order or
+     * placement, so campaign reports preserve the in-process
+     * ordering guarantee. May be called repeatedly (the fuzz driver
+     * feeds batches); journals stay open across calls.
+     */
+    virtual std::vector<CellOutcome>
+    runAll(const std::vector<CellSpec> &cells) = 0;
+
+    /** Cooperative stop: return from runAll with the un-run cells
+     *  marked !ran as soon as the implementation safely can. */
+    virtual void requestStop() = 0;
+    virtual bool stopRequested() const = 0;
+
+    // --- campaign tallies (across all runAll calls) -----------------
+    virtual std::size_t completed() const = 0;
+    virtual std::size_t skipped() const = 0; ///< replayed via resume
+    virtual std::size_t failures() const = 0;
+
+    /** One-line `--resume` hint for interrupted-campaign banners
+     *  ("" when the runner has no journal). */
+    virtual std::string resumeHint() const = 0;
+};
+
+} // namespace edge::super
+
+#endif // EDGE_SUPER_RUNNER_HH

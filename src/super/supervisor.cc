@@ -314,14 +314,8 @@ Supervisor::runAll(const std::vector<CellSpec> &cells)
     // Resume index: last journal record per cell hash wins, and only
     // final records short-circuit execution.
     std::map<std::uint64_t, const JournalRecord *> replayable;
-    if (_opts.resume && _journalReady) {
-        for (const JournalRecord &rec : _journal.loaded()) {
-            if (rec.final)
-                replayable[rec.cell] = &rec;
-            else
-                replayable.erase(rec.cell);
-        }
-    }
+    if (_opts.resume && _journalReady)
+        replayable = Journal::resumeIndex(_journal.loaded());
 
     std::vector<CellOutcome> out(cells.size());
 

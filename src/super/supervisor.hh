@@ -32,6 +32,7 @@
 #include "sim/run_pool.hh"
 #include "super/cell.hh"
 #include "super/journal.hh"
+#include "super/runner.hh"
 
 namespace edge::super {
 
@@ -62,20 +63,7 @@ struct SupervisorOptions
     sim::RetryPolicy retry;
 };
 
-/** What one supervised cell produced. */
-struct CellOutcome
-{
-    sim::RunResult result;
-    /** False only when the campaign stopped before this cell ran —
-     *  such cells have no journal record and no meaningful result. */
-    bool ran = false;
-    /** True when `result` was replayed from the resume journal. */
-    bool fromJournal = false;
-    /** Automatic crash capture, when one was written. */
-    std::string reproPath;
-};
-
-class Supervisor
+class Supervisor : public CellRunner
 {
   public:
     explicit Supervisor(SupervisorOptions opts);
@@ -88,26 +76,31 @@ class Supervisor
      * guarantee. May be called repeatedly (the fuzz driver feeds
      * batches); the journal stays open across calls.
      */
-    std::vector<CellOutcome> runAll(const std::vector<CellSpec> &cells);
+    std::vector<CellOutcome>
+    runAll(const std::vector<CellSpec> &cells) override;
 
     /** Cooperative stop (what the signal handlers trigger): kill and
      *  reap children, return with the un-run cells marked !ran. */
-    void requestStop() { _stop.store(true, std::memory_order_relaxed); }
-    bool stopRequested() const;
+    void
+    requestStop() override
+    {
+        _stop.store(true, std::memory_order_relaxed);
+    }
+    bool stopRequested() const override;
 
     /** Cancellation flag for in-process retry backoff sharing. */
     const std::atomic<bool> *stopFlag() const { return &_stop; }
 
     // --- campaign tallies (across all runAll calls) ---------------------
-    std::size_t completed() const { return _completed; }
-    std::size_t skipped() const { return _skipped; } ///< via resume
-    std::size_t failures() const { return _failures; }
+    std::size_t completed() const override { return _completed; }
+    std::size_t skipped() const override { return _skipped; }
+    std::size_t failures() const override { return _failures; }
 
     const SupervisorOptions &options() const { return _opts; }
     const Journal &journal() const { return _journal; }
 
     /** One-line `--resume` hint for interrupted-campaign banners. */
-    std::string resumeHint() const;
+    std::string resumeHint() const override;
 
   private:
     struct Child;

@@ -6,7 +6,6 @@
 #include <cstdlib>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <thread>
 
 #include "common/logging.hh"
@@ -52,19 +51,38 @@ maybeTestCrash(const std::string &mode, std::ostream &out)
 int
 workerCellMain(std::istream &in, std::ostream &out)
 {
-    std::ostringstream buf;
-    buf << in.rdbuf();
+    // Bounded read: a supervisor that never stops writing (or a
+    // corrupt stream with no terminator) must produce a structured
+    // WorkerProtocol failure, not an unbounded buffer. The spec is
+    // everything up to EOF, capped at kMaxCellSpecBytes.
+    std::string spec;
+    spec.reserve(64 * 1024);
+    char chunk[65536];
+    while (in.read(chunk, sizeof(chunk)), in.gcount() > 0) {
+        spec.append(chunk, static_cast<std::size_t>(in.gcount()));
+        if (spec.size() > kMaxCellSpecBytes) {
+            fprintf(stderr,
+                    "edgesim: worker-cell: WorkerProtocol: spec "
+                    "exceeds the %zu-byte bound — refusing to "
+                    "buffer further\n",
+                    kMaxCellSpecBytes);
+            return 2;
+        }
+    }
 
     triage::JsonValue root;
     std::string err;
-    if (!triage::JsonValue::parse(buf.str(), &root, &err)) {
-        fprintf(stderr, "edgesim: worker-cell: bad spec: %s\n",
+    if (!triage::JsonValue::parse(spec, &root, &err)) {
+        fprintf(stderr,
+                "edgesim: worker-cell: WorkerProtocol: malformed or "
+                "partial spec: %s\n",
                 err.c_str());
         return 2;
     }
     CellSpec cell;
     if (!cellFromJson(root, &cell, &err)) {
-        fprintf(stderr, "edgesim: worker-cell: bad spec: %s\n",
+        fprintf(stderr,
+                "edgesim: worker-cell: WorkerProtocol: bad spec: %s\n",
                 err.c_str());
         return 2;
     }

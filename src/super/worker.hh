@@ -15,9 +15,19 @@
 #ifndef EDGE_SUPER_WORKER_HH
 #define EDGE_SUPER_WORKER_HH
 
+#include <cstddef>
 #include <iosfwd>
 
 namespace edge::super {
+
+/**
+ * Upper bound on a CellSpec request document. The largest legitimate
+ * specs are fuzz cells with the whole program embedded — well under
+ * a megabyte — so anything past this is a broken or hostile sender,
+ * and the worker answers with a structured WorkerProtocol error
+ * instead of buffering stdin without bound.
+ */
+constexpr std::size_t kMaxCellSpecBytes = 16u * 1024 * 1024;
 
 /**
  * Run one cell: parse a CellSpec from `in`, simulate, print the

@@ -134,6 +134,18 @@ JsonValue::get(const std::string &key) const
 }
 
 bool
+JsonValue::remove(const std::string &key)
+{
+    for (auto it = _members.begin(); it != _members.end(); ++it) {
+        if (it->first == key) {
+            _members.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
 JsonValue::getBool(const std::string &key, bool fallback) const
 {
     const JsonValue *v = get(key);

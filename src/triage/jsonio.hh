@@ -60,6 +60,9 @@ class JsonValue
     JsonValue &set(const std::string &key, JsonValue value);
     /** Member lookup; null when absent or not an object. */
     const JsonValue *get(const std::string &key) const;
+    /** Drop a member if present (order of the rest is preserved);
+     *  returns true when something was removed. */
+    bool remove(const std::string &key);
     /** Convenience scalar getters over get(). */
     bool getBool(const std::string &key, bool fallback = false) const;
     std::uint64_t getU64(const std::string &key,

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the campaign fabric (src/serve/): coordinator leases,
+ * heartbeat-timeout reassignment, duplicate-result dedup, the
+ * zero-agent local fallback, and deterministic fabric fault
+ * injection. Every scenario asserts the robustness contract: the
+ * merged report is byte-identical to a clean single-host run
+ * regardless of agent count, kill schedule, or reassignment history.
+ *
+ * This binary has a custom main(): invoked as `test_serve
+ * --worker-cell` it becomes a protocol worker (the default
+ * /proc/self/exe worker image), and as `test_serve --serve-agent
+ * <host:port>` it becomes a fabric agent — so the tests fork/exec
+ * real agent processes whose cells run through the real isolation
+ * path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/agent.hh"
+#include "serve/fabric.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+#include "super/campaign.hh"
+#include "super/cell.hh"
+#include "super/supervisor.hh"
+#include "super/worker.hh"
+#include "triage/repro.hh"
+#include "triage/result_json.hh"
+
+namespace edge {
+namespace {
+
+/** A small, fast kernel cell: parserish under one named mechanism. */
+super::CellSpec
+kernelCell(std::uint64_t seed, const std::string &config_name = "dsre",
+           std::uint64_t iterations = 60)
+{
+    super::CellSpec cell;
+    cell.program.kernel = "parserish";
+    cell.program.params.iterations = iterations;
+    cell.config = sim::Configs::byName(config_name);
+    cell.config.rngSeed = seed;
+    cell.maxCycles = 200'000'000;
+    return cell;
+}
+
+std::vector<super::CellSpec>
+grid(std::size_t n)
+{
+    std::vector<super::CellSpec> cells;
+    for (std::size_t i = 0; i < n; ++i)
+        cells.push_back(kernelCell(i + 1));
+    return cells;
+}
+
+/** What every executor should compute for `cell`, run in-process. */
+sim::RunResult
+runInProcess(const super::CellSpec &cell)
+{
+    isa::Program prog = triage::buildProgram(cell.program);
+    sim::Simulator sim(std::move(prog), cell.config);
+    return sim.run(cell.config, cell.maxCycles);
+}
+
+std::string
+dump(const sim::RunResult &r)
+{
+    return triage::resultToJson(r).dumpCompact();
+}
+
+/** The clean single-host truth for a grid. */
+std::vector<std::string>
+truth(const std::vector<super::CellSpec> &cells)
+{
+    std::vector<std::string> want;
+    for (const super::CellSpec &c : cells)
+        want.push_back(dump(runInProcess(c)));
+    return want;
+}
+
+void
+expectByteIdentical(const std::vector<super::CellOutcome> &out,
+                    const std::vector<std::string> &want)
+{
+    ASSERT_EQ(out.size(), want.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_TRUE(out[i].ran) << "cell " << i;
+        EXPECT_EQ(dump(out[i].result), want[i]) << "cell " << i;
+    }
+}
+
+/** Fork/exec this binary as a fabric agent against 127.0.0.1:port. */
+pid_t
+spawnAgent(std::uint16_t port, unsigned slots,
+           std::uint64_t die_after = 0)
+{
+    std::string target = "127.0.0.1:" + std::to_string(port);
+    std::string slots_s = std::to_string(slots);
+    std::string die_s = std::to_string(die_after);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        std::vector<const char *> argv = {
+            "/proc/self/exe", "--serve-agent", target.c_str(),
+            "--slots",        slots_s.c_str(),
+        };
+        if (die_after) {
+            argv.push_back("--die-after");
+            argv.push_back(die_s.c_str());
+        }
+        argv.push_back(nullptr);
+        ::execv("/proc/self/exe",
+                const_cast<char *const *>(argv.data()));
+        _exit(127);
+    }
+    return pid;
+}
+
+void
+reapAgent(pid_t pid, int sig = SIGKILL)
+{
+    if (pid <= 0)
+        return;
+    ::kill(pid, sig);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+}
+
+/** Pump the fabric until `n` agents are live (fatal on deadline). */
+void
+awaitAgents(serve::Fabric &fabric, std::size_t n,
+            int deadline_ms = 15000)
+{
+    auto limit = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(deadline_ms);
+    while (fabric.liveAgents() < n) {
+        ASSERT_LT(std::chrono::steady_clock::now(), limit)
+            << "agents never registered";
+        fabric.pump(50);
+    }
+}
+
+serve::FabricOptions
+fastOptions()
+{
+    serve::FabricOptions fo;
+    fo.listenPort = 0; // ephemeral
+    fo.localJobs = 2;
+    fo.retry.maxAttempts = 1;
+    return fo;
+}
+
+// --- graceful degradation -------------------------------------------
+
+TEST(ServeFallback, ZeroAgentsRunsLocallyByteIdentical)
+{
+    std::vector<super::CellSpec> cells = grid(4);
+    std::vector<std::string> want = truth(cells);
+
+    serve::Fabric fabric(fastOptions());
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+    EXPECT_EQ(fabric.liveAgents(), 0u);
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_EQ(fabric.localCellsRun(), cells.size());
+    EXPECT_EQ(fabric.completed(), cells.size());
+    EXPECT_EQ(fabric.failures(), 0u);
+}
+
+TEST(ServeFallback, FabricSweepReportMatchesInProcessSweep)
+{
+    sim::ChaosSweepParams params;
+    params.seeds = {1, 2};
+    params.configs = {"dsre"};
+    params.maxCycles = 200'000'000;
+    params.retry.maxAttempts = 1;
+
+    triage::ProgramRef ref;
+    ref.kernel = "parserish";
+    ref.params.iterations = 60;
+    isa::Program prog = triage::buildProgram(ref);
+    sim::ChaosSweepReport inproc = sim::chaosSweep(prog, params);
+
+    serve::Fabric fabric(fastOptions());
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+    bool interrupted = true;
+    sim::ChaosSweepReport merged =
+        super::chaosSweepIsolated(params, ref, fabric, &interrupted);
+
+    EXPECT_FALSE(interrupted);
+    ASSERT_EQ(merged.runs.size(), inproc.runs.size());
+    EXPECT_EQ(merged.summary(), inproc.summary());
+    for (std::size_t i = 0; i < inproc.runs.size(); ++i)
+        EXPECT_EQ(dump(merged.runs[i].result),
+                  dump(inproc.runs[i].result))
+            << "cell " << i;
+}
+
+// --- remote execution through real agent processes ------------------
+
+TEST(ServeAgents, RemoteResultsByteIdentical)
+{
+    std::vector<super::CellSpec> cells = grid(6);
+    std::vector<std::string> want = truth(cells);
+
+    serve::FabricOptions fo = fastOptions();
+    // Pure-fabric run: prove the cells went over the wire, not
+    // through the degradation path.
+    fo.localFallback = false;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    pid_t a = spawnAgent(fabric.port(), 2);
+    pid_t b = spawnAgent(fabric.port(), 2);
+    awaitAgents(fabric, 2);
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_EQ(fabric.localCellsRun(), 0u);
+    EXPECT_EQ(fabric.completed(), cells.size());
+    EXPECT_EQ(fabric.failures(), 0u);
+
+    reapAgent(a);
+    reapAgent(b);
+}
+
+// --- agent killed mid-cell ------------------------------------------
+
+TEST(ServeRobust, AgentSigkilledMidCellIsReassigned)
+{
+    std::vector<super::CellSpec> cells = grid(6);
+    std::vector<std::string> want = truth(cells);
+
+    serve::Fabric fabric(fastOptions());
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    // The agent SIGKILLs itself right after its first result, while
+    // a second lease is still in flight; the coordinator must revoke
+    // and reassign it (here: to the local fallback).
+    pid_t a = spawnAgent(fabric.port(), 2, /*die_after=*/1);
+    awaitAgents(fabric, 1);
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_GE(fabric.agentDeaths(), 1u);
+    EXPECT_GE(fabric.reassignments(), 1u);
+    EXPECT_EQ(fabric.failures(), 0u);
+
+    reapAgent(a);
+}
+
+// --- heartbeat timeout ----------------------------------------------
+
+TEST(ServeRobust, HeartbeatTimeoutReassignsLeases)
+{
+    std::vector<super::CellSpec> cells = grid(4);
+    std::vector<std::string> want = truth(cells);
+
+    serve::FabricOptions fo = fastOptions();
+    fo.heartbeatMs = 100;
+    fo.heartbeatTimeoutMs = 500;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    pid_t a = spawnAgent(fabric.port(), 2);
+    awaitAgents(fabric, 1);
+    // SIGSTOP: the connection stays open but the agent goes silent —
+    // only the heartbeat sweep can declare it dead.
+    ASSERT_EQ(::kill(a, SIGSTOP), 0);
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_GE(fabric.agentDeaths(), 1u);
+    EXPECT_EQ(fabric.failures(), 0u);
+
+    ::kill(a, SIGCONT);
+    reapAgent(a);
+}
+
+// --- deterministic fabric fault injection ---------------------------
+
+TEST(ServeChaos, DuplicatedResultsAreDeduped)
+{
+    std::vector<super::CellSpec> cells = grid(6);
+    std::vector<std::string> want = truth(cells);
+
+    serve::FabricOptions fo = fastOptions();
+    fo.localFallback = false;
+    fo.chaosProfile = serve::FabricProfile::Duplicate;
+    fo.chaosSeed = 7;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    pid_t a = spawnAgent(fabric.port(), 2);
+    pid_t b = spawnAgent(fabric.port(), 2);
+    awaitAgents(fabric, 2);
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_GT(fabric.duplicatesDeduped(), 0u);
+    EXPECT_EQ(fabric.failures(), 0u);
+
+    reapAgent(a);
+    reapAgent(b);
+}
+
+TEST(ServeChaos, KillProfileSeversAgentsMidCampaign)
+{
+    std::vector<super::CellSpec> cells = grid(6);
+    std::vector<std::string> want = truth(cells);
+
+    serve::FabricOptions fo = fastOptions();
+    fo.chaosProfile = serve::FabricProfile::Kill;
+    fo.chaosSeed = 3;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    pid_t a = spawnAgent(fabric.port(), 2);
+    pid_t b = spawnAgent(fabric.port(), 2);
+    awaitAgents(fabric, 2);
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    // The injector severs each agent's connection on its second
+    // assignment; the campaign survives via reassignment + fallback.
+    EXPECT_GE(fabric.agentDeaths(), 1u);
+    EXPECT_GT(fabric.chaosTally().kills, 0u);
+    EXPECT_EQ(fabric.failures(), 0u);
+
+    reapAgent(a);
+    reapAgent(b);
+}
+
+TEST(ServeChaos, DropProfileStillConvergesByteIdentical)
+{
+    std::vector<super::CellSpec> cells = grid(4);
+    std::vector<std::string> want = truth(cells);
+
+    serve::FabricOptions fo = fastOptions();
+    // Dropped inbound messages look like lease timeouts; keep the
+    // lease clock tight so the test re-leases quickly.
+    fo.leaseMs = 2000;
+    fo.chaosProfile = serve::FabricProfile::Drop;
+    fo.chaosSeed = 11;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    pid_t a = spawnAgent(fabric.port(), 2);
+    awaitAgents(fabric, 1);
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_EQ(fabric.failures(), 0u);
+
+    reapAgent(a);
+}
+
+// --- stop semantics -------------------------------------------------
+
+TEST(ServeStop, RequestStopLeavesUnrunCellsResumable)
+{
+    std::vector<super::CellSpec> cells = grid(3);
+    serve::Fabric fabric(fastOptions());
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+    fabric.requestStop();
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    ASSERT_EQ(out.size(), 3u);
+    for (const super::CellOutcome &o : out)
+        EXPECT_FALSE(o.ran);
+}
+
+} // namespace
+} // namespace edge
+
+int
+main(int argc, char **argv)
+{
+    // The default worker image is /proc/self/exe — this binary.
+    // Dispatch the worker and agent personalities before gtest sees
+    // argv.
+    if (argc >= 2 && std::strcmp(argv[1], "--worker-cell") == 0)
+        return edge::super::workerCellMain(std::cin, std::cout);
+    if (argc >= 3 && std::strcmp(argv[1], "--serve-agent") == 0) {
+        edge::serve::AgentOptions ao;
+        ao.coordinator = argv[2];
+        for (int i = 3; i + 1 < argc; i += 2) {
+            if (std::strcmp(argv[i], "--slots") == 0)
+                ao.slots = static_cast<unsigned>(
+                    std::strtoul(argv[i + 1], nullptr, 10));
+            else if (std::strcmp(argv[i], "--die-after") == 0)
+                ao.dieAfterResults =
+                    std::strtoull(argv[i + 1], nullptr, 10);
+        }
+        return edge::serve::agentMain(ao);
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -189,6 +189,17 @@ TEST(SuperWorker, RejectsMalformedSpecWithProtocolExit)
     EXPECT_TRUE(out.str().empty());
 }
 
+TEST(SuperWorker, OversizedSpecIsBoundedProtocolError)
+{
+    // A spec stream past the bound must die with the structured
+    // protocol exit while buffering, not buffer without limit.
+    std::string big(super::kMaxCellSpecBytes + 4096, '{');
+    std::istringstream in(big);
+    std::ostringstream out;
+    EXPECT_EQ(super::workerCellMain(in, out), 2);
+    EXPECT_TRUE(out.str().empty());
+}
+
 // --- journal durability and parsing ---------------------------------
 
 TEST(SuperJournal, AppendLoadRoundTripAndLastRecordWins)
@@ -264,6 +275,76 @@ TEST(SuperJournal, ToleratesTornFinalLineOnly)
     recs.clear();
     EXPECT_FALSE(super::Journal::load(path, &recs, &build, &err));
     EXPECT_FALSE(err.empty());
+}
+
+TEST(SuperJournal, RejectsBitFlippedRecordNamingTheLine)
+{
+    TempDir dir("crc");
+    std::string path = dir.file("crc.journal.jsonl");
+
+    super::Journal j;
+    std::string err;
+    ASSERT_TRUE(j.open(path, &err)) << err;
+    super::JournalRecord a;
+    a.cell = 1;
+    a.final = true;
+    a.result.halted = true;
+    a.result.cycles = 987654321; // distinctive digits to corrupt
+    ASSERT_TRUE(j.append(a, &err)) << err;
+    super::JournalRecord b = a;
+    b.cell = 2;
+    ASSERT_TRUE(j.append(b, &err)) << err;
+
+    // Flip one content byte mid-file (line 2, the first record). The
+    // line still parses as JSON — only the checksum can catch it.
+    std::string text;
+    {
+        std::ifstream in(path);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    std::size_t pos = text.find("987654321");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos] = '1';
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << text;
+    }
+
+    std::vector<super::JournalRecord> recs;
+    std::string build;
+    EXPECT_FALSE(super::Journal::load(path, &recs, &build, &err));
+    EXPECT_NE(err.find("checksum mismatch"), std::string::npos) << err;
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(SuperJournal, ChecksumlessRecordsStillLoad)
+{
+    // A journal written by a pre-checksum build: records carry no
+    // `crc` field and must load vacuously.
+    TempDir dir("nocrc");
+    std::string path = dir.file("old.journal.jsonl");
+    sim::RunResult r;
+    r.halted = true;
+    r.archMatch = true;
+    r.cycles = 77;
+    {
+        std::ofstream f(path);
+        f << "{\"format\": \"edgesim-journal\", \"version\": 1, "
+             "\"build\": \"older-build\"}\n";
+        f << "{\"cell\": 5, \"final\": true, \"result\": "
+          << triage::resultToJson(r).dumpCompact() << "}\n";
+    }
+
+    std::vector<super::JournalRecord> recs;
+    std::string build;
+    std::string err;
+    ASSERT_TRUE(super::Journal::load(path, &recs, &build, &err))
+        << err;
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].cell, 5u);
+    EXPECT_EQ(dump(recs[0].result), dump(r));
 }
 
 TEST(SuperJournal, RejectsNonJournalFiles)

@@ -28,7 +28,13 @@
  *   14  host wall-clock deadline
  *   15  worker crash             16  worker killed
  *   17  worker timeout           18  worker protocol
+ *   19  agent lost (campaign fabric)
  *   128+N  supervised campaign interrupted by signal N
+ *
+ * Campaign fabric (docs/PROTOCOL.md, "Campaign fabric"):
+ *   edgesim serve --listen 7733            # coordinator
+ *   edgesim serve --agent host:7733        # executor agent
+ *   edgesim --fuzz 200 --submit host:7733  # client submission
  */
 
 #include <csignal>
@@ -43,6 +49,8 @@
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "fuzz/diff.hh"
+#include "serve/agent.hh"
+#include "serve/daemon.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "super/campaign.hh"
@@ -70,6 +78,10 @@ usage()
         "       edgesim --replay <file.repro.json> [--minimize] [-j N]\n"
         "       edgesim --fuzz N [--fuzz-seed S] [--fuzz-chaos <name>]\n"
         "               [--corpus-dir <dir>] [--minimize] [-j N]\n"
+        "       edgesim serve --listen <port> [fabric options]\n"
+        "       edgesim serve --agent <host:port> [--slots N] [--name S]\n"
+        "       edgesim --fuzz N --submit <host:port>\n"
+        "       edgesim --kernel K --chaos-sweep N --submit <host:port>\n"
         "\n"
         "  --fuzz N  differential fuzzing: N random hyperblock\n"
         "         programs, each run under every mechanism and\n"
@@ -95,6 +107,22 @@ usage()
         "         re-execute the rest, merge (implies --isolate)\n"
         "  --cell-timeout-ms N  SIGKILL a cell past this deadline\n"
         "  --rlimit-as-mb N / --rlimit-cpu-sec N  child sandbox caps\n"
+        "\n"
+        "campaign fabric (multi-host; docs/PROTOCOL.md):\n"
+        "  serve --listen <port>  coordinator: accepts agents and\n"
+        "         campaign submissions, leases cells out, reassigns\n"
+        "         on agent death, falls back to local workers\n"
+        "  serve --agent <host:port>  executor agent: runs leased\n"
+        "         cells via the --worker-cell isolation path\n"
+        "  --submit <host:port>  run this --fuzz / --chaos-sweep\n"
+        "         campaign on a coordinator instead of locally\n"
+        "  coordinator knobs: --heartbeat-ms N, --heartbeat-timeout-ms\n"
+        "         N, --lease-ms N, --max-reassign N, --once,\n"
+        "         --no-local-fallback, --journal <file>, --resume\n"
+        "         <file>, --fabric-chaos <profile>,\n"
+        "         --fabric-chaos-seed N (profiles: none drop\n"
+        "         duplicate partition kill heavy)\n"
+        "  agent knobs: --slots N, --name S, --die-after N\n"
         "  --version  print the build provenance line\n"
         "  --capture-repro <dir>  write a .repro.json for every\n"
         "         failing run / sweep cell into <dir>\n"
@@ -107,7 +135,7 @@ usage()
         "  failures, 4 replay mismatch, 10 watchdog, 11 invariant\n"
         "  violation, 12 protocol panic, 13 livelock, 14 host\n"
         "  deadline, 15-18 worker crash/kill/timeout/protocol,\n"
-        "  128+N interrupted by signal N\n"
+        "  19 agent lost, 128+N interrupted by signal N\n"
         "\n"
         "configs: ");
     for (const auto &c : sim::Configs::allNames())
@@ -250,9 +278,10 @@ replayMain(const std::string &path, bool minimize, unsigned threads)
 }
 
 /** Partial-campaign banner + resume hint, shared by the interrupted
- *  sweep and fuzz paths. Returns the 128+signal exit status. */
+ *  sweep and fuzz paths (local Supervisor or serve Fabric — any
+ *  CellRunner). Returns the 128+signal exit status. */
 int
-interruptedExit(const super::Supervisor &sup)
+interruptedExit(const super::CellRunner &sup)
 {
     int sig = super::stopSignal() ? super::stopSignal() : SIGINT;
     std::printf("campaign interrupted (%s): %zu cell(s) journaled "
@@ -266,14 +295,11 @@ interruptedExit(const super::Supervisor &sup)
     return 128 + sig;
 }
 
-int
-fuzzMain(const fuzz::FuzzOptions &opts, bool minimize,
-         unsigned threads, const super::Supervisor *sup = nullptr)
+/** The fuzz banner, shared by the local and --submit paths so a
+ *  remote campaign's stdout is byte-identical to a local one. */
+void
+fuzzHeader(const fuzz::FuzzOptions &opts)
 {
-    fatal_if(minimize && opts.corpusDir.empty(),
-             "--fuzz --minimize needs --corpus-dir (minimization "
-             "starts from the captured .repro.json)");
-
     const std::vector<std::string> &configs =
         opts.configs.empty() ? fuzz::defaultConfigs() : opts.configs;
     std::printf("fuzz: %llu program(s) x %zu mechanism(s), base seed "
@@ -284,9 +310,14 @@ fuzzMain(const fuzz::FuzzOptions &opts, bool minimize,
                 opts.chaosProfile != chaos::Profile::None
                     ? ", chaos layered on"
                     : "");
+}
 
-    fuzz::FuzzReport rep = fuzz::runCampaign(opts);
-
+/** Print a fuzz report (wherever it ran) and map it to an exit
+ *  status. */
+int
+fuzzReportExit(const fuzz::FuzzReport &rep, bool minimize,
+               unsigned threads, const super::CellRunner *sup)
+{
     std::printf("fuzz: %llu run(s), %llu pass(es), %zu failure(s) "
                 "(%llu duplicate(s)), %llu ref-hang(s)\n",
                 static_cast<unsigned long long>(rep.runs),
@@ -329,6 +360,108 @@ fuzzMain(const fuzz::FuzzOptions &opts, bool minimize,
     return rep.clean() ? 0 : 2;
 }
 
+int
+fuzzMain(const fuzz::FuzzOptions &opts, bool minimize,
+         unsigned threads, const super::CellRunner *sup = nullptr)
+{
+    fatal_if(minimize && opts.corpusDir.empty(),
+             "--fuzz --minimize needs --corpus-dir (minimization "
+             "starts from the captured .repro.json)");
+    fuzzHeader(opts);
+    fuzz::FuzzReport rep = fuzz::runCampaign(opts);
+    return fuzzReportExit(rep, minimize, threads, sup);
+}
+
+/** `edgesim serve ...`: the coordinator daemon or an agent. */
+int
+serveCliMain(int argc, char **argv)
+{
+    serve::ServeOptions so;
+    serve::AgentOptions ao;
+    bool isAgent = false;
+    bool haveListen = false;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "%s needs an argument",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--listen") {
+            so.fabric.listenPort = static_cast<std::uint16_t>(
+                std::strtoul(next(), nullptr, 10));
+            haveListen = true;
+        } else if (arg == "--agent") {
+            ao.coordinator = next();
+            isAgent = true;
+        } else if (arg == "--slots") {
+            ao.slots = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--name") {
+            ao.name = next();
+        } else if (arg == "--die-after") {
+            ao.dieAfterResults = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--worker-path") {
+            ao.workerPath = next();
+            so.fabric.workerPath = ao.workerPath;
+        } else if (arg == "-j" || arg == "--jobs") {
+            so.fabric.localJobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--heartbeat-ms") {
+            so.fabric.heartbeatMs =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--heartbeat-timeout-ms") {
+            so.fabric.heartbeatTimeoutMs =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--lease-ms") {
+            so.fabric.leaseMs = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-reassign") {
+            so.fabric.maxReassign = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--cell-timeout-ms") {
+            so.fabric.cellTimeoutMs =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--rlimit-as-mb") {
+            so.fabric.rlimitAsMb = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--rlimit-cpu-sec") {
+            so.fabric.rlimitCpuSec =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--journal") {
+            so.fabric.journalPath = next();
+        } else if (arg == "--resume") {
+            so.fabric.journalPath = next();
+            so.fabric.resume = true;
+        } else if (arg == "--capture-repro") {
+            so.fabric.reproDir = next();
+        } else if (arg == "--no-local-fallback") {
+            so.fabric.localFallback = false;
+        } else if (arg == "--fabric-chaos") {
+            fatal_if(!serve::fabricProfileByName(
+                         next(), &so.fabric.chaosProfile),
+                     "unknown fabric chaos profile '%s'", argv[i]);
+        } else if (arg == "--fabric-chaos-seed") {
+            so.fabric.chaosSeed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--once") {
+            so.once = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            fatal("serve: unknown argument '%s'", arg.c_str());
+        }
+    }
+
+    fatal_if(isAgent && haveListen,
+             "serve: --agent and --listen are mutually exclusive");
+    fatal_if(!isAgent && !haveListen,
+             "serve: need --listen <port> (coordinator) or --agent "
+             "<host:port>");
+    if (isAgent)
+        return serve::agentMain(ao);
+    return serve::serveMain(so);
+}
+
 } // namespace
 
 int
@@ -340,6 +473,10 @@ main(int argc, char **argv)
     // leaves on stdout, and nothing else may write there.
     if (argc >= 2 && std::strcmp(argv[1], "--worker-cell") == 0)
         return super::workerCellMain(std::cin, std::cout);
+
+    // The campaign fabric: coordinator daemon or executor agent.
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+        return serveCliMain(argc, argv);
 
     std::string kernel;
     std::string config = "dsre";
@@ -361,6 +498,7 @@ main(int argc, char **argv)
     std::uint64_t fuzz_seed = 1;
     std::string corpus_dir;
     bool isolate = false;
+    std::string submit_to;
     std::string journal_dir;
     std::string resume_path;
     std::uint64_t cell_timeout_ms = 0;
@@ -430,6 +568,8 @@ main(int argc, char **argv)
             repro_dir = next();
         } else if (arg == "--isolate") {
             isolate = true;
+        } else if (arg == "--submit") {
+            submit_to = next();
         } else if (arg == "--journal-dir") {
             journal_dir = next();
             isolate = true;
@@ -504,6 +644,23 @@ main(int argc, char **argv)
         fo.checkInvariants = check_invariants;
         fo.threads = threads;
         fo.corpusDir = corpus_dir;
+        if (!submit_to.empty()) {
+            // Remote campaign: same banner, same report printer —
+            // stdout is byte-identical to the local run. Corpus
+            // capture and minimization are local-only features.
+            fatal_if(!corpus_dir.empty() || minimize,
+                     "--submit campaigns cannot use --corpus-dir or "
+                     "--minimize (they need local repro files)");
+            fuzzHeader(fo);
+            fuzz::FuzzReport rep;
+            std::string err;
+            if (!serve::submitFuzz(submit_to, fo, &rep, &err))
+                fatal("--submit: %s", err.c_str());
+            if (rep.interrupted)
+                warn("campaign was interrupted on the coordinator; "
+                     "the report is partial");
+            return fuzzReportExit(rep, false, threads, nullptr);
+        }
         if (isolate) {
             super::installStopHandlers();
             super::Supervisor sup(supervisorOptions(strfmt(
@@ -552,6 +709,27 @@ main(int argc, char **argv)
         sp.threads = threads;
         sp.mutation = mutation;
         sp.mutationNode = mutation_node;
+        if (!submit_to.empty()) {
+            sim::ChaosSweepReport rep;
+            bool interrupted = false;
+            std::string err;
+            if (!serve::submitSweep(submit_to, sp, prog_ref, &rep,
+                                    &interrupted, &err))
+                fatal("--submit: %s", err.c_str());
+            if (!repro_dir.empty())
+                triage::captureSweepFailures(rep, prog_ref,
+                                             sp.maxCycles, repro_dir);
+            std::printf("%s / %s chaos sweep (%s):\n%s",
+                        kernel.c_str(), config.c_str(),
+                        chaos::profileName(sp.profile),
+                        rep.summary().c_str());
+            if (interrupted) {
+                warn("campaign was interrupted on the coordinator; "
+                     "the report is partial");
+                return 130;
+            }
+            return rep.allConverged() ? 0 : 3;
+        }
         if (isolate) {
             super::installStopHandlers();
             super::Supervisor sup(supervisorOptions(
