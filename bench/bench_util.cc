@@ -10,6 +10,7 @@
 #include <memory>
 #include <tuple>
 
+#include "common/hostinfo.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/thread_pool.hh"
@@ -80,6 +81,15 @@ benchArgs(int argc, char **argv, std::uint64_t default_iters)
         } else if (arg == "--cell-timeout-ms") {
             args.cellTimeoutMs =
                 std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--engine") {
+            args.engine = next();
+            fatal_if(args.engine != "tick" && args.engine != "event" &&
+                         args.engine != "both",
+                     "--engine expects 'tick', 'event' or 'both'");
+        } else if (arg == "--baseline") {
+            args.baselinePath = next();
+        } else if (arg == "--max-regress") {
+            args.maxRegressPct = std::strtod(next(), nullptr);
         } else if (arg == "--agents") {
             args.agentsPort = static_cast<std::uint16_t>(
                 std::strtoul(next(), nullptr, 10));
@@ -89,7 +99,9 @@ benchArgs(int argc, char **argv, std::uint64_t default_iters)
             std::printf("usage: %s [iterations] [-j N] [--json path] "
                         "[--repro-dir dir] [--isolate] "
                         "[--journal-dir dir] [--resume journal] "
-                        "[--cell-timeout-ms N] [--agents port]\n",
+                        "[--cell-timeout-ms N] [--agents port] "
+                        "[--engine tick|event|both] "
+                        "[--baseline json] [--max-regress pct]\n",
                         argv[0]);
             std::exit(0);
         } else if (!arg.empty() && arg[0] != '-') {
@@ -99,7 +111,8 @@ benchArgs(int argc, char **argv, std::uint64_t default_iters)
                   "(usage: [iterations] [-j N] [--json path] "
                   "[--repro-dir dir] [--isolate] [--journal-dir dir] "
                   "[--resume journal] [--cell-timeout-ms N] "
-                  "[--agents port])",
+                  "[--agents port] [--engine tick|event|both] "
+                  "[--baseline json] [--max-regress pct])",
                   arg.c_str());
         }
     }
@@ -355,13 +368,16 @@ writeJson(const std::string &path, const std::string &bench_name,
                  "  \"bench\": \"%s\",\n"
                  "  \"iterations\": %llu,\n"
                  "  \"threads\": %u,\n"
+                 "  \"engine\": \"%s\",\n"
+                 "  \"host\": %s,\n"
                  "  \"wall_seconds\": %.3f,\n"
                  "  \"cells\": [\n",
                  jsonEscape(bench_name).c_str(),
                  static_cast<unsigned long long>(args.iterations),
                  args.threads == 0 ? ThreadPool::defaultThreads()
                                    : args.threads,
-                 wall_seconds);
+                 jsonEscape(args.engine).c_str(),
+                 hostInfoJson().c_str(), wall_seconds);
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const RunRow &row = rows[i];
         const sim::RunResult &r = row.result;

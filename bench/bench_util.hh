@@ -119,6 +119,19 @@ struct BenchArgs
      */
     std::uint16_t agentsPort = 0;
     bool agents = false;         ///< --agents was given (port may be 0)
+    /**
+     * Cycle-loop engine the bench should run (--engine). "tick" or
+     * "event" select one; bench_throughput also accepts "both" and
+     * then measures the tick/event speedup per cell.
+     */
+    std::string engine = "event";
+    /**
+     * Baseline JSON to diff against (--baseline; bench_throughput):
+     * prints per-cell current/baseline ratios and fails the run when
+     * the geomean throughput regresses more than maxRegressPct.
+     */
+    std::string baselinePath;
+    double maxRegressPct = 25.0; ///< --max-regress <pct>
     std::chrono::steady_clock::time_point start; ///< harness start
 };
 

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A chunked bump arena for per-Processor block bookkeeping. The
+ * cycle-loop hot path used to heap-allocate a slot-index vector per
+ * fetched block (thousands per run); the arena replaces that churn
+ * with pointer bumps into chunks that live as long as the Processor.
+ *
+ * Lifetime rules (see DESIGN.md "Event-driven cycle engine"):
+ *  - allocations are never freed individually; reset() rewinds the
+ *    whole arena and retains its chunks for reuse;
+ *  - frame-keyed state (BlockCtx::localIdx) must NOT be carved per
+ *    block, because frames free out of order (a flush releases the
+ *    youngest frames while commit releases the oldest). Allocate a
+ *    fixed region per frame once and reuse it as the frame recycles.
+ */
+
+#ifndef EDGE_COMMON_ARENA_HH
+#define EDGE_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace edge {
+
+class Arena
+{
+  public:
+    explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+        : _chunkBytes(chunk_bytes == 0 ? 64 * 1024 : chunk_bytes)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Bump-allocate `bytes` with the given alignment. */
+    void *
+    alloc(std::size_t bytes, std::size_t align = alignof(std::max_align_t))
+    {
+        panic_if(align == 0 || (align & (align - 1)) != 0,
+                 "arena alignment %zu is not a power of two", align);
+        if (bytes == 0)
+            bytes = 1;
+        while (true) {
+            if (_chunkIdx < _chunks.size()) {
+                Chunk &c = _chunks[_chunkIdx];
+                // Align the absolute address, not the chunk-relative
+                // offset: chunk storage is only max_align_t-aligned.
+                auto base =
+                    reinterpret_cast<std::uintptr_t>(c.data.get());
+                std::size_t at =
+                    ((base + _offset + align - 1) & ~(align - 1)) -
+                    base;
+                if (at + bytes <= c.size) {
+                    _offset = at + bytes;
+                    _used += bytes;
+                    return c.data.get() + at;
+                }
+                // This chunk is full: fall through to the next one.
+                ++_chunkIdx;
+                _offset = 0;
+                continue;
+            }
+            std::size_t sz = std::max(_chunkBytes, bytes + align);
+            _chunks.push_back(
+                Chunk{std::make_unique<std::byte[]>(sz), sz});
+            _reserved += sz;
+        }
+    }
+
+    /** Typed array allocation (elements are NOT constructed). */
+    template <typename T>
+    T *
+    allocArray(std::size_t n)
+    {
+        return static_cast<T *>(alloc(n * sizeof(T), alignof(T)));
+    }
+
+    /** Rewind every allocation; chunks are retained for reuse. */
+    void
+    reset()
+    {
+        _chunkIdx = 0;
+        _offset = 0;
+        _used = 0;
+    }
+
+    std::size_t bytesUsed() const { return _used; }
+    std::size_t bytesReserved() const { return _reserved; }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size;
+    };
+
+    std::vector<Chunk> _chunks;
+    std::size_t _chunkIdx = 0;
+    std::size_t _offset = 0;   ///< next free byte within _chunkIdx
+    std::size_t _chunkBytes;
+    std::size_t _used = 0;
+    std::size_t _reserved = 0;
+};
+
+} // namespace edge
+
+#endif // EDGE_COMMON_ARENA_HH

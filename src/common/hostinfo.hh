@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Host provenance for benchmark artifacts. BENCH_*.json points are
+ * wall-clock measurements, so trajectory files collected on
+ * different machines are not directly comparable; stamping the CPU
+ * model, core count and build type into every JSON emission lets the
+ * diff tooling (bench_throughput --baseline) warn when it is about
+ * to compare apples to oranges.
+ */
+
+#ifndef EDGE_COMMON_HOSTINFO_HH
+#define EDGE_COMMON_HOSTINFO_HH
+
+#include <string>
+
+namespace edge {
+
+struct HostInfo
+{
+    std::string cpuModel; ///< "model name" from /proc/cpuinfo
+    unsigned cores = 0;   ///< hardware_concurrency
+    std::string buildType;  ///< CMAKE_BUILD_TYPE of this binary
+    std::string sanitizer;  ///< EDGE_SANITIZE of this binary
+};
+
+/** The running host's provenance (cached after the first call). */
+const HostInfo &hostInfo();
+
+/** JSON object literal: {"cpu_model": ..., "cores": N, ...}. */
+std::string hostInfoJson();
+
+} // namespace edge
+
+#endif // EDGE_COMMON_HOSTINFO_HH

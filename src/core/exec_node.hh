@@ -13,6 +13,13 @@
  *    squashed (value-identity squash), configurable for ablation;
  *  - wave numbers are per producer-link monotonic: stale (lower
  *    wave) messages are ignored, Final is sticky.
+ *
+ * Reservation-station state is stored structure-of-arrays: the issue
+ * scan walks two per-slot want-bitmaps (want-ALU, want-upgrade) kept
+ * incrementally up to date by deliver/map/issue, so an idle node
+ * answers hasWork() from a couple of words and a busy node's tick
+ * touches only the slots that can actually issue — instead of
+ * striding over ~100-byte cold slot objects every cycle.
  */
 
 #ifndef EDGE_CORE_EXEC_NODE_HH
@@ -95,8 +102,19 @@ class ExecNode
                  Word value, ValState state, std::uint32_t wave,
                  std::uint16_t depth);
 
-    /** Issue up to one ALU op and the commit-port budget. */
-    void tick(Cycle now);
+    /**
+     * Issue up to one ALU op and the commit-port budget.
+     * @return true iff any slot issued (the node did work)
+     */
+    bool tick(Cycle now);
+
+    /**
+     * True if tick(now) would issue anything — i.e. some slot wants
+     * the ALU or a commit-port upgrade. The event-driven engine skips
+     * the node (and lets the cycle loop skip whole cycles) when every
+     * node answers false. O(words of the want-bitmaps).
+     */
+    bool hasWork() const;
 
     /** Number of occupied slots (tests / deadlock dumps). */
     unsigned occupancy() const;
@@ -105,64 +123,31 @@ class ExecNode
     std::string debugState() const;
 
   private:
-    struct RsEntry
-    {
-        bool valid = false;
-        DynBlockSeq seq = 0;
-        SlotId slot = 0;
-        isa::Opcode op = isa::Opcode::MOVI;
-        std::int64_t imm = 0;
-        Lsid lsid = 0;
-        std::uint8_t numOps = 0;
-        std::array<isa::Target, isa::kMaxTargets> targets{};
+    // Per-slot flag bits (_flags).
+    static constexpr std::uint8_t kValid = 1u << 0;
+    static constexpr std::uint8_t kExecuted = 1u << 1;
+    static constexpr std::uint8_t kDirtyValue = 1u << 2;
+    static constexpr std::uint8_t kDirtyState = 1u << 3;
 
-        std::array<Word, isa::kMaxOperands> opVal{};
-        std::array<ValState, isa::kMaxOperands> opState{};
-        std::array<std::uint32_t, isa::kMaxOperands> opWave{};
-        std::array<bool, isa::kMaxOperands> opSeen{};
+    unsigned at(unsigned frame, unsigned local) const;
 
-        bool executed = false;
-        bool dirtyValue = false; ///< needs a full re-execution
-        bool dirtyState = false; ///< needs a state-upgrade re-send
-        Word lastValue = 0;      ///< last sent value (loads: address)
-        Word lastData = 0;       ///< stores: last sent data
-        ValState lastState = ValState::Spec;
-        ValState lastAddrState = ValState::Spec; ///< stores only
-        std::uint32_t sendCount = 0; ///< outgoing wave counter
-        Cycle lastSendWhen = 0; ///< upgrades may not overtake data
-        std::uint16_t triggerDepth = 0;
+    bool allSeen(unsigned rs) const { return _seen[rs] == _full[rs]; }
+    ValState inputState(unsigned rs) const;
 
-        bool allSeen() const
-        {
-            for (unsigned k = 0; k < numOps; ++k)
-                if (!opSeen[k])
-                    return false;
-            return true;
-        }
-
-        ValState
-        inputState() const
-        {
-            ValState s = ValState::Final;
-            for (unsigned k = 0; k < numOps; ++k)
-                s = andState(s, opState[k]);
-            return s;
-        }
-    };
-
-    RsEntry &at(unsigned frame, unsigned local);
+    /** Re-derive the two want bits of slot `rs` from its flags. */
+    void refreshWant(unsigned rs);
 
     /** Is the given protocol mutation active on this node? */
     bool mutated(chaos::Mutation m) const;
 
-    /** Execute one entry on the ALU; emit its event. */
-    void execute(Cycle now, RsEntry &e, bool is_reexec);
+    /** Execute one slot on the ALU; emit its event. */
+    void execute(Cycle now, unsigned rs, bool is_reexec);
 
-    /** Send the commit-wave upgrade for an entry (no ALU). */
-    void upgrade(Cycle now, RsEntry &e);
+    /** Send the commit-wave upgrade for a slot (no ALU). */
+    void upgrade(Cycle now, unsigned rs);
 
-    /** Build the outgoing event for an entry's current operands. */
-    NodeEvent makeEvent(Cycle done, const RsEntry &e, Word value,
+    /** Build the outgoing event for a slot's current operands. */
+    NodeEvent makeEvent(Cycle done, unsigned rs, Word value,
                         ValState state, std::uint16_t depth) const;
 
     const CoreParams &_p;
@@ -170,7 +155,39 @@ class ExecNode
     SendFn _send;
     chaos::ChaosEngine *_chaos;
     unsigned _nodeIndex;
-    std::vector<RsEntry> _slots; ///< slotsPerNode * numFrames
+    unsigned _numSlots; ///< slotsPerNode * numFrames
+
+    // Structure-of-arrays reservation-station state, indexed by
+    // rs = frame * slotsPerNode + local. The scan-hot fields (flags,
+    // seen masks, seq for age ordering) are dense byte/word arrays;
+    // operand values are flattened [rs * kMaxOperands + k].
+    std::vector<std::uint8_t> _flags;
+    std::vector<std::uint8_t> _seen; ///< operand-seen bitmask
+    std::vector<std::uint8_t> _full; ///< (1 << numOps) - 1
+    std::vector<std::uint8_t> _numOps;
+    std::vector<DynBlockSeq> _seq;
+    std::vector<SlotId> _slot;
+    std::vector<isa::Opcode> _op;
+    std::vector<std::int64_t> _imm;
+    std::vector<Lsid> _lsid;
+    std::vector<std::array<isa::Target, isa::kMaxTargets>> _targets;
+
+    std::vector<Word> _opVal;
+    std::vector<ValState> _opState;
+    std::vector<std::uint32_t> _opWave;
+
+    std::vector<Word> _lastValue; ///< last sent value (loads: address)
+    std::vector<Word> _lastData;  ///< stores: last sent data
+    std::vector<ValState> _lastState;
+    std::vector<ValState> _lastAddrState; ///< stores only
+    std::vector<std::uint32_t> _sendCount; ///< outgoing wave counter
+    std::vector<Cycle> _lastSendWhen; ///< upgrades don't overtake data
+    std::vector<std::uint16_t> _triggerDepth;
+
+    // Wake bitmaps: bit rs set iff the slot is valid, all operands
+    // seen, and it wants an ALU issue / a commit-port upgrade.
+    std::vector<std::uint64_t> _wantAlu;
+    std::vector<std::uint64_t> _wantUpgrade;
 };
 
 } // namespace edge::core

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/scheduler.hh"
+
 static const bool kTrace = std::getenv("EDGE_TRACE") != nullptr;
 
 #include "common/logging.hh"
@@ -14,7 +16,8 @@ namespace edge::core {
 
 Processor::Processor(const MachineConfig &config,
                      const isa::Program &program,
-                     const pred::OracleDb *oracle, StatSet &stats)
+                     const pred::OracleDb *oracle, StatSet &stats,
+                     const ProgramImage *image)
     : _cfg(config),
       _prog(program),
       _oracle(oracle),
@@ -33,8 +36,6 @@ Processor::Processor(const MachineConfig &config,
       _statFetchedBlocks(stats.counter("core.fetched_blocks",
                                        "blocks fetched and mapped"))
 {
-    std::string why;
-    fatal_if(!program.validate(&why), "invalid program: %s", why.c_str());
     fatal_if(_cfg.core.numNodes() * _cfg.core.slotsPerNode <
                  isa::kMaxBlockInsts,
              "grid capacity below the maximum block size");
@@ -43,13 +44,30 @@ Processor::Processor(const MachineConfig &config,
 
     compiler::GridGeom geom{_cfg.core.rows, _cfg.core.cols,
                             _cfg.core.slotsPerNode};
-    _placements.reserve(program.numBlocks());
-    for (std::size_t b = 0; b < program.numBlocks(); ++b) {
-        _placements.push_back(
-            compiler::placeBlock(program.block(
-                                     static_cast<BlockId>(b)),
-                                 geom));
+    if (image) {
+        // The shared image already validated the program and caches
+        // placements per geometry; skip the per-Processor work.
+        fatal_if(&image->program() != &program,
+                 "program image does not wrap this program");
+        _placements = &image->placements(geom);
+    } else {
+        std::string why;
+        fatal_if(!program.validate(&why), "invalid program: %s",
+                 why.c_str());
+        _ownPlacements.reserve(program.numBlocks());
+        for (std::size_t b = 0; b < program.numBlocks(); ++b) {
+            _ownPlacements.push_back(
+                compiler::placeBlock(program.block(
+                                         static_cast<BlockId>(b)),
+                                     geom));
+        }
+        _placements = &_ownPlacements;
     }
+
+    _localIdxPool = _arena.allocArray<std::uint16_t>(
+        static_cast<std::size_t>(_cfg.core.numFrames) *
+        isa::kMaxBlockInsts);
+    _nodeFill.resize(_cfg.core.numNodes(), 0);
 
     for (const auto &init : program.memImage())
         _dmem.writeBytes(init.base, init.bytes.data(), init.bytes.size());
@@ -434,18 +452,20 @@ Processor::redirectFetch(BlockId next, std::uint64_t arch_idx)
     _fetchHalted = false;
 }
 
-void
+bool
 Processor::fetchTick(Cycle now)
 {
     if (_halted)
-        return;
+        return false;
     if (_fetchBusy) {
-        if (now >= _fetchReady && !_freeFrames.empty())
+        if (now >= _fetchReady && !_freeFrames.empty()) {
             mapFetchedBlock(now);
-        return;
+            return true;
+        }
+        return false;
     }
     if (_fetchHalted || _freeFrames.empty())
-        return;
+        return false;
     _fetchBlock = _nextFetch;
     _fetchBusy = true;
     Cycle ic = _hier->instFetch(now, codeAddr(_fetchBlock));
@@ -453,6 +473,7 @@ Processor::fetchTick(Cycle now)
         _prog.block(_fetchBlock).insts().size());
     _fetchReady =
         ic + (n + _cfg.core.fetchWidth - 1) / _cfg.core.fetchWidth;
+    return true;
 }
 
 void
@@ -470,13 +491,18 @@ Processor::mapFetchedBlock(Cycle now)
     ctx.archIdx = _nextArchIdx++;
     ctx.frame = frame;
     ctx.block = &b;
-    ctx.placement = &_placements[bid];
-    ctx.localIdx.assign(b.insts().size(), 0);
+    ctx.placement = &(*_placements)[bid];
+    // The frame's fixed region of the arena pool: frames recycle out
+    // of order (flush vs. commit), so the pool is keyed by frame, not
+    // carved per block.
+    ctx.localIdx =
+        _localIdxPool +
+        static_cast<std::size_t>(frame) * isa::kMaxBlockInsts;
 
-    std::vector<std::uint16_t> node_fill(_cfg.core.numNodes(), 0);
+    std::fill(_nodeFill.begin(), _nodeFill.end(), 0);
     for (std::size_t s = 0; s < b.insts().size(); ++s) {
         unsigned node = ctx.placement->nodeOf[s];
-        std::uint16_t local = node_fill[node]++;
+        std::uint16_t local = _nodeFill[node]++;
         panic_if(local >= _cfg.core.slotsPerNode,
                  "placement overflows node %u", node);
         ctx.localIdx[s] = local;
@@ -510,11 +536,11 @@ Processor::mapFetchedBlock(Cycle now)
     _fetchBusy = false;
 }
 
-void
+bool
 Processor::commitTick(Cycle now)
 {
     if (_inflight.empty())
-        return;
+        return false;
     BlockCtx &ctx = _inflight.front();
     bool need_final = _cfg.lsq.recovery == lsq::Recovery::Dsre;
 
@@ -528,7 +554,7 @@ Processor::commitTick(Cycle now)
         if (mem_ok && !ctx.dbgMemOk) ctx.dbgMemOk = now;
     }
     if (!exit_ok || !writes_ok || !mem_ok)
-        return;
+        return false;
 
     auto actual = static_cast<unsigned>(
         ctx.exitValue % ctx.block->exits().size());
@@ -579,6 +605,7 @@ Processor::commitTick(Cycle now)
 
     if (succ == isa::kHaltBlock)
         _halted = true;
+    return true;
 }
 
 std::string
@@ -679,62 +706,153 @@ Processor::activityDigest(bool *active)
     return digest;
 }
 
+bool
+Processor::wallDeadlineHit(Result &res)
+{
+    if (_cfg.wallDeadlineMs == 0)
+        return false;
+    // The clock read is amortised over 4096 *loop iterations*, not a
+    // cycle-number mask: the event engine skips cycle numbers, so a
+    // `(_cycle & 0xfff) == 0` gate could be stepped over forever.
+    if ((_wallPoll++ & 0xfff) != 0)
+        return false;
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - _wallStart)
+                       .count();
+    if (static_cast<std::uint64_t>(elapsed) < _cfg.wallDeadlineMs)
+        return false;
+    res.error.reason = chaos::SimError::Reason::HostDeadline;
+    res.error.message = strfmt(
+        "host wall-clock deadline of %llu ms exceeded after %lld ms "
+        "at cycle %llu",
+        static_cast<unsigned long long>(_cfg.wallDeadlineMs),
+        static_cast<long long>(elapsed),
+        static_cast<unsigned long long>(_cycle));
+    res.error.cycle = _cycle;
+    res.error.trace = _trace.snapshot();
+    return true;
+}
+
+void
+Processor::runTick(Cycle max_cycles, Result &res)
+{
+    while (!_halted && _cycle < max_cycles) {
+        _mesh->deliver(_cycle, [this](net::Coord, Msg &&m) {
+            deliverMsg(_cycle, m);
+        });
+        _gcn->deliver(_cycle, [this](net::Coord, Msg &&m) {
+            deliverMsg(_cycle, m);
+        });
+        for (auto &node : _nodes)
+            node->tick(_cycle);
+        fetchTick(_cycle);
+        commitTick(_cycle);
+        if (_cycle - _lastCommit > _cfg.core.watchdogCycles) {
+            res.error = watchdogDump(_cycle);
+            break;
+        }
+        if (_livelock.due(_cycle)) {
+            bool active = false;
+            std::uint64_t digest = activityDigest(&active);
+            if (_livelock.sample(_committedBlocks, digest, active)) {
+                res.error = livelockDump(_cycle);
+                break;
+            }
+        }
+        if (wallDeadlineHit(res))
+            break;
+        ++_cycle;
+    }
+}
+
+void
+Processor::runEvent(Cycle max_cycles, Result &res)
+{
+    // Wake-list engine. Every cycle that the ticking loop would have
+    // processed *non-inertly* is either (a) a mesh/GCN arrival cycle,
+    // (b) the cycle after an active one (local state changed, so
+    // fetch/commit/nodes may act), or (c) a registered wake (fetch
+    // completion, watchdog fire, livelock sample). Everything else is
+    // provably inert — node ticks with no want-bits, fetch with no
+    // state change, commit with unchanged finality have zero side
+    // effects — so skipping those cycles is observably identical to
+    // ticking through them (see DESIGN.md "Event-driven cycle
+    // engine"). Stale wakes merely cause one inert processed cycle.
+    Scheduler sched;
+    sched.wakeAt(_lastCommit + _cfg.core.watchdogCycles + 1);
+    if (_livelock.enabled())
+        sched.wakeAt(_livelock.interval());
+    if (_fetchBusy)
+        sched.wakeAt(_fetchReady);
+
+    while (!_halted && _cycle < max_cycles) {
+        bool active = false;
+        _mesh->deliver(_cycle, [this, &active](net::Coord, Msg &&m) {
+            active = true;
+            deliverMsg(_cycle, m);
+        });
+        _gcn->deliver(_cycle, [this, &active](net::Coord, Msg &&m) {
+            active = true;
+            deliverMsg(_cycle, m);
+        });
+        for (auto &node : _nodes)
+            if (node->hasWork())
+                active |= node->tick(_cycle);
+        if (fetchTick(_cycle))
+            active = true;
+        if (_fetchBusy)
+            sched.wakeAt(_fetchReady);
+        if (commitTick(_cycle)) {
+            active = true;
+            // The watchdog deadline moved: it fires the first cycle
+            // where now - lastCommit exceeds the budget.
+            sched.wakeAt(_lastCommit + _cfg.core.watchdogCycles + 1);
+        }
+        if (_cycle - _lastCommit > _cfg.core.watchdogCycles) {
+            res.error = watchdogDump(_cycle);
+            break;
+        }
+        if (_livelock.due(_cycle)) {
+            bool ll_active = false;
+            std::uint64_t digest = activityDigest(&ll_active);
+            if (_livelock.sample(_committedBlocks, digest, ll_active)) {
+                res.error = livelockDump(_cycle);
+                break;
+            }
+            // Keep the sample chain alive: every multiple of the
+            // interval must be processed, exactly as the tick loop
+            // visits them.
+            sched.wakeAt(_cycle + _livelock.interval());
+        }
+        if (wallDeadlineHit(res))
+            break;
+
+        Cycle next = _cycle + 1;
+        if (!active) {
+            Cycle wake = std::min(
+                sched.nextAtOrAfter(next),
+                std::min(_mesh->nextArrival(), _gcn->nextArrival()));
+            next = std::max(next, std::min(wake, max_cycles));
+        }
+        _cycle = next;
+    }
+}
+
 Processor::Result
 Processor::run(Cycle max_cycles)
 {
     Result res;
-    const auto wall_start = std::chrono::steady_clock::now();
+    _wallStart = std::chrono::steady_clock::now();
+    _wallPoll = 0;
     // Graceful degradation: a watchdog timeout, a livelock, a missed
     // wall-clock deadline, a protocol panic or an invariant-checker
     // failure stops the run and surfaces as a structured report
     // instead of aborting the process.
     try {
-        while (!_halted && _cycle < max_cycles) {
-            _mesh->deliver(_cycle, [this](net::Coord, Msg &&m) {
-                deliverMsg(_cycle, m);
-            });
-            _gcn->deliver(_cycle, [this](net::Coord, Msg &&m) {
-                deliverMsg(_cycle, m);
-            });
-            for (auto &node : _nodes)
-                node->tick(_cycle);
-            fetchTick(_cycle);
-            commitTick(_cycle);
-            if (_cycle - _lastCommit > _cfg.core.watchdogCycles) {
-                res.error = watchdogDump(_cycle);
-                break;
-            }
-            if (_livelock.due(_cycle)) {
-                bool active = false;
-                std::uint64_t digest = activityDigest(&active);
-                if (_livelock.sample(_committedBlocks, digest, active)) {
-                    res.error = livelockDump(_cycle);
-                    break;
-                }
-            }
-            if (_cfg.wallDeadlineMs != 0 && (_cycle & 0xfff) == 0) {
-                auto elapsed =
-                    std::chrono::duration_cast<std::chrono::milliseconds>(
-                        std::chrono::steady_clock::now() - wall_start)
-                        .count();
-                if (static_cast<std::uint64_t>(elapsed) >=
-                    _cfg.wallDeadlineMs) {
-                    res.error.reason =
-                        chaos::SimError::Reason::HostDeadline;
-                    res.error.message = strfmt(
-                        "host wall-clock deadline of %llu ms exceeded "
-                        "after %lld ms at cycle %llu",
-                        static_cast<unsigned long long>(
-                            _cfg.wallDeadlineMs),
-                        static_cast<long long>(elapsed),
-                        static_cast<unsigned long long>(_cycle));
-                    res.error.cycle = _cycle;
-                    res.error.trace = _trace.snapshot();
-                    break;
-                }
-            }
-            ++_cycle;
-        }
+        if (_cfg.engine == EngineKind::Tick)
+            runTick(max_cycles, res);
+        else
+            runEvent(max_cycles, res);
     } catch (const chaos::InvariantFailure &f) {
         res.error.reason = chaos::SimError::Reason::InvariantViolation;
         res.error.invariant = f.invariant();

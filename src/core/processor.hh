@@ -11,6 +11,7 @@
 #ifndef EDGE_CORE_PROCESSOR_HH
 #define EDGE_CORE_PROCESSOR_HH
 
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -20,10 +21,12 @@
 #include "chaos/progress.hh"
 #include "chaos/sim_error.hh"
 #include "chaos/trace_ring.hh"
+#include "common/arena.hh"
 #include "compiler/placement.hh"
 #include "core/exec_node.hh"
 #include "core/msg.hh"
 #include "core/params.hh"
+#include "core/program_image.hh"
 #include "core/reg_unit.hh"
 #include "lsq/lsq.hh"
 #include "mem/hierarchy.hh"
@@ -34,6 +37,43 @@
 #include "predictor/oracle.hh"
 
 namespace edge::core {
+
+/**
+ * Which cycle-loop implementation drives the machine. Both produce
+ * bit-identical results (same cycle counts, stats, failure reports);
+ * the event engine skips cycles in which nothing can happen by
+ * consulting a wake list, and is the default. The tick engine is the
+ * original poll-every-cycle loop, kept as a differential reference.
+ */
+enum class EngineKind : std::uint8_t
+{
+    Tick,
+    Event,
+};
+
+inline const char *
+engineName(EngineKind kind)
+{
+    return kind == EngineKind::Tick ? "tick" : "event";
+}
+
+/**
+ * Parse an engine name; returns Event and sets *ok = false (when
+ * provided) if the name is not recognised.
+ */
+inline EngineKind
+engineByName(const std::string &name, bool *ok = nullptr)
+{
+    if (ok)
+        *ok = true;
+    if (name == "tick")
+        return EngineKind::Tick;
+    if (name == "event")
+        return EngineKind::Event;
+    if (ok)
+        *ok = false;
+    return EngineKind::Event;
+}
 
 /** Everything configurable about one simulated machine. */
 struct MachineConfig
@@ -67,6 +107,8 @@ struct MachineConfig
      * the one failure kind the grid retry policy treats as transient.
      */
     std::uint64_t wallDeadlineMs = 0;
+    /** Cycle-loop implementation (observably identical either way). */
+    EngineKind engine = EngineKind::Event;
 };
 
 class Processor
@@ -79,9 +121,13 @@ class Processor
      *        policy and the committed-path cross-check, may be null
      *        otherwise
      * @param stats statistics sink (must outlive the processor)
+     * @param image optional shared program image (validated program +
+     *        cached placements); when given it must wrap `program`,
+     *        and per-Processor validation / placement is skipped
      */
     Processor(const MachineConfig &config, const isa::Program &program,
-              const pred::OracleDb *oracle, StatSet &stats);
+              const pred::OracleDb *oracle, StatSet &stats,
+              const ProgramImage *image = nullptr);
 
     struct Result
     {
@@ -120,7 +166,12 @@ class Processor
         unsigned frame = 0;
         const isa::Block *block = nullptr;
         const compiler::Placement *placement = nullptr;
-        std::vector<std::uint16_t> localIdx; ///< per slot, node-local
+        /**
+         * Per-slot node-local RS index. Points into the processor's
+         * arena-backed per-frame pool (kMaxBlockInsts entries per
+         * frame), valid while this block owns its frame.
+         */
+        std::uint16_t *localIdx = nullptr;
 
         unsigned predictedExit = 0; ///< original prediction (stats)
         unsigned fetchedExit = 0;   ///< exit the fetch chain follows
@@ -160,9 +211,21 @@ class Processor
                   const Msg &msg);
     void onViolation(const lsq::Violation &violation);
 
-    void fetchTick(Cycle now);
+    /** @return true iff fetch did anything (started or mapped). */
+    bool fetchTick(Cycle now);
     void mapFetchedBlock(Cycle now);
-    void commitTick(Cycle now);
+    /** @return true iff a block committed this cycle. */
+    bool commitTick(Cycle now);
+
+    /**
+     * The two cycle-loop engines behind run(): the original
+     * poll-every-cycle loop and the wake-list engine that jumps over
+     * cycles in which nothing can happen. Both fill `res` with the
+     * same values for the same machine and program (differentially
+     * tested); exceptions propagate to run()'s handler.
+     */
+    void runTick(Cycle max_cycles, Result &res);
+    void runEvent(Cycle max_cycles, Result &res);
 
     /** Squash every block with seq >= from_seq. */
     void flushFrom(DynBlockSeq from_seq);
@@ -171,6 +234,14 @@ class Processor
     void redirectFetch(BlockId next, std::uint64_t arch_idx);
 
     BlockCtx *findCtx(DynBlockSeq seq);
+
+    /**
+     * Host wall-clock deadline poll, engine-independent: counts
+     * iterations (not simulated cycles, which the event engine can
+     * skip) and reads the clock every 4096 polls. Fills `res.error`
+     * and returns true when the deadline has passed.
+     */
+    bool wallDeadlineHit(Result &res);
 
     /** Render the stuck-machine state (watchdog/livelock reports). */
     std::string machineDump(Cycle now);
@@ -190,7 +261,10 @@ class Processor
     const pred::OracleDb *_oracle;
     StatSet &_stats;
 
-    std::vector<compiler::Placement> _placements; ///< per static block
+    /** Per static block; points at the shared image's cache when a
+     *  ProgramImage was supplied, else at _ownPlacements. */
+    const std::vector<compiler::Placement> *_placements = nullptr;
+    std::vector<compiler::Placement> _ownPlacements;
     std::unique_ptr<chaos::ChaosEngine> _chaos;   ///< null = no chaos
     std::unique_ptr<chaos::InvariantChecker> _check; ///< null = off
     chaos::TraceRing _trace;
@@ -206,6 +280,12 @@ class Processor
     std::vector<std::unique_ptr<ExecNode>> _nodes;
 
     // --- dynamic state -----------------------------------------------------
+    /** Backs the per-frame localIdx pools (see BlockCtx::localIdx). */
+    Arena _arena;
+    /** numFrames x kMaxBlockInsts, carved from _arena once. */
+    std::uint16_t *_localIdxPool = nullptr;
+    /** Per-node fill scratch reused by every mapFetchedBlock. */
+    std::vector<std::uint16_t> _nodeFill;
     std::deque<BlockCtx> _inflight; ///< oldest first
     std::vector<unsigned> _freeFrames;
     DynBlockSeq _nextSeq = 1;
@@ -218,6 +298,9 @@ class Processor
     bool _halted = false;
     Cycle _cycle = 0;
     Cycle _lastCommit = 0;
+    /** Wall-deadline poll state (see wallDeadlineHit). */
+    std::chrono::steady_clock::time_point _wallStart{};
+    unsigned _wallPoll = 0;
     chaos::LivelockDetector _livelock;
     /** Counter snapshot backing the livelock activity deltas. */
     std::uint64_t _llPrev[4] = {0, 0, 0, 0};

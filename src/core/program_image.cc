@@ -1,0 +1,40 @@
+#include "core/program_image.hh"
+
+#include "common/logging.hh"
+
+namespace edge::core {
+
+ProgramImage::ProgramImage(const isa::Program &program) : _prog(program)
+{
+    std::string why;
+    fatal_if(!program.validate(&why), "invalid program: %s",
+             why.c_str());
+}
+
+std::uint64_t
+ProgramImage::geomKey(const compiler::GridGeom &geom)
+{
+    return (static_cast<std::uint64_t>(geom.rows) << 42) |
+           (static_cast<std::uint64_t>(geom.cols) << 21) |
+           static_cast<std::uint64_t>(geom.slotsPerNode);
+}
+
+const std::vector<compiler::Placement> &
+ProgramImage::placements(const compiler::GridGeom &geom) const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto &slot = _byGeom[geomKey(geom)];
+    if (!slot) {
+        auto built =
+            std::make_unique<std::vector<compiler::Placement>>();
+        built->reserve(_prog.numBlocks());
+        for (std::size_t b = 0; b < _prog.numBlocks(); ++b) {
+            built->push_back(compiler::placeBlock(
+                _prog.block(static_cast<BlockId>(b)), geom));
+        }
+        slot = std::move(built);
+    }
+    return *slot;
+}
+
+} // namespace edge::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A shared, immutable program image: validation and static placement
+ * are computed once per distinct program and shared read-only across
+ * every Processor instance in a sweep cell. Before this existed each
+ * Processor re-validated the program and re-placed every block —
+ * identical work repeated for all N configs x M seeds of a grid.
+ *
+ * Placements depend on the grid geometry (rows, cols, slotsPerNode),
+ * which parameter sweeps do vary, so the image caches one placement
+ * vector per distinct geometry. The cache is mutex-guarded and the
+ * returned references are stable, so concurrent runShared() jobs can
+ * share one image safely.
+ */
+
+#ifndef EDGE_CORE_PROGRAM_IMAGE_HH
+#define EDGE_CORE_PROGRAM_IMAGE_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "compiler/placement.hh"
+#include "isa/program.hh"
+
+namespace edge::core {
+
+class ProgramImage
+{
+  public:
+    /**
+     * Validate `program` once (fatal if invalid). The program is
+     * referenced, not copied: it must outlive the image.
+     */
+    explicit ProgramImage(const isa::Program &program);
+
+    const isa::Program &program() const { return _prog; }
+
+    /**
+     * Placements for every static block under `geom`, computed on
+     * first request per distinct geometry and cached. Thread-safe;
+     * the returned reference stays valid for the image's lifetime.
+     */
+    const std::vector<compiler::Placement> &
+    placements(const compiler::GridGeom &geom) const;
+
+  private:
+    static std::uint64_t geomKey(const compiler::GridGeom &geom);
+
+    const isa::Program &_prog;
+    mutable std::mutex _mu;
+    mutable std::map<std::uint64_t,
+                     std::unique_ptr<std::vector<compiler::Placement>>>
+        _byGeom;
+};
+
+} // namespace edge::core
+
+#endif // EDGE_CORE_PROGRAM_IMAGE_HH

@@ -140,10 +140,11 @@ LoadStoreQueue::mapBlock(DynBlockSeq seq, std::uint64_t arch_idx,
     _blocks.emplace(seq, std::move(be));
 }
 
-std::vector<pred::UnresolvedStore>
+const std::vector<pred::UnresolvedStore> &
 LoadStoreQueue::olderUnresolved(MemKey key) const
 {
-    std::vector<pred::UnresolvedStore> out;
+    std::vector<pred::UnresolvedStore> &out = _olderScratch;
+    out.clear();
     for (const auto &[seq, be] : _blocks) {
         if (seq > key.first)
             break;
@@ -308,7 +309,8 @@ void
 LoadStoreQueue::tryIssueLoad(Cycle now, MemKey key, MemEntry &e)
 {
     auto &be = _blocks.at(key.first);
-    std::vector<pred::UnresolvedStore> older = olderUnresolved(key);
+    const std::vector<pred::UnresolvedStore> &older =
+        olderUnresolved(key);
     pred::LoadQuery q;
     q.seq = key.first;
     q.archIdx = be.archIdx;
@@ -549,10 +551,9 @@ LoadStoreQueue::storeResolve(Cycle now, DynBlockSeq seq, Lsid lsid,
         storeChanged(now, key, old_addr, old_bytes, had_old, depth);
 
     // Re-query loads held back by the policy: the store landscape
-    // just changed.
-    std::vector<MemKey> waiting(_waitingLoads.begin(),
-                                _waitingLoads.end());
-    for (MemKey wk : waiting) {
+    // just changed. (Snapshot first: tryIssueLoad mutates the set.)
+    _waitingScratch.assign(_waitingLoads.begin(), _waitingLoads.end());
+    for (MemKey wk : _waitingScratch) {
         auto wit = _blocks.find(wk.first);
         if (wit == _blocks.end())
             continue; // flushed meanwhile
@@ -571,12 +572,8 @@ LoadStoreQueue::storeChanged(Cycle now, MemKey store_key, Addr old_addr,
                              std::uint16_t depth)
 {
     const MemEntry &st = entry(store_key);
-    struct Hit
-    {
-        MemKey key;
-        bool value_changed;
-    };
-    std::vector<Hit> hits;
+    std::vector<Hit> &hits = _hitsScratch;
+    hits.clear();
 
     for (auto it = _blocks.lower_bound(store_key.first);
          it != _blocks.end(); ++it) {
@@ -655,8 +652,9 @@ LoadStoreQueue::sweepFinality(Cycle now)
 {
     if (!_spec)
         return;
-    std::vector<MemKey> candidates(_specLoads.begin(), _specLoads.end());
-    for (MemKey key : candidates) {
+    // Snapshot: performLoad mutates _specLoads while we walk it.
+    _sweepScratch.assign(_specLoads.begin(), _specLoads.end());
+    for (MemKey key : _sweepScratch) {
         auto bit = _blocks.find(key.first);
         if (bit == _blocks.end()) {
             _specLoads.erase(key);

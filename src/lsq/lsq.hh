@@ -246,6 +246,13 @@ class LoadStoreQueue
         std::vector<MemEntry> ops; ///< indexed by LSID
     };
 
+    /** A performed load hit by a store change (see storeChanged). */
+    struct Hit
+    {
+        MemKey key;
+        bool value_changed;
+    };
+
     MemEntry &entry(MemKey key);
     const MemEntry *find(MemKey key) const;
     BlockId blockIdOf(DynBlockSeq seq) const;
@@ -256,8 +263,14 @@ class LoadStoreQueue
     /** True when every byte can come only from final sources. */
     bool loadIsFinal(MemKey key, const MemEntry &e) const;
 
-    /** Older unresolved stores, oldest first (policy query input). */
-    std::vector<pred::UnresolvedStore> olderUnresolved(MemKey key) const;
+    /**
+     * Older unresolved stores, oldest first (policy query input).
+     * Returns a reference to _olderScratch, valid until the next
+     * call — per-query heap churn was a measurable cost in the
+     * re-fire path.
+     */
+    const std::vector<pred::UnresolvedStore> &
+    olderUnresolved(MemKey key) const;
 
     /** Try to issue a load now (policy permitting); send the reply. */
     void tryIssueLoad(Cycle now, MemKey key, MemEntry &e);
@@ -303,6 +316,15 @@ class LoadStoreQueue
     std::set<MemKey> _nonFinalStores; ///< unresolved or Spec stores
     std::set<MemKey> _specLoads;      ///< performed, reply still Spec
     std::set<MemKey> _waitingLoads;   ///< held back by the policy
+
+    // Scratch buffers reused across calls instead of per-call heap
+    // allocations (re-fire wave bookkeeping is a hot path). None of
+    // these functions re-enter themselves, so one buffer each is
+    // safe; capacity persists for the queue's lifetime.
+    mutable std::vector<pred::UnresolvedStore> _olderScratch;
+    std::vector<MemKey> _waitingScratch;   ///< storeResolve re-query
+    std::vector<Hit> _hitsScratch;         ///< storeChanged victims
+    std::vector<MemKey> _sweepScratch;     ///< sweepFinality candidates
     std::vector<Cycle> _bankFree;     ///< per-bank port availability
 
     /** Last-value table for the miss value-prediction extension. */

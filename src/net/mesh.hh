@@ -120,6 +120,17 @@ class Mesh
     bool empty() const { return _inFlight.empty(); }
     std::size_t inFlight() const { return _inFlight.size(); }
 
+    /**
+     * Arrival cycle of the earliest in-flight message, or ~Cycle{0}
+     * when the network is empty. The event-driven run loop uses this
+     * to jump straight to the next delivery instead of polling.
+     */
+    Cycle
+    nextArrival() const
+    {
+        return _inFlight.empty() ? ~Cycle{0} : _inFlight.front().arrival;
+    }
+
     /** Drop all in-flight traffic and link state (machine reset). */
     void
     reset()

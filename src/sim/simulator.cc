@@ -137,6 +137,13 @@ Simulator::ensureReference()
     _refBlocks = r.dynBlocks;
     _refInsts = r.dynInsts;
     _oracleDb = std::make_unique<pred::OracleDb>(trace);
+    // Decode/validate/place once; every Processor (across run(),
+    // runShared() and all sweep configs with this geometry) shares
+    // the image read-only. Warm the default geometry's placements so
+    // concurrent first runs never contend on the build.
+    _image = std::make_unique<core::ProgramImage>(_prog);
+    _image->placements({_cfg.core.rows, _cfg.core.cols,
+                        _cfg.core.slotsPerNode});
     _refDone = true;
 }
 
@@ -197,7 +204,8 @@ Simulator::runWith(const core::MachineConfig &config, Cycle max_cycles,
     if (cfg.chaos.enabled() && cfg.chaos.seed == 0)
         cfg.chaos.seed = cfg.rngSeed;
 
-    core::Processor proc(cfg, _prog, _oracleDb.get(), stats);
+    core::Processor proc(cfg, _prog, _oracleDb.get(), stats,
+                         _image.get());
     core::Processor::Result r = proc.run(max_cycles);
 
     RunResult out;

@@ -234,6 +234,13 @@ class Simulator
     std::uint64_t _refInsts = 0;
     std::unique_ptr<compiler::RefExecutor> _ref;
     std::unique_ptr<pred::OracleDb> _oracleDb;
+    /**
+     * Shared program image: validation + placement computed once and
+     * reused by every Processor this simulator constructs (including
+     * concurrent runShared() jobs — the image is thread-safe).
+     * Built by ensureReference(), immutable afterwards.
+     */
+    std::unique_ptr<core::ProgramImage> _image;
     std::unique_ptr<StatSet> _stats;
 };
 

@@ -271,6 +271,7 @@ configToJson(const core::MachineConfig &cfg)
     o.set("check_invariants", JsonValue::boolean(cfg.checkInvariants));
     o.set("trace_depth", JsonValue::u64(cfg.traceDepth));
     o.set("wall_deadline_ms", JsonValue::u64(cfg.wallDeadlineMs));
+    o.set("engine", JsonValue::str(core::engineName(cfg.engine)));
     o.set("core", coreToJson(cfg.core));
     o.set("mem", memToJson(cfg.mem));
     o.set("lsq", lsqToJson(cfg.lsq));
@@ -294,6 +295,10 @@ configFromJson(const JsonValue &o, core::MachineConfig *cfg)
         o.getBool("check_invariants", cfg->checkInvariants);
     cfg->traceDepth = o.getU64("trace_depth", cfg->traceDepth);
     cfg->wallDeadlineMs = o.getU64("wall_deadline_ms", cfg->wallDeadlineMs);
+    // Absent in pre-engine repro files: keep the config's default so
+    // old repros stay loadable (both engines replay identically).
+    cfg->engine = core::engineByName(
+        o.getString("engine", core::engineName(cfg->engine)));
     if (const JsonValue *core_o = o.get("core"))
         coreFromJson(*core_o, &cfg->core);
     if (const JsonValue *mem_o = o.get("mem"))
