@@ -186,7 +186,7 @@ runSpecsIsolated(const std::vector<RunSpec> &specs,
         journal_path = args.resumePath;
     else if (!args.journalDir.empty())
         journal_path =
-            args.journalDir + "/" + bench_name + ".journal.jsonl";
+            args.journalDir + "/" + bench_name + ".journal";
 
     // Repro capture stays in finishBench so isolated and in-process
     // grids produce their .repro.json files through one code path.

@@ -20,6 +20,7 @@ reasonName(SimError::Reason reason)
       case SimError::Reason::WorkerTimeout: return "worker-timeout";
       case SimError::Reason::WorkerProtocol: return "worker-protocol";
       case SimError::Reason::AgentLost: return "agent-lost";
+      case SimError::Reason::ProvenanceMismatch: return "provenance-mismatch";
     }
     return "?";
 }
@@ -35,7 +36,8 @@ reasonByName(const std::string &name)
           SimError::Reason::WorkerKilled,
           SimError::Reason::WorkerTimeout,
           SimError::Reason::WorkerProtocol,
-          SimError::Reason::AgentLost}) {
+          SimError::Reason::AgentLost,
+          SimError::Reason::ProvenanceMismatch}) {
         if (name == reasonName(r))
             return r;
     }
@@ -57,6 +59,7 @@ exitCodeFor(SimError::Reason reason)
       case SimError::Reason::WorkerTimeout: return 17;
       case SimError::Reason::WorkerProtocol: return 18;
       case SimError::Reason::AgentLost: return 19;
+      case SimError::Reason::ProvenanceMismatch: return 20;
     }
     return 1;
 }

@@ -46,6 +46,12 @@ struct SimError
         // reassignment budget ran out. Transient: a resumed or
         // re-run campaign re-executes the cell.
         AgentLost, ///< all leases lost (agent death / partition)
+
+        // --- durable-result-log kind -------------------------------
+        // Produced on `--resume --strict-provenance` when the journal
+        // was written by a different build (git revision, build type
+        // or sanitizer mix) than the one resuming it.
+        ProvenanceMismatch, ///< journal build line != running binary
     };
 
     Reason reason = Reason::None;

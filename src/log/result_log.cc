@@ -1,0 +1,1109 @@
+#include "log/result_log.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/thread_pool.hh"
+#include "triage/jsonio.hh"
+
+namespace edge::log {
+
+namespace fs = std::filesystem;
+using triage::JsonValue;
+
+std::string
+segmentFileName(std::uint64_t number)
+{
+    return strfmt("seg-%06llu.elog", (unsigned long long)number);
+}
+
+namespace {
+
+void
+put16(std::string &out, std::uint16_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+put32(std::string &out, std::uint32_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+put64(std::string &out, std::uint64_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint16_t
+get16(const char *p)
+{
+    std::uint16_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+std::uint32_t
+get32(const char *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+get64(const char *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+struct BlockHeader
+{
+    std::uint16_t flags = 0;
+    std::uint16_t nrecords = 0;
+    std::uint32_t payloadBytes = 0;
+    std::uint64_t lsn = 0;
+    std::uint64_t checksum = 0;
+};
+
+/** Serialize header + payload; the checksum is computed over the
+ *  header with its checksum field zeroed, then the payload. */
+std::string
+packBlock(std::uint16_t flags, std::uint16_t nrecords,
+          std::uint64_t lsn, const std::string &payload)
+{
+    std::string out;
+    out.reserve(kBlockHeaderBytes + payload.size());
+    put32(out, kBlockMagic);
+    put16(out, flags);
+    put16(out, nrecords);
+    put32(out, static_cast<std::uint32_t>(payload.size()));
+    put32(out, 0); // reserved
+    put64(out, lsn);
+    put64(out, 0); // checksum placeholder
+    Fnv1a h;
+    h.mix(out.data(), kBlockHeaderBytes);
+    h.mix(payload);
+    std::uint64_t sum = h.state;
+    std::memcpy(out.data() + 24, &sum, sizeof(sum));
+    out += payload;
+    return out;
+}
+
+bool
+parseHeader(const char *p, BlockHeader *h)
+{
+    if (get32(p) != kBlockMagic)
+        return false;
+    h->flags = get16(p + 4);
+    h->nrecords = get16(p + 6);
+    h->payloadBytes = get32(p + 8);
+    h->lsn = get64(p + 16);
+    h->checksum = get64(p + 24);
+    return true;
+}
+
+bool
+checksumOk(const char *block, std::size_t payloadBytes,
+           std::uint64_t recorded)
+{
+    std::string head(block, kBlockHeaderBytes);
+    std::memset(head.data() + 24, 0, 8);
+    Fnv1a h;
+    h.mix(head.data(), kBlockHeaderBytes);
+    h.mix(block + kBlockHeaderBytes, payloadBytes);
+    return h.state == recorded;
+}
+
+bool
+fsyncPath(const std::string &path, std::string *err)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (err)
+            *err = "cannot open '" + path + "' for fsync";
+        return false;
+    }
+    int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+        if (err)
+            *err = "fsync of '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFully(int fd, const char *data, std::size_t n, std::string *err)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        ssize_t w = ::write(fd, data + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = strfmt("write failed: %s", std::strerror(errno));
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/** One segment's scan result; `err` empty means the segment (or its
+ *  valid prefix, when `torn`) parsed cleanly. */
+struct SegScan
+{
+    std::uint64_t number = 0;
+    std::string path;
+    bool present = false; ///< at least one valid block
+    bool torn = false;    ///< damage after the valid prefix
+    std::uint64_t baseLsn = 0;
+    std::uint64_t endLsn = 0;    ///< base + valid bytes
+    std::uint64_t fileBytes = 0; ///< physical size on disk
+    std::vector<RawRecord> records;
+    /** Meta payloads in order, with their block flags. */
+    std::vector<std::pair<std::uint16_t, std::string>> metas;
+    std::uint64_t blocks = 0;
+    std::uint64_t metaBlocks = 0;
+    std::uint64_t tornRecords = 0;
+    std::uint64_t tornBytes = 0;
+    std::string err;
+};
+
+void
+scanSegment(const std::string &path, std::uint64_t number, bool isLast,
+            SegScan *out)
+{
+    out->number = number;
+    out->path = path;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        out->err = "segment '" + path + "': cannot open";
+        return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+    out->fileBytes = data.size();
+
+    auto tornTail = [&](std::size_t pos, std::uint64_t records,
+                        const char *what) {
+        if (!isLast) {
+            out->err = strfmt("segment '%s': %s at offset %zu "
+                              "(corruption before the newest segment)",
+                              path.c_str(), what, pos);
+            return;
+        }
+        out->torn = true;
+        out->tornBytes = data.size() - pos;
+        out->tornRecords += records;
+    };
+
+    std::size_t pos = 0;
+    // Overflow-chain assembly state: a chain's record is complete
+    // only at its ChainLast block.
+    bool chainOpen = false;
+    std::uint64_t chainCell = 0;
+    std::uint64_t chainLsn = 0;
+    std::uint32_t chainTotal = 0;
+    std::string chainData;
+
+    while (pos < data.size()) {
+        if (data.size() - pos < kBlockHeaderBytes) {
+            tornTail(pos, 1, "short block header");
+            return;
+        }
+        BlockHeader h;
+        if (!parseHeader(data.data() + pos, &h)) {
+            out->err = strfmt("segment '%s': bad block magic at "
+                              "offset %zu (corrupt block)",
+                              path.c_str(), pos);
+            return;
+        }
+        if (data.size() - pos - kBlockHeaderBytes < h.payloadBytes) {
+            // A write torn mid-payload: the header (written first)
+            // is intact, the payload is not all there.
+            tornTail(pos, chainOpen ? 1 : h.nrecords,
+                     "incomplete block payload");
+            return;
+        }
+        if (!checksumOk(data.data() + pos, h.payloadBytes, h.checksum)) {
+            // The whole block is physically present, so this is a bit
+            // flip, not a torn append — reject wherever it sits.
+            out->err = strfmt("segment '%s': block checksum mismatch "
+                              "at lsn %llu (corrupt block)",
+                              path.c_str(), (unsigned long long)h.lsn);
+            return;
+        }
+        if (!out->present) {
+            out->present = true;
+            out->baseLsn = h.lsn;
+            out->endLsn = h.lsn;
+        }
+        if (h.lsn != out->endLsn) {
+            out->err = strfmt("segment '%s': block lsn %llu does not "
+                              "match its offset (expected %llu)",
+                              path.c_str(), (unsigned long long)h.lsn,
+                              (unsigned long long)out->endLsn);
+            return;
+        }
+        const char *payload = data.data() + pos + kBlockHeaderBytes;
+
+        if (h.flags & kBlockMeta) {
+            if (chainOpen) {
+                out->err = strfmt("segment '%s': overflow chain broken "
+                                  "at lsn %llu",
+                                  path.c_str(), (unsigned long long)h.lsn);
+                return;
+            }
+            out->metas.emplace_back(h.flags,
+                                    std::string(payload, h.payloadBytes));
+            ++out->metaBlocks;
+        } else if (h.flags & (kBlockChainFirst | kBlockChainCont)) {
+            if (h.flags & kBlockChainFirst) {
+                if (chainOpen || h.payloadBytes < kRecordFrameBytes) {
+                    out->err = strfmt("segment '%s': malformed overflow "
+                                      "chain at lsn %llu",
+                                      path.c_str(),
+                                      (unsigned long long)h.lsn);
+                    return;
+                }
+                chainOpen = true;
+                chainCell = get64(payload);
+                chainTotal = get32(payload + 8);
+                chainLsn = h.lsn;
+                chainData.assign(payload + kRecordFrameBytes,
+                                 h.payloadBytes - kRecordFrameBytes);
+            } else {
+                if (!chainOpen) {
+                    out->err = strfmt("segment '%s': overflow "
+                                      "continuation without a chain at "
+                                      "lsn %llu",
+                                      path.c_str(),
+                                      (unsigned long long)h.lsn);
+                    return;
+                }
+                chainData.append(payload, h.payloadBytes);
+            }
+            if (h.flags & kBlockChainLast) {
+                if (chainData.size() != chainTotal) {
+                    out->err = strfmt("segment '%s': overflow chain "
+                                      "size mismatch at lsn %llu",
+                                      path.c_str(),
+                                      (unsigned long long)h.lsn);
+                    return;
+                }
+                RawRecord rec;
+                rec.cell = chainCell;
+                rec.lsn = chainLsn;
+                rec.payload = std::move(chainData);
+                out->records.push_back(std::move(rec));
+                chainOpen = false;
+                chainData.clear();
+            }
+        } else {
+            if (chainOpen) {
+                out->err = strfmt("segment '%s': overflow chain broken "
+                                  "at lsn %llu",
+                                  path.c_str(), (unsigned long long)h.lsn);
+                return;
+            }
+            // Plain data block: nrecords framed records that must
+            // consume the payload exactly.
+            std::size_t rpos = 0;
+            for (std::uint16_t i = 0; i < h.nrecords; ++i) {
+                if (h.payloadBytes - rpos < kRecordFrameBytes) {
+                    out->err = strfmt("segment '%s': record frame "
+                                      "overruns block at lsn %llu",
+                                      path.c_str(),
+                                      (unsigned long long)h.lsn);
+                    return;
+                }
+                RawRecord rec;
+                rec.cell = get64(payload + rpos);
+                std::uint32_t bytes = get32(payload + rpos + 8);
+                rpos += kRecordFrameBytes;
+                if (h.payloadBytes - rpos < bytes) {
+                    out->err = strfmt("segment '%s': record payload "
+                                      "overruns block at lsn %llu",
+                                      path.c_str(),
+                                      (unsigned long long)h.lsn);
+                    return;
+                }
+                rec.lsn = h.lsn;
+                rec.payload.assign(payload + rpos, bytes);
+                rpos += bytes;
+                out->records.push_back(std::move(rec));
+            }
+            if (rpos != h.payloadBytes) {
+                out->err = strfmt("segment '%s': trailing bytes in "
+                                  "block at lsn %llu",
+                                  path.c_str(), (unsigned long long)h.lsn);
+                return;
+            }
+        }
+
+        ++out->blocks;
+        pos += kBlockHeaderBytes + h.payloadBytes;
+        out->endLsn = h.lsn + kBlockHeaderBytes + h.payloadBytes;
+    }
+
+    if (chainOpen) {
+        // The chain's tail blocks never made it: the record is torn.
+        tornTail(pos, 1, "unterminated overflow chain");
+        if (!out->err.empty())
+            return;
+        // The chain bytes counted as valid blocks; back the valid end
+        // up to the chain's first block so append resumes before it.
+        out->endLsn = chainLsn;
+        out->tornBytes = out->fileBytes - (chainLsn - out->baseLsn);
+    }
+}
+
+/** List `seg-NNNNNN.elog` files; sorted by number. */
+bool
+listSegments(const std::string &dir,
+             std::vector<std::pair<std::uint64_t, std::string>> *out,
+             std::string *err)
+{
+    out->clear();
+    std::error_code ec;
+    for (const auto &ent : fs::directory_iterator(dir, ec)) {
+        std::string name = ent.path().filename().string();
+        unsigned long long num = 0;
+        if (std::sscanf(name.c_str(), "seg-%6llu.elog", &num) == 1 &&
+            name == segmentFileName(num))
+            out->emplace_back(num, ent.path().string());
+    }
+    if (ec) {
+        if (err)
+            *err = "log '" + dir + "': cannot list directory";
+        return false;
+    }
+    std::sort(out->begin(), out->end());
+    for (std::size_t i = 0; i < out->size(); ++i) {
+        if ((*out)[i].first != i + 1) {
+            if (err)
+                *err = strfmt("log '%s': segment %llu missing from the "
+                              "chain",
+                              dir.c_str(), (unsigned long long)(i + 1));
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Scan every segment (redo workers in parallel past one segment),
+ * validate the LSN chain across them, and merge in segment order.
+ */
+bool
+scanSegments(const std::string &dir, unsigned threads,
+             std::vector<SegScan> *segs, std::string *err)
+{
+    std::vector<std::pair<std::uint64_t, std::string>> files;
+    if (!listSegments(dir, &files, err))
+        return false;
+    if (files.empty()) {
+        if (err)
+            *err = "log '" + dir + "': no segments (not a result log)";
+        return false;
+    }
+
+    segs->assign(files.size(), SegScan{});
+    unsigned workers = threads == 0 ? ThreadPool::defaultThreads() : threads;
+    workers = std::min<unsigned>(workers,
+                                 static_cast<unsigned>(files.size()));
+    auto scanOne = [&](std::size_t i) {
+        scanSegment(files[i].second, files[i].first,
+                    i + 1 == files.size(), &(*segs)[i]);
+        return 0;
+    };
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < files.size(); ++i)
+            scanOne(i);
+    } else {
+        ThreadPool pool(workers);
+        parallelIndex(pool, files.size(), scanOne);
+    }
+
+    std::uint64_t expect = 0;
+    for (std::size_t i = 0; i < segs->size(); ++i) {
+        SegScan &s = (*segs)[i];
+        if (!s.err.empty()) {
+            if (err)
+                *err = s.err;
+            return false;
+        }
+        const bool last = i + 1 == segs->size();
+        if (!s.present) {
+            // A segment with no valid block (created, then the crash
+            // beat the meta write) is only legal as the newest one.
+            if (!last) {
+                if (err)
+                    *err = strfmt("log '%s': segment %llu is empty "
+                                  "mid-chain",
+                                  dir.c_str(),
+                                  (unsigned long long)s.number);
+                return false;
+            }
+            s.baseLsn = s.endLsn = expect;
+            s.torn = s.fileBytes > 0;
+            s.tornBytes = s.fileBytes;
+            continue;
+        }
+        if (s.baseLsn != expect) {
+            if (err)
+                *err = strfmt("log '%s': segment %llu starts at lsn "
+                              "%llu, expected %llu (broken chain)",
+                              dir.c_str(), (unsigned long long)s.number,
+                              (unsigned long long)s.baseLsn,
+                              (unsigned long long)expect);
+            return false;
+        }
+        if (s.torn && !last) {
+            if (err)
+                *err = strfmt("log '%s': segment %llu has a torn tail "
+                              "but is not the newest segment",
+                              dir.c_str(), (unsigned long long)s.number);
+            return false;
+        }
+        expect = s.endLsn;
+    }
+    return true;
+}
+
+std::string
+firstBuildLine(const std::vector<SegScan> &segs)
+{
+    if (segs.empty())
+        return "";
+    for (const auto &m : segs[0].metas) {
+        if (!(m.first & kBlockSegmentStart))
+            continue;
+        JsonValue v;
+        std::string perr;
+        if (JsonValue::parse(m.second, &v, &perr))
+            return v.getString("build");
+        return "";
+    }
+    return "";
+}
+
+void
+fillStats(const std::vector<SegScan> &segs, unsigned workers,
+          double millis, ReplayStats *stats)
+{
+    *stats = ReplayStats{};
+    stats->segments = segs.size();
+    stats->workers = workers;
+    stats->scanMillis = millis;
+    for (const SegScan &s : segs) {
+        stats->blocks += s.blocks;
+        stats->metaBlocks += s.metaBlocks;
+        stats->records += s.records.size();
+        stats->bytes += s.endLsn - s.baseLsn;
+        stats->tornRecords += s.tornRecords;
+        stats->tornBytes += s.tornBytes;
+    }
+}
+
+} // namespace
+
+bool
+ResultLog::scan(const std::string &dir, unsigned threads,
+                std::vector<RawRecord> *out, std::string *build_line,
+                ReplayStats *stats, std::string *err)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<SegScan> segs;
+    if (!scanSegments(dir, threads, &segs, err))
+        return false;
+
+    out->clear();
+    for (SegScan &s : segs)
+        for (RawRecord &r : s.records)
+            out->push_back(std::move(r));
+    if (build_line)
+        *build_line = firstBuildLine(segs);
+    if (stats) {
+        unsigned workers =
+            threads == 0 ? ThreadPool::defaultThreads() : threads;
+        workers = std::min<unsigned>(workers,
+                                     static_cast<unsigned>(segs.size()));
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        fillStats(segs, std::max(1u, workers), ms, stats);
+    }
+    return true;
+}
+
+bool
+ResultLog::readBuildLine(const std::string &dir, std::string *build_line,
+                         std::string *err)
+{
+    // Only segment 1's leading meta block is needed; read just enough
+    // of the file instead of scanning the whole log.
+    std::string path = dir + "/" + segmentFileName(1);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "log '" + dir + "': cannot open " + path;
+        return false;
+    }
+    char head[kBlockHeaderBytes];
+    if (!in.read(head, sizeof(head))) {
+        if (err)
+            *err = "log '" + dir + "': segment 1 too short";
+        return false;
+    }
+    BlockHeader h;
+    if (!parseHeader(head, &h) || !(h.flags & kBlockSegmentStart)) {
+        if (err)
+            *err = "log '" + dir + "': segment 1 has no header block";
+        return false;
+    }
+    std::string payload(h.payloadBytes, '\0');
+    if (!in.read(payload.data(), h.payloadBytes)) {
+        if (err)
+            *err = "log '" + dir + "': segment 1 header block torn";
+        return false;
+    }
+    std::string block(head, sizeof(head));
+    block += payload;
+    if (!checksumOk(block.data(), h.payloadBytes, h.checksum)) {
+        if (err)
+            *err = "log '" + dir + "': segment 1 header block corrupt";
+        return false;
+    }
+    JsonValue v;
+    std::string perr;
+    if (!JsonValue::parse(payload, &v, &perr)) {
+        if (err)
+            *err = "log '" + dir + "': segment 1 header is not JSON";
+        return false;
+    }
+    *build_line = v.getString("build");
+    return true;
+}
+
+bool
+ResultLog::open(const std::string &dir, const std::string &build_line,
+                const LogOptions &opts, unsigned scanThreads,
+                std::string *err)
+{
+    close();
+    _dir = dir;
+    _opts = opts;
+    _chaos = LogChaos(opts.chaos);
+    _sessionBuild = build_line;
+    _buildLine.clear();
+    _loadedRecords.clear();
+    _recovery = ReplayStats{};
+    _failed = false;
+    _error.clear();
+    _closing = false;
+    _flushRequested = false;
+    _pending.clear();
+    _openActive = false;
+    _writeOps = _fsyncOps = 0;
+    _appendedRecords = _blockWrites = _fsyncCount = 0;
+
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        if (err)
+            *err = "log '" + dir + "': cannot create directory";
+        return false;
+    }
+
+    std::vector<std::pair<std::uint64_t, std::string>> files;
+    if (!listSegments(dir, &files, err))
+        return false;
+
+    if (files.empty()) {
+        // Fresh log: segment 1's meta block goes down durably before
+        // anyone appends, so provenance exists from the first instant.
+        _segment = 1;
+        _segmentBase = 0;
+        _tailLsn = 0;
+        _durableLsn = 0;
+        _buildLine = build_line;
+        if (!writeSegmentMetaLocked(err))
+            return false;
+    } else {
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<SegScan> segs;
+        if (!scanSegments(dir, scanThreads, &segs, err))
+            return false;
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        unsigned workers = scanThreads == 0 ? ThreadPool::defaultThreads()
+                                            : scanThreads;
+        workers = std::min<unsigned>(workers,
+                                     static_cast<unsigned>(segs.size()));
+        fillStats(segs, std::max(1u, workers), ms, &_recovery);
+        _buildLine = firstBuildLine(segs);
+        for (SegScan &s : segs)
+            for (RawRecord &r : s.records)
+                _loadedRecords.push_back(std::move(r));
+
+        const SegScan &last = segs.back();
+        std::uint64_t validBytes = last.endLsn - last.baseLsn;
+        std::string path = last.path;
+        if (last.fileBytes > validBytes) {
+            // Truncate the torn tail so appending continues from the
+            // end of the valid prefix.
+            if (::truncate(path.c_str(),
+                           static_cast<off_t>(validBytes)) != 0) {
+                if (err)
+                    *err = "log '" + dir + "': cannot truncate torn "
+                           "tail of " + path;
+                return false;
+            }
+            if (!fsyncPath(path, err))
+                return false;
+        }
+        _segment = last.number;
+        _segmentBase = last.baseLsn;
+        _tailLsn = last.endLsn;
+        _durableLsn = _tailLsn;
+        _fd = ::open(path.c_str(), O_WRONLY);
+        if (_fd < 0) {
+            if (err)
+                *err = "log '" + dir + "': cannot open " + path +
+                       " for append";
+            return false;
+        }
+        if (::lseek(_fd, 0, SEEK_END) < 0) {
+            ::close(_fd);
+            _fd = -1;
+            if (err)
+                *err = "log '" + dir + "': cannot seek " + path;
+            return false;
+        }
+        // A recovered segment that never got its meta block (crash
+        // between file creation and the first write) restarts with
+        // one so every segment opens with provenance.
+        if (!last.present && validBytes == 0 && last.number == 1) {
+            ::close(_fd);
+            _fd = -1;
+            _buildLine = build_line;
+            if (!writeSegmentMetaLocked(err))
+                return false;
+        }
+    }
+
+    _accepting = true;
+    _flusher = std::thread([this] { flusherMain(); });
+    return true;
+}
+
+bool
+ResultLog::isOpen() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _accepting;
+}
+
+bool
+ResultLog::writeSegmentMetaLocked(std::string *err)
+{
+    JsonValue meta = JsonValue::object();
+    meta.set("format", JsonValue::str("edgesim-log"));
+    meta.set("version", JsonValue::u64(1));
+    meta.set("segment", JsonValue::u64(_segment));
+    meta.set("build", JsonValue::str(_segment == 1 ? _buildLine
+                                                   : _sessionBuild));
+    std::string block = packBlock(kBlockMeta | kBlockSegmentStart, 0,
+                                  _tailLsn, meta.dumpCompact());
+
+    std::string path = _dir + "/" + segmentFileName(_segment);
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        if (err)
+            *err = "log '" + _dir + "': cannot create " + path;
+        return false;
+    }
+    if (!writeFully(fd, block.data(), block.size(), err) ||
+        ::fsync(fd) != 0) {
+        ::close(fd);
+        if (err && err->empty())
+            *err = "log '" + _dir + "': cannot write " + path;
+        return false;
+    }
+    if (!fsyncPath(_dir, err)) {
+        ::close(fd);
+        return false;
+    }
+    if (_fd >= 0)
+        ::close(_fd);
+    _fd = fd;
+    _tailLsn += block.size();
+    _durableLsn = _tailLsn;
+    return true;
+}
+
+void
+ResultLog::openBlockLocked(std::uint16_t flags)
+{
+    _open = PendingBlock{};
+    _open.lsn = _tailLsn;
+    _open.flags = flags;
+    _open.segment = _segment;
+    _openActive = true;
+}
+
+void
+ResultLog::sealOpenBlockLocked()
+{
+    if (!_openActive)
+        return;
+    _tailLsn = _open.lsn + kBlockHeaderBytes + _open.payload.size();
+    _pending.push_back(std::move(_open));
+    _openActive = false;
+    maybeRotateLocked();
+}
+
+void
+ResultLog::maybeRotateLocked()
+{
+    if (_tailLsn - _segmentBase < _opts.segmentBytes)
+        return;
+    ++_segment;
+    _segmentBase = _tailLsn;
+    JsonValue meta = JsonValue::object();
+    meta.set("format", JsonValue::str("edgesim-log"));
+    meta.set("version", JsonValue::u64(1));
+    meta.set("segment", JsonValue::u64(_segment));
+    meta.set("build", JsonValue::str(_sessionBuild));
+    PendingBlock b;
+    b.lsn = _tailLsn;
+    b.flags = kBlockMeta | kBlockSegmentStart;
+    b.segment = _segment;
+    b.startsSegment = true;
+    b.payload = meta.dumpCompact();
+    _tailLsn += kBlockHeaderBytes + b.payload.size();
+    _pending.push_back(std::move(b));
+}
+
+std::uint64_t
+ResultLog::pendingEndLsnLocked() const
+{
+    if (_openActive)
+        return _open.lsn + kBlockHeaderBytes + _open.payload.size();
+    return _tailLsn;
+}
+
+std::uint64_t
+ResultLog::appendImpl(std::uint64_t cell, std::string payload,
+                      std::uint16_t flags)
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    if (_failed || !_accepting)
+        return 0;
+    ++_appendedRecords;
+
+    if (flags & kBlockMeta) {
+        // Meta payloads get their own sealed block.
+        sealOpenBlockLocked();
+        PendingBlock b;
+        b.lsn = _tailLsn;
+        b.flags = flags;
+        b.segment = _segment;
+        b.payload = std::move(payload);
+        _tailLsn += kBlockHeaderBytes + b.payload.size();
+        std::uint64_t ack = _tailLsn;
+        _pending.push_back(std::move(b));
+        maybeRotateLocked();
+        _cv.notify_all();
+        return ack;
+    }
+
+    const std::size_t framed = kRecordFrameBytes + payload.size();
+    if (framed > kMaxBlockPayload) {
+        // Overflow chain: consecutive blocks in the same segment, the
+        // frame (cell + total bytes) only in the first.
+        sealOpenBlockLocked();
+        std::string head;
+        put64(head, cell);
+        put32(head, static_cast<std::uint32_t>(payload.size()));
+        std::size_t off = 0;
+        bool first = true;
+        std::uint64_t ack = 0;
+        while (first || off < payload.size()) {
+            PendingBlock b;
+            b.lsn = _tailLsn;
+            b.segment = _segment;
+            std::size_t room = kMaxBlockPayload;
+            if (first) {
+                b.flags = kBlockChainFirst;
+                b.nrecords = 1;
+                b.payload = head;
+                room -= head.size();
+            } else {
+                b.flags = kBlockChainCont;
+            }
+            std::size_t take = std::min(room, payload.size() - off);
+            b.payload.append(payload, off, take);
+            off += take;
+            if (off >= payload.size())
+                b.flags |= kBlockChainLast;
+            first = false;
+            _tailLsn += kBlockHeaderBytes + b.payload.size();
+            ack = _tailLsn;
+            _pending.push_back(std::move(b));
+        }
+        // Rotation waits for the chain end: chains never span
+        // segments.
+        maybeRotateLocked();
+        _cv.notify_all();
+        return ack;
+    }
+
+    if (_openActive &&
+        (_open.payload.size() + framed > kMaxBlockPayload ||
+         _open.nrecords >= kMaxBlockRecords))
+        sealOpenBlockLocked();
+    if (!_openActive)
+        openBlockLocked(0);
+    put64(_open.payload, cell);
+    put32(_open.payload, static_cast<std::uint32_t>(payload.size()));
+    _open.payload += payload;
+    ++_open.nrecords;
+    std::uint64_t ack =
+        _open.lsn + kBlockHeaderBytes + _open.payload.size();
+    _cv.notify_all();
+    return ack;
+}
+
+std::uint64_t
+ResultLog::append(std::uint64_t cell, std::string payload)
+{
+    return appendImpl(cell, std::move(payload), 0);
+}
+
+std::uint64_t
+ResultLog::appendMeta(std::string payload)
+{
+    return appendImpl(0, std::move(payload), kBlockMeta);
+}
+
+std::uint64_t
+ResultLog::durableLsn() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _durableLsn;
+}
+
+bool
+ResultLog::waitDurable(std::uint64_t lsn)
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    if (lsn == 0)
+        return false; // the append itself already failed
+    while (_durableLsn < lsn && !_failed) {
+        _flushRequested = true;
+        _cv.notify_all();
+        _ackCv.wait(lk);
+    }
+    return _durableLsn >= lsn;
+}
+
+bool
+ResultLog::flush()
+{
+    std::uint64_t target;
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        target = pendingEndLsnLocked();
+    }
+    return waitDurable(target);
+}
+
+bool
+ResultLog::failed() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _failed;
+}
+
+std::string
+ResultLog::error() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _error;
+}
+
+void
+ResultLog::flusherMain()
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    for (;;) {
+        _cv.wait(lk, [this] {
+            return !_pending.empty() || _openActive || _closing ||
+                   _flushRequested;
+        });
+        const bool closing = _closing;
+        if (!closing && !_flushRequested && _opts.groupCommitMs > 0) {
+            // The group-commit window: let more producers join the
+            // batch before paying for the fsync.
+            _cv.wait_for(lk,
+                         std::chrono::milliseconds(_opts.groupCommitMs),
+                         [this] { return _closing || _flushRequested; });
+        }
+        sealOpenBlockLocked();
+        std::vector<PendingBlock> batch = std::move(_pending);
+        _pending.clear();
+        _flushRequested = false;
+        if (batch.empty()) {
+            _ackCv.notify_all();
+            if (_closing)
+                return;
+            continue;
+        }
+        const std::uint64_t batchEnd =
+            batch.back().lsn + kBlockHeaderBytes +
+            batch.back().payload.size();
+        if (_failed) {
+            // Sticky failure: drop the batch, wake waiters so they
+            // observe the error instead of blocking forever.
+            _ackCv.notify_all();
+            if (_closing)
+                return;
+            continue;
+        }
+        lk.unlock();
+        std::string werr;
+        const bool ok = writeBatch(batch, &werr);
+        lk.lock();
+        if (ok) {
+            _durableLsn = std::max(_durableLsn, batchEnd);
+        } else if (!_failed) {
+            _failed = true;
+            _error = werr;
+        }
+        _ackCv.notify_all();
+        if (_closing && _pending.empty() && !_openActive)
+            return;
+    }
+}
+
+bool
+ResultLog::writeBatch(std::vector<PendingBlock> &batch, std::string *err)
+{
+    bool wrote = false;
+    for (PendingBlock &b : batch) {
+        if (b.startsSegment) {
+            // Rotation: finish the old segment durably before the
+            // chain moves on, then start the new file.
+            if (wrote) {
+                _chaos.at(LogCrashPoint::BeforeFsync, _fsyncOps);
+                if (_chaos.at(LogCrashPoint::FailFsync, _fsyncOps) ||
+                    ::fsync(_fd) != 0) {
+                    *err = "log '" + _dir + "': fsync failed";
+                    return false;
+                }
+                _chaos.at(LogCrashPoint::AfterFsync, _fsyncOps);
+                ++_fsyncOps;
+                ++_fsyncCount;
+                wrote = false;
+            }
+            _chaos.at(LogCrashPoint::BeforeRotate, b.segment);
+            std::string path = _dir + "/" + segmentFileName(b.segment);
+            int fd = ::open(path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+            if (fd < 0) {
+                *err = "log '" + _dir + "': cannot create " + path;
+                return false;
+            }
+            if (!fsyncPath(_dir, err)) {
+                ::close(fd);
+                return false;
+            }
+            ::close(_fd);
+            _fd = fd;
+        }
+
+        std::string buf = packBlock(b.flags, b.nrecords, b.lsn, b.payload);
+        _chaos.at(LogCrashPoint::BeforeWrite, _writeOps);
+        if (_chaos.point() == LogCrashPoint::MidWrite &&
+            LogChaos::wouldFire(LogCrashPoint::MidWrite,
+                                _opts.chaos.seed, _writeOps)) {
+            // Tear the write at a hash-chosen byte, then die the way
+            // a power cut would have left it.
+            std::size_t n = _chaos.tearBytes(_writeOps, buf.size());
+            writeFully(_fd, buf.data(), n, err);
+            _chaos.at(LogCrashPoint::MidWrite, _writeOps); // never returns
+        }
+        if (!writeFully(_fd, buf.data(), buf.size(), err))
+            return false;
+        _chaos.at(LogCrashPoint::AfterWrite, _writeOps);
+        ++_writeOps;
+        ++_blockWrites;
+        wrote = true;
+    }
+
+    _chaos.at(LogCrashPoint::BeforeFsync, _fsyncOps);
+    if (_chaos.at(LogCrashPoint::FailFsync, _fsyncOps)) {
+        *err = "log '" + _dir + "': fsync failed (injected fault)";
+        return false;
+    }
+    if (::fsync(_fd) != 0) {
+        *err = "log '" + _dir + "': fsync failed";
+        return false;
+    }
+    _chaos.at(LogCrashPoint::AfterFsync, _fsyncOps);
+    ++_fsyncOps;
+    ++_fsyncCount;
+    return true;
+}
+
+void
+ResultLog::close()
+{
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        _accepting = false;
+        if (!_flusher.joinable()) {
+            if (_fd >= 0) {
+                ::close(_fd);
+                _fd = -1;
+            }
+            return;
+        }
+        _closing = true;
+        _flushRequested = true;
+        _cv.notify_all();
+    }
+    _flusher.join();
+    std::lock_guard<std::mutex> lk(_mu);
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+} // namespace edge::log

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * The durable result log: an append-only directory of segment files
+ * holding fixed-header, FNV-1a-checksummed, LSN-addressed blocks of
+ * campaign records — the ERMIA-style replacement for the journal's
+ * per-record whole-file rewrite. Producers append serialized records
+ * from any thread; a single group-commit flusher batches everything
+ * that arrived inside the commit window into as few blocks and ONE
+ * fsync as possible, then advances the `durableLsn()` watermark. A
+ * record is acknowledged (its ack LSN is at or below the watermark)
+ * only once its bytes are on disk, so the supervisor and fabric can
+ * gate completion on real durability while paying ~one fsync per
+ * batch instead of one per record.
+ *
+ * On-disk layout (`<dir>/seg-NNNNNN.elog`, numbered from 1):
+ *
+ *   block  := header(32B) payload
+ *   header := magic u32 ("ELB1") | flags u16 | nrecords u16
+ *           | payloadBytes u32 | reserved u32 | lsn u64 | checksum u64
+ *   record := cell u64 | bytes u32 | payload (record framing inside
+ *             a data block's payload)
+ *
+ * The LSN is the block's global byte offset across the segment chain,
+ * so any block is addressable by (segment, offset) arithmetic alone.
+ * The checksum is FNV-1a over the header (checksum field zeroed)
+ * plus the payload: a torn tail fails it, and so does any later bit
+ * flip. Every segment opens with a meta block (flag SegmentStart)
+ * whose payload is a JSON header carrying the segment number and the
+ * writing build's provenance line. Records larger than the block
+ * payload cap are split into an overflow chain (ChainFirst /
+ * ChainCont / ChainLast flags) of consecutive blocks in the same
+ * segment.
+ *
+ * Recovery scans segments (in parallel when asked), verifies every
+ * checksum, and tolerates exactly one kind of damage: a torn tail at
+ * the physical end of the NEWEST segment, which is what a crash
+ * mid-append leaves behind. A checksum failure anywhere else is
+ * bit-level corruption and rejects the log with an error naming the
+ * segment and LSN. Opening for append truncates the torn tail and
+ * continues where the valid prefix ends.
+ */
+
+#ifndef EDGE_LOG_RESULT_LOG_HH
+#define EDGE_LOG_RESULT_LOG_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "log/log_chaos.hh"
+
+namespace edge::log {
+
+/** Writer/recovery tuning; all CLI-exposed knobs land here. */
+struct LogOptions
+{
+    /** Group-commit window: how long the flusher waits for more
+     *  producers to join a batch before writing + fsyncing it. */
+    std::uint64_t groupCommitMs = 5;
+    /** Rotate to a new segment once the current one passes this. */
+    std::uint64_t segmentBytes = 64ull << 20;
+    /** Crash/IO-fault injection (tests and CI chaos smokes). */
+    LogChaosOptions chaos;
+};
+
+/** One record as scanned back from the log, in append order. */
+struct RawRecord
+{
+    std::uint64_t cell = 0; ///< partition key (cellHash identity)
+    std::uint64_t lsn = 0;  ///< LSN of the containing block
+    std::string payload;    ///< serialized record, byte-exact
+};
+
+/** What recovery saw; surfaced as `--resume` progress. */
+struct ReplayStats
+{
+    std::size_t segments = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t metaBlocks = 0;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;        ///< valid bytes scanned
+    std::uint64_t tornRecords = 0;  ///< records lost to the torn tail
+    std::uint64_t tornBytes = 0;    ///< tail bytes discarded
+    double scanMillis = 0;
+    unsigned workers = 1;
+};
+
+class ResultLog
+{
+  public:
+    ResultLog() = default;
+    ~ResultLog() { close(); }
+    ResultLog(const ResultLog &) = delete;
+    ResultLog &operator=(const ResultLog &) = delete;
+
+    /**
+     * Open (creating or recovering) the log directory at `dir`.
+     * Existing segments are scanned with `scanThreads` workers, the
+     * torn tail (if any) is truncated away, and appending continues
+     * at the end of the valid prefix. A fresh log writes segment 1's
+     * meta block — stamped with `build_line` — durably before
+     * returning, so provenance exists from the first instant.
+     */
+    bool open(const std::string &dir, const std::string &build_line,
+              const LogOptions &opts, unsigned scanThreads,
+              std::string *err);
+
+    /** Records recovered by open(), in append order. */
+    const std::vector<RawRecord> &loaded() const { return _loadedRecords; }
+    /** Build-provenance line from segment 1's meta block. */
+    const std::string &buildLine() const { return _buildLine; }
+    const ReplayStats &recoveryStats() const { return _recovery; }
+
+    const std::string &dir() const { return _dir; }
+    bool isOpen() const;
+
+    /**
+     * Enqueue one record for the flusher. Returns the record's ack
+     * LSN: the record is durable once durableLsn() reaches it.
+     * Returns 0 if the log has failed (sticky I/O error).
+     */
+    std::uint64_t append(std::uint64_t cell, std::string payload);
+
+    /** Enqueue a meta block (session/recovery annotations). */
+    std::uint64_t appendMeta(std::string payload);
+
+    /** Everything at or below this LSN is fsynced to disk. */
+    std::uint64_t durableLsn() const;
+
+    /**
+     * Block until `lsn` is durable (requesting an immediate flush).
+     * Returns false if the log failed before reaching it.
+     */
+    bool waitDurable(std::uint64_t lsn);
+
+    /** waitDurable() over everything appended so far. */
+    bool flush();
+
+    /** Flush, stop the flusher, close the segment. Idempotent. */
+    void close();
+
+    bool failed() const;
+    std::string error() const;
+
+    // --- flusher telemetry (bench + tests) -------------------------
+    std::uint64_t appendedRecords() const { return _appendedRecords; }
+    std::uint64_t blockWrites() const { return _blockWrites; }
+    std::uint64_t fsyncs() const { return _fsyncCount; }
+    unsigned long groupCommitMs() const { return _opts.groupCommitMs; }
+
+    /**
+     * Standalone reader: scan a log directory with `threads` redo
+     * workers (one per segment, merged in segment order) and return
+     * every record byte-exactly in append order. The result is
+     * independent of `threads` by construction. Fails — naming the
+     * segment and LSN — on any corruption that is not a torn tail of
+     * the newest segment.
+     */
+    static bool scan(const std::string &dir, unsigned threads,
+                     std::vector<RawRecord> *out, std::string *build_line,
+                     ReplayStats *stats, std::string *err);
+
+    /** Cheap provenance probe: read segment 1's build line only. */
+    static bool readBuildLine(const std::string &dir,
+                              std::string *build_line, std::string *err);
+
+  private:
+    struct PendingBlock
+    {
+        std::uint64_t lsn = 0;
+        std::uint16_t flags = 0;
+        std::uint16_t nrecords = 0;
+        std::uint64_t segment = 0;    ///< segment this block lands in
+        bool startsSegment = false;   ///< flusher opens the file first
+        std::string payload;
+    };
+
+    std::uint64_t appendImpl(std::uint64_t cell, std::string payload,
+                             std::uint16_t flags);
+    void sealOpenBlockLocked();
+    void openBlockLocked(std::uint16_t flags);
+    void maybeRotateLocked();
+    std::uint64_t pendingEndLsnLocked() const;
+    void flusherMain();
+    bool writeBatch(std::vector<PendingBlock> &batch, std::string *err);
+    bool writeSegmentMetaLocked(std::string *err);
+
+    std::string _dir;
+    LogOptions _opts;
+    LogChaos _chaos;
+    /** Current segment file; owned by the flusher once it runs. */
+    int _fd = -1;
+    bool _accepting = false; ///< open() finished; appends allowed
+
+    mutable std::mutex _mu;
+    std::condition_variable _cv;    ///< wakes the flusher
+    std::condition_variable _ackCv; ///< wakes durability waiters
+    std::thread _flusher;
+    bool _closing = false;
+    bool _flushRequested = false;
+    bool _failed = false;
+    std::string _error;
+
+    // Append-side byte accounting (all under _mu): blocks are packed
+    // and LSN-addressed by producers; the flusher only writes bytes.
+    std::vector<PendingBlock> _pending;
+    PendingBlock _open;          ///< block currently accepting records
+    bool _openActive = false;
+    std::uint64_t _tailLsn = 0;  ///< next unallocated byte (sealed)
+    std::uint64_t _durableLsn = 0;
+    std::uint64_t _segment = 1;      ///< segment now accepting appends
+    std::uint64_t _segmentBase = 0;  ///< its base LSN
+
+    // Flusher-side ordinals for chaos decisions.
+    std::uint64_t _writeOps = 0;
+    std::uint64_t _fsyncOps = 0;
+
+    std::atomic<std::uint64_t> _appendedRecords{0};
+    std::atomic<std::uint64_t> _blockWrites{0};
+    std::atomic<std::uint64_t> _fsyncCount{0};
+
+    std::string _sessionBuild; ///< this session's provenance line
+    std::string _buildLine;
+    std::vector<RawRecord> _loadedRecords;
+    ReplayStats _recovery;
+};
+
+// Block-format constants, shared with tests that corrupt blocks on
+// purpose.
+constexpr std::uint32_t kBlockMagic = 0x31424c45u; // "ELB1" LE
+constexpr std::size_t kBlockHeaderBytes = 32;
+constexpr std::size_t kMaxBlockPayload = 256 * 1024;
+constexpr std::uint16_t kMaxBlockRecords = 254;
+constexpr std::size_t kRecordFrameBytes = 12; // cell u64 + bytes u32
+
+constexpr std::uint16_t kBlockMeta = 0x1;
+constexpr std::uint16_t kBlockSegmentStart = 0x2;
+constexpr std::uint16_t kBlockChainFirst = 0x4;
+constexpr std::uint16_t kBlockChainCont = 0x8;
+constexpr std::uint16_t kBlockChainLast = 0x10;
+
+/** Segment file name for a 1-based segment number. */
+std::string segmentFileName(std::uint64_t number);
+
+} // namespace edge::log
+
+#endif // EDGE_LOG_RESULT_LOG_HH

@@ -3,6 +3,7 @@
 #include <csignal>
 #include <unistd.h>
 
+#include "chaos/sim_error.hh"
 #include "common/logging.hh"
 #include "serve/proto.hh"
 #include "super/campaign.hh"
@@ -55,6 +56,20 @@ runSubmission(Fabric &fabric, const JsonValue &campaign)
 int
 serveMain(const ServeOptions &opts)
 {
+    if (opts.strictProvenance && opts.fabric.resume &&
+        !opts.fabric.journalPath.empty()) {
+        std::string desc;
+        if (super::Journal::provenanceMismatch(
+                opts.fabric.journalPath, &desc)) {
+            fprintf(stderr,
+                    "edgesim: serve: journal %s: %s; refusing to "
+                    "resume under --strict-provenance\n",
+                    opts.fabric.journalPath.c_str(), desc.c_str());
+            return chaos::exitCodeFor(
+                chaos::SimError::Reason::ProvenanceMismatch);
+        }
+    }
+
     Fabric fabric(opts.fabric);
     std::string err;
     if (!fabric.start(&err)) {

@@ -29,6 +29,9 @@ struct ServeOptions
     FabricOptions fabric;
     /** Exit after serving one campaign (CI smoke / tests). */
     bool once = false;
+    /** On --resume, refuse a journal written by a different build
+     *  (exit 20, provenance-mismatch) instead of warning. */
+    bool strictProvenance = false;
 };
 
 /** Run the coordinator until stopped. Returns the process exit

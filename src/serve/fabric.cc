@@ -160,8 +160,12 @@ Fabric::ensureJournal()
 {
     if (_journalReady || _opts.journalPath.empty())
         return;
+    super::JournalSetup setup;
+    setup.log = _opts.logOptions;
+    setup.resumeThreads = _opts.resumeThreads;
+    setup.announceResume = _opts.resume;
     std::string err;
-    if (_journal.open(_opts.journalPath, &err))
+    if (_journal.open(_opts.journalPath, setup, &err))
         _journalReady = true;
     else
         warn("fabric: %s — continuing without a journal", err.c_str());
@@ -428,7 +432,8 @@ Fabric::handleResult(Peer &peer, const JsonValue &doc)
     if (!_run)
         return;
     std::size_t i = l.cell;
-    if (_run->st[i] == CState::Done) {
+    if (_run->st[i] == CState::Done ||
+        _run->st[i] == CState::WaitDurable) {
         // The cell already finished elsewhere (reassigned after a
         // partition, or the local fallback got it first). Same cell,
         // same bits — drop the copy.
@@ -524,12 +529,43 @@ Fabric::finalizeCell(std::size_t i, sim::RunResult result,
         rec.lease = lease;
         rec.attempt = attempt;
         std::string err;
-        if (!_journal.append(rec, &err))
-            warn("fabric: journal append failed: %s", err.c_str());
+        if (_journal.append(rec, &err)) {
+            // Durable-ack: the cell parks in WaitDurable until the
+            // group-commit flusher's watermark passes its record. A
+            // coordinator killed in this window never marked the cell
+            // Done, so a resumed campaign re-leases it.
+            _run->st[i] = CState::WaitDurable;
+            _run->waitDurable.emplace_back(i, _journal.lastLsn());
+            return;
+        }
+        warn("fabric: journal append failed: %s", err.c_str());
     }
 
     _run->st[i] = CState::Done;
     --_run->remaining;
+}
+
+void
+Fabric::promoteDurable(bool force)
+{
+    if (!_run || _run->waitDurable.empty())
+        return;
+    if (!force && _journal.logFailed()) {
+        // Sticky log failure: the watermark will never reach these
+        // records. The results are already in the report, so finish
+        // the campaign; the lost records simply re-run on --resume.
+        warn("fabric: result log failed — completing %zu cell(s) "
+             "without a durable ack (they will re-run on --resume)",
+             _run->waitDurable.size());
+        force = true;
+    }
+    const std::uint64_t durable = _journal.durableLsn();
+    while (!_run->waitDurable.empty() &&
+           (force || _run->waitDurable.front().second <= durable)) {
+        _run->st[_run->waitDurable.front().first] = CState::Done;
+        --_run->remaining;
+        _run->waitDurable.pop_front();
+    }
 }
 
 // --- scheduling -----------------------------------------------------
@@ -633,7 +669,8 @@ Fabric::runLocalBatch()
     for (std::size_t k = 0; k < idx.size(); ++k) {
         if (!outs[k].ran)
             continue; // stop hit mid-batch; still pending, resumable
-        if (_run->st[idx[k]] == CState::Done) {
+        if (_run->st[idx[k]] == CState::Done ||
+            _run->st[idx[k]] == CState::WaitDurable) {
             ++_dupDeduped; // a healed agent raced us to it
             continue;
         }
@@ -735,6 +772,10 @@ Fabric::runAll(const std::vector<CellSpec> &cells)
             break;
         const bool drain = super::stopSignal() == SIGTERM;
 
+        promoteDurable(false);
+        if (ctx.remaining == 0)
+            break;
+
         Clock::time_point now = Clock::now();
         if (!drain) {
             assignReady(now);
@@ -752,6 +793,16 @@ Fabric::runAll(const std::vector<CellSpec> &cells)
 
         pump(pollTimeout(now, 50));
     }
+    // End of slice: make everything appended durable (one fsync at
+    // most), then promote the stragglers. On a stop/drain exit this
+    // is what makes the partial campaign safely resumable.
+    if (_journalReady) {
+        std::string err;
+        if (!_journal.flush(&err))
+            warn("fabric: journal flush failed: %s — unflushed "
+                 "results will re-run on --resume", err.c_str());
+    }
+    promoteDurable(true);
     _run = nullptr;
     _leases.clear();
     return out;

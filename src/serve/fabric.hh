@@ -99,6 +99,10 @@ struct FabricOptions
     std::string journalPath;
     bool resume = false;
     std::string reproDir;
+    /** Group-commit result-log tuning + crash-fault injection. */
+    log::LogOptions logOptions;
+    /** Redo workers for `--resume` journal recovery (0 = auto). */
+    unsigned resumeThreads = 0;
     /** Transient-failure retry policy, applied coordinator-side to
      *  remote results (agents run each cell exactly once). */
     sim::RetryPolicy retry;
@@ -170,6 +174,12 @@ class Fabric : public super::CellRunner
     {
         Pending,
         Leased,
+        /** Result accepted and journaled, but the journal's durable
+         *  watermark has not reached its record yet: the cell is not
+         *  Done (and the campaign cannot complete) until it is. A
+         *  coordinator killed in this window never acknowledged the
+         *  cell, so a resumed campaign re-leases it. */
+        WaitDurable,
         Done,
     };
     struct Lease
@@ -193,6 +203,9 @@ class Fabric : public super::CellRunner
         std::vector<Clock::time_point> notBefore;
         std::vector<std::uint64_t> hash;
         std::size_t remaining = 0;
+        /** Cells in WaitDurable with the journal LSN they ack at,
+         *  in append (and therefore LSN) order. */
+        std::deque<std::pair<std::size_t, std::uint64_t>> waitDurable;
     };
 
     void handleLine(Peer &peer, const std::string &line);
@@ -206,6 +219,7 @@ class Fabric : public super::CellRunner
                       const std::string &agent, std::uint64_t lease,
                       unsigned attempt);
     void assignReady(Clock::time_point now);
+    void promoteDurable(bool force);
     void runLocalBatch();
     void sweepDeadlines(Clock::time_point now);
     std::size_t outstandingLeases() const;

@@ -1,16 +1,22 @@
 #include "super/journal.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/build_info.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/thread_pool.hh"
 #include "triage/result_json.hh"
 
 namespace edge::super {
 
+namespace fs = std::filesystem;
 using triage::JsonValue;
 
 namespace {
@@ -69,11 +75,11 @@ recordFromJson(const JsonValue &o, JournalRecord *rec,
     return triage::resultFromJson(*o.get("result"), &rec->result, err);
 }
 
-} // namespace
-
+/** The PR-5 JSONL journal parser, kept verbatim for migration and
+ *  for loading journals written by older builds. */
 bool
-Journal::load(const std::string &path, std::vector<JournalRecord> *out,
-              std::string *build_line, std::string *err)
+loadLegacy(const std::string &path, std::vector<JournalRecord> *out,
+           std::string *build_line, std::string *err)
 {
     std::ifstream in(path);
     if (!in) {
@@ -168,52 +174,302 @@ Journal::load(const std::string &path, std::vector<JournalRecord> *out,
     return true;
 }
 
+/**
+ * Decode raw log records into JournalRecords with redo workers
+ * partitioned by cell-identity hash: worker w decodes exactly the
+ * records with cell % workers == w, each into its original slot, so
+ * the merged order — and therefore last-record-wins resolution — is
+ * byte-identical at any worker count.
+ */
+bool
+decodeRaw(const std::string &path, const std::vector<log::RawRecord> &raw,
+          unsigned threads, std::vector<JournalRecord> *out,
+          std::string *err)
+{
+    out->assign(raw.size(), JournalRecord{});
+    unsigned workers = threads == 0 ? ThreadPool::defaultThreads()
+                                    : threads;
+    workers = std::max<unsigned>(
+        1, std::min<unsigned>(workers,
+                              raw.empty() ? 1
+                                          : static_cast<unsigned>(
+                                                raw.size())));
+
+    // Deterministic error reporting: each worker remembers the
+    // lowest-LSN failure it saw; the overall lowest wins.
+    std::vector<std::pair<std::uint64_t, std::string>> errs(
+        workers, {~0ull, ""});
+    auto decodePartition = [&](std::size_t w) -> int {
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i].cell % workers != w)
+                continue;
+            const std::uint64_t lsn = raw[i].lsn;
+            if (lsn >= errs[w].first)
+                continue;
+            JsonValue v;
+            std::string perr;
+            if (!JsonValue::parse(raw[i].payload, &v, &perr)) {
+                errs[w] = {lsn, strfmt("journal '%s': record at lsn "
+                                       "%llu is not valid JSON: %s",
+                                       path.c_str(),
+                                       (unsigned long long)lsn,
+                                       perr.c_str())};
+                continue;
+            }
+            if (!checksumOk(v)) {
+                errs[w] = {lsn, strfmt("journal '%s': record checksum "
+                                       "mismatch at lsn %llu (corrupt "
+                                       "record)",
+                                       path.c_str(),
+                                       (unsigned long long)lsn)};
+                continue;
+            }
+            JournalRecord rec;
+            std::string rerr;
+            if (!recordFromJson(v, &rec, &rerr)) {
+                errs[w] = {lsn, strfmt("journal '%s': record at lsn "
+                                       "%llu: %s",
+                                       path.c_str(),
+                                       (unsigned long long)lsn,
+                                       rerr.c_str())};
+                continue;
+            }
+            (*out)[i] = std::move(rec);
+        }
+        return 0;
+    };
+
+    if (workers <= 1) {
+        decodePartition(0);
+    } else {
+        ThreadPool pool(workers);
+        parallelIndex(pool, workers, decodePartition);
+    }
+
+    std::pair<std::uint64_t, std::string> first{~0ull, ""};
+    for (const auto &e : errs)
+        if (e.first < first.first)
+            first = e;
+    if (!first.second.empty()) {
+        if (err)
+            *err = first.second;
+        return false;
+    }
+    return true;
+}
+
+/** Read a legacy journal's header build line without a full parse. */
+std::string
+legacyBuildLine(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    if (!in || !std::getline(in, line))
+        return "";
+    JsonValue v;
+    std::string perr;
+    if (!JsonValue::parse(line, &v, &perr))
+        return "";
+    if (v.getString("format") != "edgesim-journal")
+        return "";
+    return v.getString("build");
+}
+
+bool
+hasSegments(const std::string &dir)
+{
+    return fs::exists(fs::path(dir) / log::segmentFileName(1));
+}
+
+void
+announceRecovery(const std::string &path, const log::ReplayStats &st,
+                 const std::vector<JournalRecord> &records)
+{
+    std::set<std::uint64_t> cells;
+    for (const JournalRecord &rec : records)
+        cells.insert(rec.cell);
+    const std::size_t final = Journal::resumeIndex(records).size();
+    std::fprintf(stderr,
+                 "resume: scanned %llu record(s) in %llu block(s) "
+                 "across %zu segment(s) (%.1f KiB) in %.0f ms with %u "
+                 "worker(s)\n",
+                 (unsigned long long)st.records,
+                 (unsigned long long)st.blocks, st.segments,
+                 st.bytes / 1024.0, st.scanMillis, st.workers);
+    std::fprintf(stderr,
+                 "resume: %zu cell(s) recovered final, %zu will "
+                 "re-execute, %llu torn record(s) rejected\n",
+                 final, cells.size() - final,
+                 (unsigned long long)st.tornRecords);
+    std::fflush(stderr);
+}
+
+JsonValue
+recoveryMeta(const log::ReplayStats &st,
+             const std::vector<JournalRecord> &records)
+{
+    std::set<std::uint64_t> cells;
+    for (const JournalRecord &rec : records)
+        cells.insert(rec.cell);
+    const std::size_t final = Journal::resumeIndex(records).size();
+    JsonValue o = JsonValue::object();
+    o.set("meta", JsonValue::str("resume"));
+    o.set("build", JsonValue::str(buildInfoLine()));
+    o.set("records", JsonValue::u64(st.records));
+    o.set("blocks", JsonValue::u64(st.blocks));
+    o.set("segments", JsonValue::u64(st.segments));
+    o.set("torn_records", JsonValue::u64(st.tornRecords));
+    o.set("torn_bytes", JsonValue::u64(st.tornBytes));
+    o.set("workers", JsonValue::u64(st.workers));
+    o.set("cells_final", JsonValue::u64(final));
+    o.set("cells_reexecute", JsonValue::u64(cells.size() - final));
+    return o;
+}
+
+} // namespace
+
+bool
+Journal::load(const std::string &path, std::vector<JournalRecord> *out,
+              std::string *build_line, std::string *err)
+{
+    return load(path, 1, out, build_line, nullptr, err);
+}
+
+bool
+Journal::load(const std::string &path, unsigned threads,
+              std::vector<JournalRecord> *out, std::string *build_line,
+              log::ReplayStats *stats, std::string *err)
+{
+    if (fs::is_directory(path)) {
+        std::vector<log::RawRecord> raw;
+        if (!log::ResultLog::scan(path, threads, &raw, build_line,
+                                  stats, err))
+            return false;
+        if (stats && stats->tornBytes > 0)
+            warn("journal '%s': dropping torn tail (%llu byte(s), "
+                 "%llu record(s))",
+                 path.c_str(), (unsigned long long)stats->tornBytes,
+                 (unsigned long long)stats->tornRecords);
+        return decodeRaw(path, raw, threads, out, err);
+    }
+    if (!loadLegacy(path, out, build_line, err))
+        return false;
+    if (stats) {
+        *stats = log::ReplayStats{};
+        stats->segments = 1;
+        stats->records = out->size();
+        stats->workers = 1;
+    }
+    return true;
+}
+
 bool
 Journal::open(const std::string &path, std::string *err)
+{
+    return open(path, JournalSetup{}, err);
+}
+
+bool
+Journal::migrateLegacy(const std::string &file, const JournalSetup &setup,
+                       std::string *err)
+{
+    std::vector<JournalRecord> records;
+    std::string legacyLine;
+    if (!loadLegacy(file, &records, &legacyLine, err))
+        return false;
+
+    // Keep the original as a backup. The rename also makes the
+    // migration idempotent: a crash before the re-append finishes
+    // leaves an empty/absent directory next to the .v1 file, and the
+    // next open retries from the backup.
+    const std::string backup = _path + ".v1";
+    if (file != backup) {
+        std::error_code ec;
+        fs::rename(file, backup, ec);
+        if (ec) {
+            if (err)
+                *err = "journal '" + _path +
+                       "': cannot move legacy journal aside (" +
+                       ec.message() + ")";
+            return false;
+        }
+    }
+
+    const std::string build =
+        legacyLine.empty() ? buildInfoLine() : legacyLine;
+    std::error_code ec;
+    fs::remove_all(_path, ec); // a half-migrated directory, if any
+    if (!_log.open(_path, build, setup.log, setup.resumeThreads, err))
+        return false;
+    for (const JournalRecord &rec : records)
+        _log.append(rec.cell, recordToJson(rec).dumpCompact());
+    if (!_log.flush()) {
+        if (err)
+            *err = "journal '" + _path + "': migration flush failed: " +
+                   _log.error();
+        return false;
+    }
+    warn("journal '%s': migrated legacy JSONL journal (%zu record(s); "
+         "original kept at %s)",
+         _path.c_str(), records.size(), backup.c_str());
+    _loaded = std::move(records);
+    _buildLine = build;
+    return true;
+}
+
+bool
+Journal::open(const std::string &path, const JournalSetup &setup,
+              std::string *err)
 {
     _path = path;
     _loaded.clear();
     _buildLine.clear();
-    _content.clear();
+    _lastLsn = 0;
+    _recovery = log::ReplayStats{};
 
-    if (std::filesystem::exists(path)) {
-        if (!load(path, &_loaded, &_buildLine, err))
+    if (fs::is_regular_file(path)) {
+        if (!migrateLegacy(path, setup, err))
             return false;
-        if (!_buildLine.empty()) {
-            std::string mismatch = buildMismatch(_buildLine);
-            if (!mismatch.empty())
-                warn("journal '%s': written by a different build "
-                     "(%s) — replayed results may not match this "
-                     "binary",
-                     path.c_str(), mismatch.c_str());
-        }
-        // Rebuild the canonical content from what survived loading,
-        // so the next append also repairs any dropped torn tail.
-        JsonValue header = JsonValue::object();
-        header.set("format", JsonValue::str("edgesim-journal"));
-        header.set("version", JsonValue::u64(1));
-        header.set("build", JsonValue::str(_buildLine.empty()
-                                               ? buildInfoLine()
-                                               : _buildLine));
-        _content = header.dumpCompact() + "\n";
-        for (const JournalRecord &rec : _loaded)
-            _content += recordToJson(rec).dumpCompact() + "\n";
-        return true;
+    } else if ((!fs::exists(path) ||
+                (fs::is_directory(path) && !hasSegments(path))) &&
+               fs::is_regular_file(path + ".v1")) {
+        // An interrupted migration: redo it from the backup.
+        if (!migrateLegacy(path + ".v1", setup, err))
+            return false;
+    } else {
+        if (!_log.open(path, buildInfoLine(), setup.log,
+                       setup.resumeThreads, err))
+            return false;
+        _recovery = _log.recoveryStats();
+        _buildLine = _log.buildLine().empty() ? buildInfoLine()
+                                              : _log.buildLine();
+        if (_recovery.tornBytes > 0)
+            warn("journal '%s': dropped torn tail (%llu byte(s), "
+                 "%llu record(s)) left by the crash",
+                 path.c_str(), (unsigned long long)_recovery.tornBytes,
+                 (unsigned long long)_recovery.tornRecords);
+        if (!decodeRaw(path, _log.loaded(), setup.resumeThreads,
+                       &_loaded, err))
+            return false;
     }
 
-    std::error_code ec;
-    std::filesystem::path parent =
-        std::filesystem::path(path).parent_path();
-    if (!parent.empty())
-        std::filesystem::create_directories(parent, ec);
+    if (!_buildLine.empty()) {
+        std::string mismatch = buildMismatch(_buildLine);
+        if (!mismatch.empty())
+            warn("journal '%s': written by a different build "
+                 "(%s) — replayed results may not match this "
+                 "binary",
+                 path.c_str(), mismatch.c_str());
+    }
 
-    JsonValue header = JsonValue::object();
-    header.set("format", JsonValue::str("edgesim-journal"));
-    header.set("version", JsonValue::u64(1));
-    header.set("build", JsonValue::str(buildInfoLine()));
-    _buildLine = buildInfoLine();
-    _content = header.dumpCompact() + "\n";
-    return triage::writeFileDurable(_path, _content, err);
+    if (setup.announceResume) {
+        announceRecovery(path, _recovery, _loaded);
+        // Stamp the recovery stats into the resumed log's header
+        // stream so the session's provenance records what was
+        // recovered and how.
+        _log.appendMeta(recoveryMeta(_recovery, _loaded).dumpCompact());
+    }
+    return true;
 }
 
 std::map<std::uint64_t, const JournalRecord *>
@@ -237,13 +493,56 @@ Journal::append(const JournalRecord &rec, std::string *err)
             *err = "journal not open";
         return false;
     }
-    _content += recordToJson(rec).dumpCompact() + "\n";
-    // Whole-file durable rewrite per record: a reader (or a resumed
-    // supervisor) sees either the journal without this record or
-    // with it complete — never a torn line. Journals are
-    // campaign-sized (hundreds of lines), so the O(n) rewrite is
-    // noise next to the cells themselves.
-    return triage::writeFileDurable(_path, _content, err);
+    std::uint64_t lsn = _log.append(rec.cell,
+                                    recordToJson(rec).dumpCompact());
+    if (lsn == 0) {
+        if (err) {
+            std::string lerr = _log.error();
+            *err = lerr.empty() ? "journal log not accepting appends"
+                                : lerr;
+        }
+        return false;
+    }
+    _lastLsn = lsn;
+    return true;
+}
+
+bool
+Journal::flush(std::string *err)
+{
+    if (_path.empty() || !_log.isOpen())
+        return true;
+    if (!_log.flush()) {
+        if (err) {
+            std::string lerr = _log.error();
+            *err = lerr.empty() ? "journal flush failed" : lerr;
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+Journal::provenanceMismatch(const std::string &path, std::string *desc)
+{
+    std::string line;
+    if (fs::is_directory(path)) {
+        std::string err;
+        if (!log::ResultLog::readBuildLine(path, &line, &err))
+            return false;
+    } else if (fs::is_regular_file(path)) {
+        line = legacyBuildLine(path);
+    } else {
+        return false;
+    }
+    if (line.empty())
+        return false;
+    std::string m = buildMismatch(line);
+    if (m.empty())
+        return false;
+    if (desc)
+        *desc = m;
+    return true;
 }
 
 } // namespace edge::super

@@ -1,20 +1,23 @@
 /**
  * @file
- * The campaign journal: an append-only JSONL file recording every
- * completed cell of a supervised campaign. Line 1 is a header with
- * format, version, and the build provenance line; every further line
- * is one record — the cell's stable hash, a `final` flag, the
- * complete (losslessly serialized) RunResult, and the captured repro
- * path if any. Each append rewrites the file durably (temp file +
- * fsync + atomic rename, see triage::writeFileDurable), so after a
- * crash, SIGKILL, or power loss the journal on disk is always a
- * complete prefix of the campaign — never a torn record.
+ * The campaign journal: the durable record of every completed cell of
+ * a supervised campaign, now a thin adapter over the group-commit
+ * result log (log::ResultLog). Records keep their lossless compact
+ * JSON encoding — cell hash, `final` flag, the complete RunResult,
+ * repro path and lease provenance, plus a record-level FNV-1a `crc` —
+ * but instead of a per-record whole-file durable rewrite they are
+ * framed into LSN-addressed, block-checksummed segments and fsynced
+ * in batches by the log's flusher thread. `append()` therefore
+ * returns before the record is durable; callers that acknowledge
+ * completion gate on `durableLsn()` / `waitDurable()` / `flush()`.
  *
- * Every record also carries a `crc` field — FNV-1a over the
- * serialized record content — so bit-level corruption anywhere in a
- * record (not just a torn tail) is detected on load and rejected
- * with a structured error naming the line. Checksumless journals
- * written by older builds still load.
+ * Legacy JSONL journals (the PR-5 format: header line + one JSON
+ * record per line) still load, and `open()` migrates them in place:
+ * the old file is kept as `<path>.v1` and its records are re-appended
+ * into a fresh segment log at `<path>`, preserving the recorded build
+ * provenance. The migration is idempotent — a crash between the
+ * rename and the re-append is repaired on the next open from the
+ * `.v1` backup.
  *
  * The `final` flag carries the resume semantics. Clean passes and
  * deterministic simulation failures are final: re-running them would
@@ -33,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "log/result_log.hh"
 #include "sim/simulator.hh"
 
 namespace edge::super {
@@ -57,21 +61,56 @@ struct JournalRecord
     unsigned attempt = 1;
 };
 
+/** Knobs threaded from the CLI down into the result log. */
+struct JournalSetup
+{
+    log::LogOptions log;
+    /** Redo workers for the recovery scan + record decode (0 = one
+     *  per hardware thread). */
+    unsigned resumeThreads = 0;
+    /** Print recovery progress to stderr and stamp the recovery
+     *  stats into the log as a resume meta block. */
+    bool announceResume = false;
+};
+
 class Journal
 {
   public:
     /**
-     * Open `path` for appending. An existing journal is loaded first
-     * (that is the resume path); a fresh one gets a header stamped
-     * with this build's provenance. Returns false (with *err) on I/O
-     * or format errors.
+     * Open `path` for appending. An existing log directory is
+     * recovered first (that is the resume path) and a legacy JSONL
+     * journal file is migrated; a fresh log gets its segment header
+     * stamped with this build's provenance. Returns false (with
+     * *err) on I/O or format errors.
      */
     bool open(const std::string &path, std::string *err);
+    bool open(const std::string &path, const JournalSetup &setup,
+              std::string *err);
 
-    /** Durably append one record. */
+    /**
+     * Append one record to the group-commit log. Returns once the
+     * record is SEQUENCED (it has an LSN), not once it is durable —
+     * gate acknowledgement on durableLsn()/waitDurable()/flush().
+     */
     bool append(const JournalRecord &rec, std::string *err);
 
-    /** Records loaded at open() time (earlier lines first). */
+    /** Ack LSN of the most recent append (0 = nothing appended). */
+    std::uint64_t lastLsn() const { return _lastLsn; }
+
+    /** Everything at or below this LSN is fsynced. */
+    std::uint64_t durableLsn() const { return _log.durableLsn(); }
+
+    /** Block until `lsn` is durable; false if the log failed. */
+    bool waitDurable(std::uint64_t lsn) { return _log.waitDurable(lsn); }
+
+    /** Block until every appended record is durable. */
+    bool flush(std::string *err);
+
+    /** Has the log hit a sticky I/O failure? (durableLsn() will
+     *  never advance past the failure point.) */
+    bool logFailed() const { return _log.failed(); }
+
+    /** Records loaded at open() time (earlier records first). */
     const std::vector<JournalRecord> &loaded() const
     {
         return _loaded;
@@ -80,14 +119,20 @@ class Journal
     /** Build-provenance line of the journal header ("" if new). */
     const std::string &buildLine() const { return _buildLine; }
 
+    /** What recovery saw at open() (zeroed for a fresh journal). */
+    const log::ReplayStats &recoveryStats() const { return _recovery; }
+
     const std::string &path() const { return _path; }
     bool isOpen() const { return !_path.empty(); }
 
     /**
-     * Parse a journal file. Tolerates a truncated final line (the
-     * artifact of an append cut down mid-write by a filesystem that
-     * ignores the durability protocol) but rejects torn records
-     * anywhere else. Records are returned in file order; with
+     * Parse a journal — a segment-log directory (scanned with
+     * `threads` redo workers partitioned by cell hash; the result is
+     * independent of the worker count) or a legacy JSONL file. A
+     * torn tail left by a crash mid-append is dropped with a
+     * warning; corruption anywhere else (a bit-flipped block or
+     * record) is rejected with a structured error naming the segment
+     * and LSN (or line). Records are returned in append order; with
      * duplicate cell hashes the LAST record wins — a resumed
      * campaign appends the re-execution after the worker-death
      * record it supersedes.
@@ -95,6 +140,10 @@ class Journal
     static bool load(const std::string &path,
                      std::vector<JournalRecord> *out,
                      std::string *build_line, std::string *err);
+    static bool load(const std::string &path, unsigned threads,
+                     std::vector<JournalRecord> *out,
+                     std::string *build_line, log::ReplayStats *stats,
+                     std::string *err);
 
     /**
      * The resume index over loaded records: last record per cell
@@ -107,11 +156,24 @@ class Journal
     static std::map<std::uint64_t, const JournalRecord *>
     resumeIndex(const std::vector<JournalRecord> &records);
 
+    /**
+     * Cheap provenance probe for `--strict-provenance`: true when
+     * `path` exists, carries a build line, and that line differs
+     * from the running binary's (with *desc naming the difference).
+     */
+    static bool provenanceMismatch(const std::string &path,
+                                   std::string *desc);
+
   private:
+    bool migrateLegacy(const std::string &file, const JournalSetup &setup,
+                       std::string *err);
+
     std::string _path;
-    std::string _content; ///< complete serialized journal
     std::string _buildLine;
     std::vector<JournalRecord> _loaded;
+    log::ResultLog _log;
+    std::uint64_t _lastLsn = 0;
+    log::ReplayStats _recovery;
 };
 
 } // namespace edge::super

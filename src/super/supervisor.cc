@@ -303,8 +303,12 @@ std::vector<CellOutcome>
 Supervisor::runAll(const std::vector<CellSpec> &cells)
 {
     if (!_journalReady && !_opts.journalPath.empty()) {
+        JournalSetup setup;
+        setup.log = _opts.logOptions;
+        setup.resumeThreads = _opts.resumeThreads;
+        setup.announceResume = _opts.resume;
         std::string err;
-        if (_journal.open(_opts.journalPath, &err))
+        if (_journal.open(_opts.journalPath, setup, &err))
             _journalReady = true;
         else
             warn("supervisor: %s — continuing without a journal",
@@ -522,6 +526,18 @@ Supervisor::runAll(const std::vector<CellSpec> &cells)
             }
             it = active.erase(it);
         }
+    }
+
+    // Group-commit ack: nothing is reported (or resumed past) until
+    // the log's durable watermark covers every record appended above.
+    // A crash before this point loses at most the last commit window;
+    // --resume re-executes exactly those cells.
+    if (_journalReady) {
+        std::string err;
+        if (!_journal.flush(&err))
+            warn("supervisor: journal flush failed: %s — unflushed "
+                 "results will re-run on --resume",
+                 err.c_str());
     }
     return out;
 }

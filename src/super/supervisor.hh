@@ -13,12 +13,12 @@
  *
  * Child deaths are classified from the wait status into the
  * SimError::Reason::Worker* kinds; every completed cell is appended
- * to a durable journal; `resume` replays final records and
- * selectively re-executes the rest. SIGINT/SIGTERM (see
+ * to the durable group-commit result log; `resume` replays final
+ * records and selectively re-executes the rest. SIGINT/SIGTERM (see
  * installStopHandlers) stop the loop at the next poll tick: children
- * are reaped, the journal is already flushed (it is flushed per
- * record), and the caller prints the partial tally plus a one-line
- * resume hint.
+ * are reaped, the journal is flushed (runAll waits on the log's
+ * durable watermark before returning), and the caller prints the
+ * partial tally plus a one-line resume hint.
  */
 
 #ifndef EDGE_SUPER_SUPERVISOR_HH
@@ -61,6 +61,10 @@ struct SupervisorOptions
     /** Retry policy for transient (timeout) failures. Deterministic
      *  worker deaths are never retried in-session. */
     sim::RetryPolicy retry;
+    /** Group-commit result-log tuning + crash-fault injection. */
+    log::LogOptions logOptions;
+    /** Redo workers for `--resume` journal recovery (0 = auto). */
+    unsigned resumeThreads = 0;
 };
 
 class Supervisor : public CellRunner

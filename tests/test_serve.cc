@@ -23,10 +23,12 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "log/log_chaos.hh"
 #include "serve/agent.hh"
 #include "serve/fabric.hh"
 #include "sim/simulator.hh"
@@ -372,6 +374,98 @@ TEST(ServeChaos, DropProfileStillConvergesByteIdentical)
     EXPECT_EQ(fabric.failures(), 0u);
 
     reapAgent(a);
+}
+
+// --- durable-ack leases ---------------------------------------------
+
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &name)
+        : _path(std::filesystem::temp_directory_path() /
+                ("edge_serve_" + name + "_" +
+                 std::to_string(::getpid())))
+    {
+        std::filesystem::create_directories(_path);
+    }
+    ~TempDir() { std::filesystem::remove_all(_path); }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return (_path / name).string();
+    }
+
+  private:
+    std::filesystem::path _path;
+};
+
+TEST(ServeDurable, CoordinatorKilledBeforeDurableReleasesTheCell)
+{
+    // A result the coordinator has RECEIVED but not made durable must
+    // not be acknowledged: the cell parks in WaitDurable, and a
+    // coordinator SIGKILLed in that window leaves a journal without
+    // the record, so the resumed campaign re-leases the cell instead
+    // of losing it. The final merged report stays byte-identical.
+    std::vector<super::CellSpec> cells = grid(4);
+    std::vector<std::string> want = truth(cells);
+
+    TempDir tmp("durable");
+    std::string path = tmp.file("camp.journal");
+
+    // A seed whose before-write fault fires at flusher write ordinal
+    // 0: the coordinator dies at its FIRST journal batch write — at
+    // least one result received, nothing durable yet.
+    std::uint64_t seed = 1;
+    while (!log::LogChaos::wouldFire(log::LogCrashPoint::BeforeWrite,
+                                     seed, 0))
+        ++seed;
+
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        serve::FabricOptions fo = fastOptions();
+        fo.journalPath = path;
+        fo.logOptions.groupCommitMs = 1;
+        fo.logOptions.chaos.point = log::LogCrashPoint::BeforeWrite;
+        fo.logOptions.chaos.seed = seed;
+        serve::Fabric fabric(fo);
+        std::string err;
+        if (!fabric.start(&err))
+            ::_exit(3);
+        fabric.runAll(cells);
+        ::_exit(0); // the injected kill never fired
+    }
+    int st = 0;
+    ASSERT_EQ(::waitpid(pid, &st, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(st) && WTERMSIG(st) == SIGKILL)
+        << "coordinator should die at its first journal write, "
+        << "status " << st;
+
+    // Restart on the same journal: every cell re-leases (nothing was
+    // durable), completes, and the report is byte-identical.
+    serve::FabricOptions fo = fastOptions();
+    fo.journalPath = path;
+    fo.resume = true;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_EQ(fabric.failures(), 0u);
+    EXPECT_LT(fabric.skipped(), cells.size())
+        << "the unacknowledged cell must re-execute, not be lost";
+
+    // And the resumed session's journal now holds every cell final:
+    // a third run replays everything.
+    serve::FabricOptions fo2 = fastOptions();
+    fo2.journalPath = path;
+    fo2.resume = true;
+    serve::Fabric fabric2(fo2);
+    ASSERT_TRUE(fabric2.start(&err)) << err;
+    std::vector<super::CellOutcome> replay = fabric2.runAll(cells);
+    expectByteIdentical(replay, want);
+    EXPECT_EQ(fabric2.skipped(), cells.size());
 }
 
 // --- stop semantics -------------------------------------------------

@@ -205,7 +205,7 @@ TEST(SuperWorker, OversizedSpecIsBoundedProtocolError)
 TEST(SuperJournal, AppendLoadRoundTripAndLastRecordWins)
 {
     TempDir dir("journal");
-    std::string path = dir.file("camp.journal.jsonl");
+    std::string path = dir.file("camp.journal");
 
     super::Journal j;
     std::string err;
@@ -217,6 +217,7 @@ TEST(SuperJournal, AppendLoadRoundTripAndLastRecordWins)
     a.result.error.reason = chaos::SimError::Reason::WorkerKilled;
     a.result.rngSeed = 9;
     ASSERT_TRUE(j.append(a, &err)) << err;
+    EXPECT_GT(j.lastLsn(), 0u);
 
     super::JournalRecord b;
     b.cell = 0xabcdef;
@@ -226,6 +227,11 @@ TEST(SuperJournal, AppendLoadRoundTripAndLastRecordWins)
     b.result.rngSeed = 9;
     b.result.cycles = 1234;
     ASSERT_TRUE(j.append(b, &err)) << err;
+
+    // append() only sequences; the group-commit flusher makes it
+    // durable. flush() waits on the watermark.
+    ASSERT_TRUE(j.flush(&err)) << err;
+    EXPECT_GE(j.durableLsn(), j.lastLsn());
 
     std::vector<super::JournalRecord> recs;
     std::string build;
@@ -240,66 +246,115 @@ TEST(SuperJournal, AppendLoadRoundTripAndLastRecordWins)
     EXPECT_EQ(dump(recs[1].result), dump(b.result));
 }
 
-TEST(SuperJournal, ToleratesTornFinalLineOnly)
+/** The newest segment file of a log directory. */
+std::string
+lastSegment(const std::string &dir)
+{
+    std::string last;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        std::string p = e.path().string();
+        if (p.size() > 5 &&
+            p.compare(p.size() - 5, 5, ".elog") == 0 &&
+            (last.empty() || p > last))
+            last = p;
+    }
+    return last;
+}
+
+TEST(SuperJournal, ToleratesTornTailOnly)
 {
     TempDir dir("torn");
-    std::string path = dir.file("torn.journal.jsonl");
+    std::string path = dir.file("torn.journal");
 
-    super::Journal j;
     std::string err;
-    ASSERT_TRUE(j.open(path, &err)) << err;
-    super::JournalRecord rec;
-    rec.cell = 1;
-    rec.result.halted = true;
-    ASSERT_TRUE(j.append(rec, &err)) << err;
-
-    // A torn FINAL line (filesystem ignored the durability protocol)
-    // is dropped with a warning; the journal remains loadable.
     {
-        std::ofstream f(path, std::ios::app);
-        f << "{\"cell\": \"2\", \"final\": tru";
+        super::Journal j;
+        ASSERT_TRUE(j.open(path, &err)) << err;
+        super::JournalRecord rec;
+        rec.cell = 1;
+        rec.result.halted = true;
+        ASSERT_TRUE(j.append(rec, &err)) << err;
+        super::JournalRecord rec2 = rec;
+        rec2.cell = 2;
+        ASSERT_TRUE(j.append(rec2, &err)) << err;
+        ASSERT_TRUE(j.flush(&err)) << err;
+        // Both records landed in the same group-commit block; close
+        // and reopen so each ends up in its own block.
     }
+    {
+        super::Journal j;
+        ASSERT_TRUE(j.open(path, &err)) << err;
+        super::JournalRecord rec3;
+        rec3.cell = 3;
+        rec3.result.halted = true;
+        ASSERT_TRUE(j.append(rec3, &err)) << err;
+        ASSERT_TRUE(j.flush(&err)) << err;
+    }
+
+    // Tear the newest block: chop bytes off the physical end of the
+    // newest segment, exactly what a crash mid-write leaves behind.
+    // The torn tail is dropped with a warning; the prefix loads.
+    std::string seg = lastSegment(path);
+    ASSERT_FALSE(seg.empty());
+    std::uintmax_t size = std::filesystem::file_size(seg);
+    std::filesystem::resize_file(seg, size - 7);
+
     std::vector<super::JournalRecord> recs;
     std::string build;
     ASSERT_TRUE(super::Journal::load(path, &recs, &build, &err))
         << err;
-    EXPECT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].cell, 1u);
+    EXPECT_EQ(recs[1].cell, 2u);
 
-    // A torn MIDDLE line means the file is not an append-only
-    // journal prefix at all: hard error.
+    // Reopening for append truncates the torn tail and the journal
+    // keeps working; the torn record simply re-executes.
     {
-        std::ofstream f(path, std::ios::app);
-        f << "\n" << "{\"cell\": \"3\", \"final\": true, \"result\": "
-          << triage::resultToJson(rec.result).dumpCompact() << "}\n";
+        super::Journal j;
+        ASSERT_TRUE(j.open(path, &err)) << err;
+        EXPECT_EQ(j.loaded().size(), 2u);
+        EXPECT_EQ(j.recoveryStats().tornRecords, 1u);
+        super::JournalRecord rec3;
+        rec3.cell = 3;
+        rec3.result.halted = true;
+        ASSERT_TRUE(j.append(rec3, &err)) << err;
+        ASSERT_TRUE(j.flush(&err)) << err;
     }
     recs.clear();
-    EXPECT_FALSE(super::Journal::load(path, &recs, &build, &err));
-    EXPECT_FALSE(err.empty());
+    ASSERT_TRUE(super::Journal::load(path, &recs, &build, &err))
+        << err;
+    EXPECT_EQ(recs.size(), 3u);
 }
 
-TEST(SuperJournal, RejectsBitFlippedRecordNamingTheLine)
+TEST(SuperJournal, RejectsBitFlippedBlockNamingTheLsn)
 {
     TempDir dir("crc");
-    std::string path = dir.file("crc.journal.jsonl");
+    std::string path = dir.file("crc.journal");
 
-    super::Journal j;
     std::string err;
-    ASSERT_TRUE(j.open(path, &err)) << err;
-    super::JournalRecord a;
-    a.cell = 1;
-    a.final = true;
-    a.result.halted = true;
-    a.result.cycles = 987654321; // distinctive digits to corrupt
-    ASSERT_TRUE(j.append(a, &err)) << err;
-    super::JournalRecord b = a;
-    b.cell = 2;
-    ASSERT_TRUE(j.append(b, &err)) << err;
+    {
+        super::Journal j;
+        ASSERT_TRUE(j.open(path, &err)) << err;
+        super::JournalRecord a;
+        a.cell = 1;
+        a.final = true;
+        a.result.halted = true;
+        a.result.cycles = 987654321; // distinctive digits to corrupt
+        ASSERT_TRUE(j.append(a, &err)) << err;
+        super::JournalRecord b = a;
+        b.cell = 2;
+        ASSERT_TRUE(j.append(b, &err)) << err;
+        ASSERT_TRUE(j.flush(&err)) << err;
+    }
 
-    // Flip one content byte mid-file (line 2, the first record). The
-    // line still parses as JSON — only the checksum can catch it.
+    // Flip one payload byte. The block is physically complete — not
+    // a torn append — so even at the tail this is corruption and must
+    // be rejected naming the LSN, never silently dropped.
+    std::string seg = lastSegment(path);
+    ASSERT_FALSE(seg.empty());
     std::string text;
     {
-        std::ifstream in(path);
+        std::ifstream in(seg, std::ios::binary);
         std::ostringstream ss;
         ss << in.rdbuf();
         text = ss.str();
@@ -308,7 +363,7 @@ TEST(SuperJournal, RejectsBitFlippedRecordNamingTheLine)
     ASSERT_NE(pos, std::string::npos);
     text[pos] = '1';
     {
-        std::ofstream out(path, std::ios::trunc);
+        std::ofstream out(seg, std::ios::trunc | std::ios::binary);
         out << text;
     }
 
@@ -316,7 +371,45 @@ TEST(SuperJournal, RejectsBitFlippedRecordNamingTheLine)
     std::string build;
     EXPECT_FALSE(super::Journal::load(path, &recs, &build, &err));
     EXPECT_NE(err.find("checksum mismatch"), std::string::npos) << err;
-    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+    EXPECT_NE(err.find("lsn"), std::string::npos) << err;
+}
+
+TEST(SuperJournal, MigratesLegacyJsonlInPlace)
+{
+    // A PR-5 JSONL journal given to open() is migrated: the file is
+    // kept as <path>.v1 and its records re-appended into a segment
+    // log at <path>, preserving the recorded build provenance.
+    TempDir dir("migrate");
+    std::string path = dir.file("old.journal");
+    sim::RunResult r;
+    r.halted = true;
+    r.archMatch = true;
+    r.cycles = 4242;
+    {
+        std::ofstream f(path);
+        f << "{\"format\": \"edgesim-journal\", \"version\": 1, "
+             "\"build\": \"legacy-build-line\"}\n";
+        f << "{\"cell\": 5, \"final\": true, \"result\": "
+          << triage::resultToJson(r).dumpCompact() << "}\n";
+    }
+
+    std::string err;
+    super::Journal j;
+    ASSERT_TRUE(j.open(path, &err)) << err;
+    EXPECT_TRUE(std::filesystem::is_directory(path));
+    EXPECT_TRUE(std::filesystem::is_regular_file(path + ".v1"));
+    ASSERT_EQ(j.loaded().size(), 1u);
+    EXPECT_EQ(j.loaded()[0].cell, 5u);
+    EXPECT_EQ(dump(j.loaded()[0].result), dump(r));
+    EXPECT_EQ(j.buildLine(), "legacy-build-line");
+
+    // The migrated log reads back like any other.
+    std::vector<super::JournalRecord> recs;
+    std::string build;
+    ASSERT_TRUE(super::Journal::load(path, &recs, &build, &err))
+        << err;
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(build, "legacy-build-line");
 }
 
 TEST(SuperJournal, ChecksumlessRecordsStillLoad)

@@ -29,6 +29,7 @@
  *   15  worker crash             16  worker killed
  *   17  worker timeout           18  worker protocol
  *   19  agent lost (campaign fabric)
+ *   20  journal provenance mismatch (--strict-provenance)
  *   128+N  supervised campaign interrupted by signal N
  *
  * Campaign fabric (docs/PROTOCOL.md, "Campaign fabric"):
@@ -105,10 +106,22 @@ usage()
         "  --isolate  run every grid cell in a sandboxed child\n"
         "         process; a segfaulting/OOM-killed/hung cell becomes\n"
         "         a structured failure row, never a dead campaign\n"
-        "  --journal-dir <dir>  durable JSONL journal of completed\n"
-        "         cells (implies --isolate)\n"
+        "  --journal-dir <dir>  durable group-commit result log of\n"
+        "         completed cells (implies --isolate)\n"
         "  --resume <journal>  skip cells the journal marks final,\n"
         "         re-execute the rest, merge (implies --isolate)\n"
+        "  --resume-threads N  redo workers for the recovery scan\n"
+        "         (default: hardware threads; merge is identical at\n"
+        "         any count)\n"
+        "  --strict-provenance  refuse to resume a journal written\n"
+        "         by a different build (exit 20) instead of warning\n"
+        "  --log-group-ms N  group-commit window: max ms a record\n"
+        "         waits for its batch fsync (default 5)\n"
+        "  --log-segment-mb N  segment rotation size (default 64)\n"
+        "  --log-chaos <point> / --log-chaos-seed N  deterministic\n"
+        "         crash/IO-fault injection into the result log\n"
+        "         (points: before-write mid-write after-write\n"
+        "         before-fsync after-fsync before-rotate fail-fsync)\n"
         "  --cell-timeout-ms N  SIGKILL a cell past this deadline\n"
         "  --rlimit-as-mb N / --rlimit-cpu-sec N  child sandbox caps\n"
         "\n"
@@ -139,7 +152,8 @@ usage()
         "  failures, 4 replay mismatch, 10 watchdog, 11 invariant\n"
         "  violation, 12 protocol panic, 13 livelock, 14 host\n"
         "  deadline, 15-18 worker crash/kill/timeout/protocol,\n"
-        "  19 agent lost, 128+N interrupted by signal N\n"
+        "  19 agent lost, 20 provenance mismatch, 128+N interrupted\n"
+        "  by signal N\n"
         "\n"
         "configs: ");
     for (const auto &c : sim::Configs::allNames())
@@ -436,6 +450,24 @@ serveCliMain(int argc, char **argv)
         } else if (arg == "--resume") {
             so.fabric.journalPath = next();
             so.fabric.resume = true;
+        } else if (arg == "--log-group-ms") {
+            so.fabric.logOptions.groupCommitMs =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--log-segment-mb") {
+            so.fabric.logOptions.segmentBytes =
+                std::strtoull(next(), nullptr, 10) * 1024 * 1024;
+        } else if (arg == "--log-chaos") {
+            fatal_if(!log::logCrashPointByName(
+                         next(), &so.fabric.logOptions.chaos.point),
+                     "unknown log crash point '%s'", argv[i]);
+        } else if (arg == "--log-chaos-seed") {
+            so.fabric.logOptions.chaos.seed =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--resume-threads") {
+            so.fabric.resumeThreads = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--strict-provenance") {
+            so.strictProvenance = true;
         } else if (arg == "--capture-repro") {
             so.fabric.reproDir = next();
         } else if (arg == "--no-local-fallback") {
@@ -509,6 +541,9 @@ main(int argc, char **argv)
     std::uint64_t cell_timeout_ms = 0;
     std::uint64_t rlimit_as_mb = 0;
     std::uint64_t rlimit_cpu_sec = 0;
+    log::LogOptions log_opts;
+    unsigned resume_threads = 0;
+    bool strict_provenance = false;
     std::vector<std::pair<std::string, std::uint64_t>> overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -591,6 +626,22 @@ main(int argc, char **argv)
             rlimit_as_mb = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--rlimit-cpu-sec") {
             rlimit_cpu_sec = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--log-group-ms") {
+            log_opts.groupCommitMs = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--log-segment-mb") {
+            log_opts.segmentBytes =
+                std::strtoull(next(), nullptr, 10) * 1024 * 1024;
+        } else if (arg == "--log-chaos") {
+            fatal_if(!log::logCrashPointByName(next(),
+                                               &log_opts.chaos.point),
+                     "unknown log crash point '%s'", argv[i]);
+        } else if (arg == "--log-chaos-seed") {
+            log_opts.chaos.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--resume-threads") {
+            resume_threads = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--strict-provenance") {
+            strict_provenance = true;
         } else if (arg == "--version") {
             std::printf("edgesim %s\n", buildInfoLine().c_str());
             return 0;
@@ -626,6 +677,21 @@ main(int argc, char **argv)
     if (!replay_path.empty())
         return replayMain(replay_path, minimize, threads);
 
+    // --strict-provenance turns the resume build-mismatch warning
+    // into a refusal, before any cell runs.
+    if (strict_provenance && !resume_path.empty()) {
+        std::string desc;
+        if (super::Journal::provenanceMismatch(resume_path, &desc)) {
+            std::fprintf(
+                stderr,
+                "edgesim: journal %s: %s; refusing to resume "
+                "under --strict-provenance\n",
+                resume_path.c_str(), desc.c_str());
+            return chaos::exitCodeFor(
+                chaos::SimError::Reason::ProvenanceMismatch);
+        }
+    }
+
     // Shared supervisor setup for the --isolate campaign paths.
     auto supervisorOptions =
         [&](const std::string &campaign) -> super::SupervisorOptions {
@@ -638,8 +704,10 @@ main(int argc, char **argv)
             so.journalPath = resume_path;
         else if (!journal_dir.empty())
             so.journalPath =
-                journal_dir + "/" + campaign + ".journal.jsonl";
+                journal_dir + "/" + campaign + ".journal";
         so.resume = !resume_path.empty();
+        so.logOptions = log_opts;
+        so.resumeThreads = resume_threads;
         return so;
     };
 
