@@ -33,6 +33,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -64,6 +65,7 @@ struct CellRate
     double mcyclesPerSec = 0.0;
     double tickCellsPerSec = 0.0; ///< --engine both only
     bool enginesAgree = true;     ///< --engine both only
+    std::vector<double> latMs;    ///< per-rep wall latency samples
 };
 
 double
@@ -79,9 +81,16 @@ engineTweak(const std::string &engine)
     return [kind](core::MachineConfig &cfg) { cfg.engine = kind; };
 }
 
-/** Best-of-kReps serial cells/sec; fills *result from the first rep. */
+/**
+ * Best-of-kReps serial cells/sec; fills *result from the first rep.
+ * Every rep's wall latency (ms) is appended to *latenciesMs when
+ * given — the sample set behind the p50/p95/p99 per-cell latency
+ * figures (the straggler-detection threshold the serve fabric's
+ * hedging derives comes from exactly this distribution).
+ */
 double
-timeCell(const RunSpec &spec, sim::RunResult *result)
+timeCell(const RunSpec &spec, sim::RunResult *result,
+         std::vector<double> *latenciesMs = nullptr)
 {
     double best = 0.0;
     for (int rep = 0; rep < kReps; ++rep) {
@@ -92,8 +101,24 @@ timeCell(const RunSpec &spec, sim::RunResult *result)
             *result = std::move(row.result);
         if (secs > 0.0)
             best = std::max(best, 1.0 / secs);
+        if (latenciesMs)
+            latenciesMs->push_back(secs * 1e3);
     }
     return best;
+}
+
+/** Nearest-rank percentile (p in [0,100]); 0 on an empty sample. */
+double
+percentile(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(idx);
+    std::size_t hi = std::min(lo + 1, v.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return v[lo] + (v[hi] - v[lo]) * frac;
 }
 
 struct BaselineCell
@@ -352,7 +377,8 @@ main(int argc, char **argv)
 
             CellRate rate;
             rate.spec = spec;
-            rate.cellsPerSec = timeCell(spec, &rate.result);
+            rate.cellsPerSec =
+                timeCell(spec, &rate.result, &rate.latMs);
             rate.mcyclesPerSec =
                 rate.cellsPerSec *
                 static_cast<double>(rate.result.cycles) / 1e6;
@@ -394,9 +420,19 @@ main(int argc, char **argv)
     }
 
     std::vector<double> per_cell;
-    for (const auto &r : rates)
+    std::vector<double> all_lat_ms;
+    for (const auto &r : rates) {
         per_cell.push_back(r.cellsPerSec > 0.0 ? r.cellsPerSec : 1e-9);
+        all_lat_ms.insert(all_lat_ms.end(), r.latMs.begin(),
+                          r.latMs.end());
+    }
     double gm = geomean(per_cell);
+    // Per-cell latency distribution across the whole matrix: the
+    // numbers a straggler-hedging threshold (serve --hedge-after-ms,
+    // auto mode = 2 x observed p95) should be read against.
+    double lat_p50 = percentile(all_lat_ms, 50.0);
+    double lat_p95 = percentile(all_lat_ms, 95.0);
+    double lat_p99 = percentile(all_lat_ms, 99.0);
 
     double tick_gm = 0.0;
     if (both) {
@@ -425,6 +461,9 @@ main(int argc, char **argv)
 
     std::printf("\ngeomean serial rate : %8.1f cells/sec (%s)\n", gm,
                 primary.c_str());
+    std::printf("cell latency        : p50 %.1f ms, p95 %.1f ms, "
+                "p99 %.1f ms (%zu samples)\n",
+                lat_p50, lat_p95, lat_p99, all_lat_ms.size());
     if (both) {
         std::printf("geomean serial rate : %8.1f cells/sec (tick)\n",
                     tick_gm);
@@ -474,6 +513,11 @@ main(int argc, char **argv)
                          tick_gm, tick_gm > 0.0 ? gm / tick_gm : 0.0);
         }
         std::fprintf(f,
+                     "  \"cell_latency_ms_p50\": %.3f,\n"
+                     "  \"cell_latency_ms_p95\": %.3f,\n"
+                     "  \"cell_latency_ms_p99\": %.3f,\n",
+                     lat_p50, lat_p95, lat_p99);
+        std::fprintf(f,
                      "  \"suite_cells_per_sec\": %.3f,\n"
                      "  \"suite_cells\": %zu,\n"
                      "  \"suite_wall_seconds\": %.3f,\n"
@@ -493,6 +537,12 @@ main(int argc, char **argv)
                 jsonEscape(r.spec.kernel).c_str(),
                 jsonEscape(r.spec.config).c_str(), r.cellsPerSec,
                 r.mcyclesPerSec);
+            std::fprintf(f,
+                         "\"lat_ms_p50\": %.3f, \"lat_ms_p95\": %.3f, "
+                         "\"lat_ms_p99\": %.3f, ",
+                         percentile(r.latMs, 50.0),
+                         percentile(r.latMs, 95.0),
+                         percentile(r.latMs, 99.0));
             if (both) {
                 std::fprintf(f,
                              "\"tick_cells_per_sec\": %.3f, "

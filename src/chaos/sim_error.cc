@@ -20,6 +20,7 @@ reasonName(SimError::Reason reason)
       case SimError::Reason::WorkerTimeout: return "worker-timeout";
       case SimError::Reason::WorkerProtocol: return "worker-protocol";
       case SimError::Reason::AgentLost: return "agent-lost";
+      case SimError::Reason::AgentCorrupt: return "agent-corrupt";
       case SimError::Reason::ProvenanceMismatch: return "provenance-mismatch";
     }
     return "?";
@@ -37,6 +38,7 @@ reasonByName(const std::string &name)
           SimError::Reason::WorkerTimeout,
           SimError::Reason::WorkerProtocol,
           SimError::Reason::AgentLost,
+          SimError::Reason::AgentCorrupt,
           SimError::Reason::ProvenanceMismatch}) {
         if (name == reasonName(r))
             return r;
@@ -60,6 +62,7 @@ exitCodeFor(SimError::Reason reason)
       case SimError::Reason::WorkerProtocol: return 18;
       case SimError::Reason::AgentLost: return 19;
       case SimError::Reason::ProvenanceMismatch: return 20;
+      case SimError::Reason::AgentCorrupt: return 21;
     }
     return 1;
 }
@@ -69,7 +72,8 @@ isTransient(SimError::Reason reason)
 {
     return reason == SimError::Reason::HostDeadline ||
            reason == SimError::Reason::WorkerTimeout ||
-           reason == SimError::Reason::AgentLost;
+           reason == SimError::Reason::AgentLost ||
+           reason == SimError::Reason::AgentCorrupt;
 }
 
 bool
@@ -81,6 +85,7 @@ isWorkerFailure(SimError::Reason reason)
       case SimError::Reason::WorkerTimeout:
       case SimError::Reason::WorkerProtocol:
       case SimError::Reason::AgentLost:
+      case SimError::Reason::AgentCorrupt:
         return true;
       default:
         return false;

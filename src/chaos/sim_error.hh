@@ -46,6 +46,13 @@ struct SimError
         // reassignment budget ran out. Transient: a resumed or
         // re-run campaign re-executes the cell.
         AgentLost, ///< all leases lost (agent death / partition)
+        // Produced by the coordinator's result-integrity audit when a
+        // duplicate execution of a Done cell diverged and no majority
+        // could be established (or the divergence itself must be
+        // surfaced). The agent that produced the minority bytes is
+        // quarantined. Transient: a re-run on honest executors
+        // produces the correct result.
+        AgentCorrupt, ///< audit divergence (bit-flipping executor)
 
         // --- durable-result-log kind -------------------------------
         // Produced on `--resume --strict-provenance` when the journal

@@ -14,7 +14,9 @@
 #include <mutex>
 #include <thread>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
+#include "serve/fabric_chaos.hh"
 #include "serve/net.hh"
 #include "serve/proto.hh"
 #include "super/cell.hh"
@@ -35,6 +37,12 @@ struct Agent
 
     std::uint64_t heartbeatMs = 1000;
     bool draining = false; ///< shutdown received: no new assigns
+
+    /** Agent-side affliction the coordinator elected this agent for
+     *  in its welcome (slow = delay each cell; liar = deterministic
+     *  semantic flips in each result before it hits the wire). */
+    FabricProfile affliction = FabricProfile::None;
+    std::uint64_t chaosSeed = 0;
 
     struct Running
     {
@@ -80,6 +88,28 @@ struct Agent
         if (!outs.empty() && outs[0].ran) {
             d.ran = true;
             d.result = std::move(outs[0].result);
+        }
+        if (affliction == FabricProfile::Slow && d.ran &&
+            !sup->stopRequested()) {
+            // Straggle: hold the finished result long enough for the
+            // fleet's p95-derived hedge threshold to fire. The sleep
+            // lives on the cell thread, so heartbeats keep flowing
+            // and the agent stays "alive but slow".
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(kSlowCellDelayMs));
+        }
+        if (affliction == FabricProfile::Liar && d.ran) {
+            // Bit-flipping executor: corrupt the result semantically
+            // (valid JSON, wrong bytes) so only a byte-compare audit
+            // can tell. Which counter gets the flip is a pure
+            // function of (seed, cell) — reproducible divergence.
+            Fnv1a f;
+            f.mix64(chaosSeed);
+            f.mix64(d.cell);
+            if (f.state % 2 == 0)
+                d.result.cycles ^= 1;
+            else
+                d.result.committedInsts ^= 1;
         }
         {
             std::lock_guard<std::mutex> lk(mu);
@@ -274,6 +304,18 @@ agentMain(const AgentOptions &opts)
                 a.heartbeatMs =
                     std::max<std::uint64_t>(
                         10, doc.getU64("heartbeat_ms", 1000));
+                std::string chaos = doc.getString("chaos");
+                if (!chaos.empty()) {
+                    FabricProfile p;
+                    if (fabricProfileByName(chaos, &p)) {
+                        a.affliction = p;
+                        a.chaosSeed = doc.getU64("chaos_seed");
+                        warn("agent '%s': afflicted '%s' (seed %llu)",
+                             a.opts.name.c_str(), chaos.c_str(),
+                             static_cast<unsigned long long>(
+                                 a.chaosSeed));
+                    }
+                }
             } else if (type == "assign") {
                 a.handleAssign(doc);
             } else if (type == "shutdown") {
@@ -310,7 +352,13 @@ agentMain(const AgentOptions &opts)
         if (std::chrono::duration_cast<std::chrono::milliseconds>(
                 now - lastBeat)
                 .count() >= static_cast<long long>(a.heartbeatMs)) {
-            a.conn->send(proto::heartbeat());
+            std::uint64_t queued;
+            {
+                std::lock_guard<std::mutex> lk(a.mu);
+                queued = a.done.size();
+            }
+            a.conn->send(
+                proto::heartbeat(a.active.size(), queued));
             lastBeat = now;
         }
     }

@@ -109,12 +109,23 @@ serveMain(const ServeOptions &opts)
     if (super::stopSignal() != 0)
         inform("serve: stopping on signal %d", super::stopSignal());
     inform("serve: %zu campaign(s) served, %llu duplicate result(s) "
-           "deduped, %llu lease(s) reassigned, %llu agent death(s)",
+           "deduped, %llu lease(s) reassigned, %llu agent death(s), "
+           "%llu hedge(s), %llu audit(s) (%llu passed, %llu "
+           "diverged), %llu agent(s) quarantined, %llu "
+           "submission(s) shed",
            served,
            static_cast<unsigned long long>(
                fabric.duplicatesDeduped()),
            static_cast<unsigned long long>(fabric.reassignments()),
-           static_cast<unsigned long long>(fabric.agentDeaths()));
+           static_cast<unsigned long long>(fabric.agentDeaths()),
+           static_cast<unsigned long long>(fabric.hedges()),
+           static_cast<unsigned long long>(fabric.auditsRun()),
+           static_cast<unsigned long long>(fabric.auditsPassed()),
+           static_cast<unsigned long long>(fabric.auditsDiverged()),
+           static_cast<unsigned long long>(
+               fabric.agentsQuarantined()),
+           static_cast<unsigned long long>(
+               fabric.shedSubmissions()));
     return 0;
 }
 
@@ -125,9 +136,9 @@ namespace {
 bool
 submitAndWait(const std::string &coordinator,
               const JsonValue &campaign, JsonValue *reportBody,
-              std::string *err)
+              std::string *err, std::uint64_t timeoutMs)
 {
-    int fd = connectTo(coordinator, err);
+    int fd = connectTo(coordinator, err, timeoutMs);
     if (fd < 0)
         return false;
     bool ok = false;
@@ -135,16 +146,25 @@ submitAndWait(const std::string &coordinator,
         LineReader reader(fd);
         std::string line;
         for (;;) {
-            if (!reader.next(&line, err))
+            if (!reader.next(&line, err, timeoutMs))
                 break;
             JsonValue doc;
             std::string type;
             if (!proto::parse(line, &doc, &type, err))
                 break;
             if (type == "error") {
-                if (err)
+                if (err) {
                     *err = "coordinator: " +
                            doc.getString("message", "unknown error");
+                    // Admission-control shed: surface the structured
+                    // retry hint so callers (and humans) can back off
+                    // rather than hammer a loaded coordinator.
+                    std::uint64_t retry = doc.getU64("retry_after_ms");
+                    if (retry != 0)
+                        *err += strfmt(" (retry after %llu ms)",
+                                       static_cast<unsigned long long>(
+                                           retry));
+                }
                 break;
             }
             if (type != "report")
@@ -171,11 +191,11 @@ submitSweep(const std::string &coordinator,
             const sim::ChaosSweepParams &params,
             const triage::ProgramRef &program,
             sim::ChaosSweepReport *report, bool *interrupted,
-            std::string *err)
+            std::string *err, std::uint64_t timeoutMs)
 {
     JsonValue body;
     if (!submitAndWait(coordinator, sweepSubmission(params, program),
-                       &body, err))
+                       &body, err, timeoutMs))
         return false;
     return sweepReportFromJson(body, report, interrupted, err);
 }
@@ -183,11 +203,11 @@ submitSweep(const std::string &coordinator,
 bool
 submitFuzz(const std::string &coordinator,
            const fuzz::FuzzOptions &opts, fuzz::FuzzReport *report,
-           std::string *err)
+           std::string *err, std::uint64_t timeoutMs)
 {
     JsonValue body;
-    if (!submitAndWait(coordinator, fuzzSubmission(opts), &body,
-                       err))
+    if (!submitAndWait(coordinator, fuzzSubmission(opts), &body, err,
+                       timeoutMs))
         return false;
     return fuzzReportFromJson(body, report, err);
 }

@@ -38,18 +38,27 @@ struct ServeOptions
  *  code. */
 int serveMain(const ServeOptions &opts);
 
-/** Submit a sweep to `coordinator` (host:port) and wait for the
- *  report. False (with *err) on connection or protocol failure. */
+/**
+ * Submit a sweep to `coordinator` (host:port) and wait for the
+ * report. False (with *err) on connection or protocol failure. A
+ * nonzero `timeoutMs` bounds the TCP connect AND each silent wait
+ * for a coordinator line — an inactivity deadline, so it must exceed
+ * the expected campaign duration (the coordinator sends nothing
+ * while a campaign runs). 0 = wait forever (the historical
+ * behaviour, which wedges on a hung coordinator).
+ */
 bool submitSweep(const std::string &coordinator,
                  const sim::ChaosSweepParams &params,
                  const triage::ProgramRef &program,
                  sim::ChaosSweepReport *report, bool *interrupted,
-                 std::string *err);
+                 std::string *err, std::uint64_t timeoutMs = 0);
 
-/** Submit a fuzz campaign and wait for the report. */
+/** Submit a fuzz campaign and wait for the report (same deadline
+ *  semantics as submitSweep). */
 bool submitFuzz(const std::string &coordinator,
                 const fuzz::FuzzOptions &opts,
-                fuzz::FuzzReport *report, std::string *err);
+                fuzz::FuzzReport *report, std::string *err,
+                std::uint64_t timeoutMs = 0);
 
 } // namespace edge::serve
 

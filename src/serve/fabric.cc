@@ -10,6 +10,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "serve/proto.hh"
 #include "triage/repro.hh"
@@ -42,6 +43,40 @@ struct Fabric::Peer
     std::uint64_t inOrdinal = 0;     ///< inbound messages (chaos key)
     std::uint64_t resultOrdinal = 0; ///< inbound results (chaos key)
     std::uint64_t assignOrdinal = 0; ///< outbound assigns (chaos key)
+
+    // --- health -----------------------------------------------------
+    double ewmaMs = 0; ///< EWMA cell latency (0 = no samples yet)
+    std::uint64_t okResults = 0;
+    std::uint64_t crashes = 0;     ///< worker-failure results
+    std::uint64_t timeouts = 0;    ///< expired leases
+    std::uint64_t leaseLosses = 0; ///< leases revoked by a death
+    std::uint64_t loadInflight = 0; ///< agent-reported, via heartbeat
+    std::uint64_t loadQueued = 0;
+    /** Audit caught this agent returning corrupt bytes: it never
+     *  gets another lease of any kind. */
+    bool quarantined = false;
+    bool demotionLogged = false;
+
+    std::uint64_t
+    badEvents() const
+    {
+        return crashes + timeouts + leaseLosses;
+    }
+    double
+    failRate() const
+    {
+        std::uint64_t total = okResults + badEvents();
+        return total ? static_cast<double>(badEvents()) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+    /** Demoted agents are placed last (and never hedged onto): a
+     *  majority-failure record past a minimum sample count. */
+    bool
+    demoted() const
+    {
+        return badEvents() >= 3 && failRate() > 0.5;
+    }
 };
 
 namespace {
@@ -121,7 +156,8 @@ Fabric::liveAgents() const
 {
     std::size_t n = 0;
     for (const auto &kv : _peers)
-        if (kv.second->kind == Peer::Kind::Agent && kv.second->live)
+        if (kv.second->kind == Peer::Kind::Agent &&
+            kv.second->live && !kv.second->quarantined)
             ++n;
     return n;
 }
@@ -131,8 +167,22 @@ Fabric::popSubmission(Submission *out)
 {
     if (_submissions.empty())
         return false;
-    *out = std::move(_submissions.front());
-    _submissions.pop_front();
+    // Fair service: prefer the oldest submission from a client other
+    // than the one just served, so one chatty client queueing many
+    // campaigns cannot FIFO-starve everyone else.
+    auto pick = _submissions.begin();
+    if (_lastServedClient != 0) {
+        for (auto it = _submissions.begin(); it != _submissions.end();
+             ++it) {
+            if (it->client != _lastServedClient) {
+                pick = it;
+                break;
+            }
+        }
+    }
+    _lastServedClient = pick->client;
+    *out = std::move(*pick);
+    _submissions.erase(pick);
     return true;
 }
 
@@ -265,9 +315,12 @@ Fabric::sweepDeadlines(Clock::time_point now)
             continue;
         l.revoked = true;
         auto pit = _peers.find(l.peer);
-        if (pit != _peers.end() && pit->second->inFlight > 0)
-            --pit->second->inFlight;
-        reassignCell(l.cell, kv.first, "lease expired");
+        if (pit != _peers.end()) {
+            if (pit->second->inFlight > 0)
+                --pit->second->inFlight;
+            ++pit->second->timeouts;
+        }
+        leaseLost(kv.first, l, "lease expired");
     }
 }
 
@@ -298,18 +351,20 @@ Fabric::handleLine(Peer &peer, const std::string &line)
             peer.ordinal = _agentOrdinals++;
             peer.live = true;
             peer.lastHeard = Clock::now();
-            peer.conn->send(
-                proto::welcome(peer.id, _opts.heartbeatMs));
-            inform("fabric: agent '%s' connected (%u slot%s)",
+            FabricProfile affliction =
+                _chaos.agentAffliction(peer.ordinal);
+            peer.conn->send(proto::welcome(peer.id, _opts.heartbeatMs,
+                                           affliction,
+                                           _opts.chaosSeed));
+            inform("fabric: agent '%s' connected (%u slot%s)%s",
                    peer.name.c_str(), peer.slots,
-                   peer.slots == 1 ? "" : "s");
+                   peer.slots == 1 ? "" : "s",
+                   affliction != FabricProfile::None
+                       ? " [chaos-afflicted]"
+                       : "");
         } else if (type == "submit") {
             peer.kind = Peer::Kind::Client;
-            if (const JsonValue *c = doc.get("campaign"))
-                _submissions.push_back({peer.id, *c});
-            else
-                peer.conn->send(
-                    proto::error("submit without a campaign"));
+            admitSubmission(peer, doc);
         } else {
             peer.conn->send(proto::error(
                 "expected hello or submit, got '" + type + "'"));
@@ -319,14 +374,39 @@ Fabric::handleLine(Peer &peer, const std::string &line)
     }
 
     if (peer.kind == Peer::Kind::Client) {
-        if (type == "submit") {
-            if (const JsonValue *c = doc.get("campaign"))
-                _submissions.push_back({peer.id, *c});
-        }
+        if (type == "submit")
+            admitSubmission(peer, doc);
         return;
     }
 
     handleAgentMessage(peer, doc, type);
+}
+
+void
+Fabric::admitSubmission(Peer &peer, const JsonValue &doc)
+{
+    const JsonValue *c = doc.get("campaign");
+    if (!c) {
+        peer.conn->send(proto::error("submit without a campaign"));
+        return;
+    }
+    if (_opts.maxQueued != 0 &&
+        _submissions.size() >= _opts.maxQueued) {
+        // Admission control: shed rather than queue without bound.
+        // The retry hint scales with the backlog the client would
+        // have been stuck behind.
+        ++_shedSubmissions;
+        std::uint64_t retry =
+            1000 *
+            static_cast<std::uint64_t>(
+                std::max<std::size_t>(1, _submissions.size()));
+        peer.conn->send(proto::retryAfter(
+            strfmt("submission queue full (%zu campaign(s) queued)",
+                   _submissions.size()),
+            retry));
+        return;
+    }
+    _submissions.push_back({peer.id, *c});
 }
 
 void
@@ -348,8 +428,11 @@ Fabric::handleAgentMessage(Peer &peer, const JsonValue &doc,
     }
     peer.lastHeard = Clock::now();
 
-    if (type == "heartbeat")
+    if (type == "heartbeat") {
+        peer.loadInflight = doc.getU64("inflight");
+        peer.loadQueued = doc.getU64("queued");
         return;
+    }
     if (type == "result") {
         std::uint64_t rord = peer.resultOrdinal++;
         handleResult(peer, doc);
@@ -378,8 +461,38 @@ Fabric::agentLost(Peer &peer, const char *why)
         if (l.peer != peer.id || l.revoked || l.answered)
             continue;
         l.revoked = true;
-        reassignCell(l.cell, kv.first, why);
+        ++peer.leaseLosses;
+        leaseLost(kv.first, l, why);
     }
+}
+
+/**
+ * A lease died without an answer (expiry, agent death, quarantine).
+ * Audit leases hand the audit back to pumpAudits for a re-cut;
+ * Normal/Hedge leases only revert the cell to Pending when the LAST
+ * live lease on it is gone — a surviving hedge (or original) keeps
+ * the cell covered, so losing one duplicate is not a reassignment.
+ */
+void
+Fabric::leaseLost(std::uint64_t id, Lease &l, const char *why)
+{
+    if (!_run)
+        return;
+    if (l.kind == LeaseKind::Audit) {
+        auto it = _run->audits.find(l.cell);
+        if (it != _run->audits.end() &&
+            it->second.pendingLease == id) {
+            it->second.pendingLease = 0;
+            ++it->second.execFailures;
+        }
+        return;
+    }
+    std::size_t i = l.cell;
+    if (i < _run->activeLeases.size() && _run->activeLeases[i] > 0)
+        --_run->activeLeases[i];
+    if (_run->st[i] == CState::Leased && _run->activeLeases[i] > 0)
+        return; // a sibling lease still covers the cell
+    reassignCell(i, id, why);
 }
 
 void
@@ -428,14 +541,24 @@ Fabric::handleResult(Peer &peer, const JsonValue &doc)
     l.answered = true;
     if (!l.revoked && peer.inFlight > 0)
         --peer.inFlight;
+    recordLatency(peer, l, Clock::now());
 
     if (!_run)
         return;
     std::size_t i = l.cell;
+    if (l.kind == LeaseKind::Audit) {
+        handleAuditResult(peer, l, leaseId, doc);
+        return;
+    }
+    if (!l.revoked && i < _run->activeLeases.size() &&
+        _run->activeLeases[i] > 0)
+        --_run->activeLeases[i];
     if (_run->st[i] == CState::Done ||
-        _run->st[i] == CState::WaitDurable) {
+        _run->st[i] == CState::WaitDurable ||
+        _run->st[i] == CState::Auditing) {
         // The cell already finished elsewhere (reassigned after a
-        // partition, or the local fallback got it first). Same cell,
+        // partition, a hedge raced this lease and won, or the local
+        // fallback got it first) or is being audited. Same cell,
         // same bits — drop the copy.
         ++_dupDeduped;
         return;
@@ -460,11 +583,19 @@ Fabric::handleResult(Peer &peer, const JsonValue &doc)
                        "agent returned an invalid result document (" +
                            err + ")");
 
+    if (chaos::isWorkerFailure(r.error.reason))
+        ++peer.crashes;
+    else
+        ++peer.okResults;
+
     unsigned attempt = _run->attempt[i];
     if (!l.revoked && _opts.retry.shouldRetry(r, attempt) &&
         !stopRequested()) {
         // Transient failure: same backoff math as the supervisor,
-        // scheduled on the fabric's clock.
+        // scheduled on the fabric's clock. Any hedge siblings would
+        // hit the same transient; revoke them so the retry starts
+        // clean.
+        revokeSiblings(i);
         std::uint64_t backoff = std::min<std::uint64_t>(
             static_cast<std::uint64_t>(_opts.retry.backoffMs)
                 << (attempt - 1),
@@ -492,14 +623,336 @@ Fabric::handleResult(Peer &peer, const JsonValue &doc)
     // single-host bytes.
     r.retries = attempt - 1;
     r.backoffMs = _run->backoffAccum[i];
+    if (r.error.ok() && auditSelected(_run->hash[i])) {
+        beginAudit(i, std::move(r), peer, leaseId, attempt);
+        return;
+    }
     finalizeCell(i, std::move(r), peer.name, leaseId, attempt);
+}
+
+/** EWMA + sample-ring update from an answered lease's wall time. */
+void
+Fabric::recordLatency(Peer &p, const Lease &l, Clock::time_point now)
+{
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  now - l.cutAt)
+                  .count();
+    if (ms < 0)
+        ms = 0;
+    double s = static_cast<double>(ms);
+    p.ewmaMs = p.ewmaMs == 0 ? s : 0.8 * p.ewmaMs + 0.2 * s;
+    _latSamples.push_back(static_cast<std::uint64_t>(ms));
+    if (_latSamples.size() > 512)
+        _latSamples.pop_front();
+}
+
+/**
+ * Proactively revoke every un-answered Normal/Hedge lease still out
+ * for cell `i` (hedge losers, or the original when a hedge won):
+ * their slots free immediately instead of waiting for lease expiry,
+ * and their late results land on the dedup path as counted no-ops.
+ */
+void
+Fabric::revokeSiblings(std::size_t i)
+{
+    if (!_run)
+        return;
+    for (auto &kv : _leases) {
+        Lease &l = kv.second;
+        if (l.cell != i || l.revoked || l.answered ||
+            l.kind == LeaseKind::Audit)
+            continue;
+        l.revoked = true;
+        auto pit = _peers.find(l.peer);
+        if (pit != _peers.end() && pit->second->inFlight > 0)
+            --pit->second->inFlight;
+        if (i < _run->activeLeases.size() &&
+            _run->activeLeases[i] > 0)
+            --_run->activeLeases[i];
+    }
+}
+
+// --- result-integrity audits ----------------------------------------
+
+std::string
+Fabric::canonicalBytes(const sim::RunResult &r)
+{
+    // Retry stamps are coordinator-side scheduling history, not
+    // simulation output; zero them so executions from different
+    // attempts compare equal exactly when the simulated bits agree.
+    sim::RunResult c = r;
+    c.retries = 0;
+    c.backoffMs = 0;
+    return triage::resultToJson(c).dumpCompact();
+}
+
+bool
+Fabric::auditSelected(std::uint64_t cellHash) const
+{
+    if (_opts.auditFrac <= 0)
+        return false;
+    if (_opts.auditFrac >= 1)
+        return true;
+    Fnv1a f;
+    f.mix64(0xa7d17u); // audit domain separator
+    f.mix64(_opts.chaosSeed);
+    f.mix64(cellHash);
+    std::uint64_t h = f.state;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<double>(h % 1000000) < _opts.auditFrac * 1e6;
+}
+
+void
+Fabric::beginAudit(std::size_t i, sim::RunResult r, Peer &peer,
+                   std::uint64_t leaseId, unsigned attempt)
+{
+    revokeSiblings(i);
+    AuditCtx a;
+    a.cell = i;
+    a.attempt = attempt;
+    a.origPeer = peer.id;
+    a.origLease = leaseId;
+    a.origAgent = peer.name;
+    a.origBytes = canonicalBytes(r);
+    a.original = std::move(r);
+    _run->st[i] = CState::Auditing;
+    _run->audits.emplace(i, std::move(a));
+    ++_auditsRun;
+    // pumpAudits cuts the verification lease on the next turn.
+}
+
+void
+Fabric::pumpAudits(Clock::time_point now)
+{
+    if (!_run || _run->audits.empty())
+        return;
+    std::vector<std::size_t> cells;
+    cells.reserve(_run->audits.size());
+    for (const auto &kv : _run->audits)
+        cells.push_back(kv.first);
+    for (std::size_t i : cells) {
+        auto it = _run->audits.find(i);
+        if (it == _run->audits.end())
+            continue;
+        AuditCtx &a = it->second;
+        if (a.pendingLease != 0)
+            continue; // a verification execution is outstanding
+        if (a.execFailures > 2) {
+            // The fleet cannot produce a clean verification run;
+            // trust the original rather than stall the campaign.
+            warn("fabric: audit of cell %zu inconclusive after %u "
+                 "failed verification runs — accepting the original",
+                 i, a.execFailures);
+            sim::RunResult orig = a.original;
+            std::string agent = a.origAgent;
+            finalizeAudit(i, std::move(orig), agent, "inconclusive");
+            continue;
+        }
+        std::vector<std::uint64_t> exclude{a.origPeer};
+        if (a.round == 1)
+            exclude.push_back(a.secondPeer);
+        if (Peer *target = pickAgent(exclude, false)) {
+            a.pendingLease =
+                cutLease(*target, i, LeaseKind::Audit, a.attempt,
+                         now);
+            continue;
+        }
+        // No distinct live agent: the embedded local runner is the
+        // verification executor (and, for a tie-break, its vote
+        // counts like any other).
+        sim::RunResult r = runOneLocal((*_run->cells)[i]);
+        if (!r.error.ok()) {
+            ++a.execFailures;
+            continue;
+        }
+        std::string bytes = canonicalBytes(r);
+        auditVote(i, bytes, 0, "local", std::move(r));
+    }
+}
+
+void
+Fabric::handleAuditResult(Peer &peer, Lease &l,
+                          std::uint64_t leaseId,
+                          const JsonValue &doc)
+{
+    auto it = _run->audits.find(l.cell);
+    if (it == _run->audits.end() ||
+        it->second.pendingLease != leaseId) {
+        ++_staleIgnored;
+        return;
+    }
+    AuditCtx &a = it->second;
+    a.pendingLease = 0;
+
+    sim::RunResult r;
+    std::string err;
+    const JsonValue *body = doc.get("result");
+    if (!body || !triage::resultFromJson(*body, &r, &err) ||
+        !r.error.ok()) {
+        // The verification run itself failed (crash, timeout, bad
+        // document): not a vote either way. Try again elsewhere.
+        ++peer.crashes;
+        ++a.execFailures;
+        return;
+    }
+    ++peer.okResults;
+    std::string bytes = canonicalBytes(r);
+    auditVote(l.cell, bytes, peer.id, peer.name, std::move(r));
+}
+
+void
+Fabric::auditVote(std::size_t cell, const std::string &bytes,
+                  std::uint64_t peerId, const std::string &agentName,
+                  sim::RunResult r)
+{
+    auto it = _run->audits.find(cell);
+    if (it == _run->audits.end())
+        return;
+    AuditCtx &a = it->second;
+
+    if (a.round == 0) {
+        if (bytes == a.origBytes) {
+            ++_auditsPassed;
+            sim::RunResult orig = a.original;
+            std::string agent = a.origAgent;
+            finalizeAudit(cell, std::move(orig), agent, "match");
+            return;
+        }
+        // Divergence: somebody computed the wrong bits for a
+        // deterministic cell. Escalate; majority of three wins.
+        ++_auditsDiverged;
+        warn("fabric: audit divergence on cell %zu: '%s' vs '%s' — "
+             "cutting a tie-breaking third execution",
+             cell, a.origAgent.c_str(), agentName.c_str());
+        a.round = 1;
+        a.secondPeer = peerId;
+        a.secondAgent = agentName;
+        a.secondBytes = bytes;
+        a.second = std::move(r);
+        return;
+    }
+
+    // Third vote: quarantine the minority executor and finalize the
+    // majority bytes — corrupt output never reaches the report.
+    if (bytes == a.origBytes) {
+        std::uint64_t minority = a.secondPeer;
+        std::string minorityName = a.secondAgent;
+        sim::RunResult majority = a.original;
+        std::string agent = a.origAgent;
+        std::string verdict = "diverged:" + minorityName;
+        quarantine(minority, minorityName,
+                   "audit minority: returned corrupt result bytes");
+        finalizeAudit(cell, std::move(majority), agent, verdict);
+        return;
+    }
+    if (bytes == a.secondBytes) {
+        std::uint64_t minority = a.origPeer;
+        std::string minorityName = a.origAgent;
+        sim::RunResult majority = a.second;
+        majority.retries = a.attempt - 1;
+        majority.backoffMs = _run->backoffAccum[cell];
+        std::string agent = a.secondAgent;
+        std::string verdict = "diverged:" + minorityName;
+        quarantine(minority, minorityName,
+                   "audit minority: returned corrupt result bytes");
+        finalizeAudit(cell, std::move(majority), agent, verdict);
+        return;
+    }
+    // Three executions, three answers: no majority to trust. The
+    // cell fails as a structured agent-corrupt row instead of the
+    // fabric guessing which bytes are real.
+    warn("fabric: audit of cell %zu unresolved — three independent "
+         "executions disagree",
+         cell);
+    sim::RunResult bad =
+        lostResult((*_run->cells)[cell],
+                   chaos::SimError::Reason::AgentCorrupt,
+                   "result audit unresolved: three independent "
+                   "executions returned three different results");
+    bad.retries = a.attempt - 1;
+    bad.backoffMs = _run->backoffAccum[cell];
+    finalizeAudit(cell, std::move(bad), "", "unresolved");
+}
+
+void
+Fabric::finalizeAudit(std::size_t cell, sim::RunResult result,
+                      const std::string &agent,
+                      const std::string &verdict)
+{
+    std::uint64_t lease = 0;
+    unsigned attempt = 1;
+    auto it = _run->audits.find(cell);
+    if (it != _run->audits.end()) {
+        lease = it->second.origLease;
+        attempt = it->second.attempt;
+        _run->audits.erase(it);
+    }
+    finalizeCell(cell, std::move(result), agent, lease, attempt,
+                 verdict);
+}
+
+void
+Fabric::quarantine(std::uint64_t peerId, const std::string &name,
+                   const char *why)
+{
+    if (peerId == 0)
+        return; // the local executor is trusted by construction
+    auto it = _peers.find(peerId);
+    // Concurrent audits can convict the same agent more than once;
+    // the verdict is idempotent.
+    if (it != _peers.end() && it->second->quarantined)
+        return;
+    ++_agentsQuarantined;
+    warn("fabric: QUARANTINE agent '%s' (agent-corrupt: %s) — it "
+         "gets no further leases",
+         name.c_str(), why);
+    if (it == _peers.end())
+        return;
+    Peer &p = *it->second;
+    p.quarantined = true;
+    for (auto &kv : _leases) {
+        Lease &l = kv.second;
+        if (l.peer != peerId || l.revoked || l.answered)
+            continue;
+        l.revoked = true;
+        ++p.leaseLosses;
+        leaseLost(kv.first, l, "agent quarantined");
+    }
+    p.inFlight = 0;
+}
+
+/** One blocking fork/exec execution of `cell` for audits and
+ *  tie-breaks when no distinct agent is available. */
+sim::RunResult
+Fabric::runOneLocal(const CellSpec &cell)
+{
+    super::SupervisorOptions so;
+    so.jobs = 1;
+    so.cellTimeoutMs = _opts.cellTimeoutMs;
+    so.rlimitAsMb = _opts.rlimitAsMb;
+    so.rlimitCpuSec = _opts.rlimitCpuSec;
+    so.workerPath = _opts.workerPath;
+    so.retry.maxAttempts = 1;
+    super::Supervisor sup(so);
+    _activeLocal.store(&sup, std::memory_order_relaxed);
+    if (_stop.load(std::memory_order_relaxed))
+        sup.requestStop();
+    std::vector<CellOutcome> outs = sup.runAll({cell});
+    _activeLocal.store(nullptr, std::memory_order_relaxed);
+    if (!outs.empty() && outs[0].ran)
+        return outs[0].result;
+    return lostResult(cell, chaos::SimError::Reason::AgentLost,
+                      "local verification run did not complete");
 }
 
 void
 Fabric::finalizeCell(std::size_t i, sim::RunResult result,
                      const std::string &agent, std::uint64_t lease,
-                     unsigned attempt)
+                     unsigned attempt, const std::string &audit)
 {
+    revokeSiblings(i);
     CellOutcome &o = (*_run->out)[i];
     const CellSpec &cell = (*_run->cells)[i];
     o.ran = true;
@@ -528,6 +981,7 @@ Fabric::finalizeCell(std::size_t i, sim::RunResult result,
         rec.agent = agent;
         rec.lease = lease;
         rec.attempt = attempt;
+        rec.audit = audit;
         std::string err;
         if (_journal.append(rec, &err)) {
             // Durable-ack: the cell parks in WaitDurable until the
@@ -570,15 +1024,105 @@ Fabric::promoteDurable(bool force)
 
 // --- scheduling -----------------------------------------------------
 
-void
-Fabric::assignReady(Clock::time_point now)
+/** Live, schedulable agents in placement order: healthy before
+ *  demoted, then by failure rate, load, latency, id. */
+std::vector<Fabric::Peer *>
+Fabric::orderedAgents()
 {
+    std::vector<Peer *> order;
     for (auto &kv : _peers) {
         Peer &p = *kv.second;
         if (p.kind != Peer::Kind::Agent || !p.live ||
-            p.conn->dead())
+            p.conn->dead() || p.quarantined)
             continue;
-        while (p.inFlight < p.slots) {
+        if (p.demoted() && !p.demotionLogged) {
+            p.demotionLogged = true;
+            warn("fabric: agent '%s' demoted (%llu bad of %llu "
+                 "events) — deprioritized for placement",
+                 p.name.c_str(),
+                 static_cast<unsigned long long>(p.badEvents()),
+                 static_cast<unsigned long long>(p.okResults +
+                                                 p.badEvents()));
+        }
+        order.push_back(&p);
+    }
+    std::sort(order.begin(), order.end(), [](Peer *a, Peer *b) {
+        if (a->demoted() != b->demoted())
+            return !a->demoted();
+        double fa = a->failRate(), fb = b->failRate();
+        if (fa != fb)
+            return fa < fb;
+        std::uint64_t la = a->inFlight + a->loadQueued;
+        std::uint64_t lb = b->inFlight + b->loadQueued;
+        if (la != lb)
+            return la < lb;
+        if (a->ewmaMs != b->ewmaMs)
+            return a->ewmaMs < b->ewmaMs;
+        return a->id < b->id;
+    });
+    return order;
+}
+
+/** Best agent with a free slot, excluding `exclude`; requireHealthy
+ *  additionally skips demoted agents (hedge targets must be good). */
+Fabric::Peer *
+Fabric::pickAgent(const std::vector<std::uint64_t> &exclude,
+                  bool requireHealthy)
+{
+    for (Peer *p : orderedAgents()) {
+        if (p->inFlight >= p->slots)
+            continue;
+        if (requireHealthy && p->demoted())
+            continue;
+        bool excluded = false;
+        for (std::uint64_t id : exclude)
+            if (p->id == id)
+                excluded = true;
+        if (!excluded)
+            return p;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+Fabric::cutLease(Peer &p, std::size_t cell, LeaseKind kind,
+                 unsigned attempt, Clock::time_point now)
+{
+    std::uint64_t id = ++_leaseIds;
+    Lease l;
+    l.cell = cell;
+    l.peer = p.id;
+    l.attempt = attempt;
+    l.kind = kind;
+    l.cutAt = now;
+    l.expiry = now + std::chrono::milliseconds(_opts.leaseMs);
+    _leases.emplace(id, l);
+    ++p.inFlight;
+    if (kind != LeaseKind::Audit && cell < _run->activeLeases.size())
+        ++_run->activeLeases[cell];
+
+    std::uint64_t aord = p.assignOrdinal++;
+    p.conn->send(proto::assign(id, (*_run->cells)[cell],
+                               _opts.cellTimeoutMs, _opts.rlimitAsMb,
+                               _opts.rlimitCpuSec));
+    if (_chaos.killOnAssign(p.ordinal, aord)) {
+        warn("fabric: chaos kill: severing agent '%s' after "
+             "assign %llu",
+             p.name.c_str(), static_cast<unsigned long long>(aord));
+        // Shut down the socket so the agent sees EOF and dies
+        // mid-cell; the dead-connection sweep revokes.
+        ::shutdown(p.conn->fd(), SHUT_RDWR);
+        p.conn->markDead();
+    }
+    return id;
+}
+
+void
+Fabric::assignReady(Clock::time_point now)
+{
+    for (Peer *pp : orderedAgents()) {
+        Peer &p = *pp;
+        while (p.inFlight < p.slots && !p.conn->dead()) {
             std::size_t pick = _run->st.size();
             for (std::size_t i = 0; i < _run->st.size(); ++i)
                 if (_run->st[i] == CState::Pending &&
@@ -588,33 +1132,76 @@ Fabric::assignReady(Clock::time_point now)
                 }
             if (pick == _run->st.size())
                 return;
-
-            std::uint64_t id = ++_leaseIds;
-            Lease l;
-            l.cell = pick;
-            l.peer = p.id;
-            l.attempt = _run->attempt[pick];
-            l.expiry = now + std::chrono::milliseconds(_opts.leaseMs);
-            _leases.emplace(id, l);
             _run->st[pick] = CState::Leased;
-            ++p.inFlight;
-
-            std::uint64_t aord = p.assignOrdinal++;
-            p.conn->send(proto::assign(
-                id, (*_run->cells)[pick], _opts.cellTimeoutMs,
-                _opts.rlimitAsMb, _opts.rlimitCpuSec));
-            if (_chaos.killOnAssign(p.ordinal, aord)) {
-                warn("fabric: chaos kill: severing agent '%s' after "
-                     "assign %llu",
-                     p.name.c_str(),
-                     static_cast<unsigned long long>(aord));
-                // Shut down the socket so the agent sees EOF and
-                // dies mid-cell; the dead-connection sweep revokes.
-                ::shutdown(p.conn->fd(), SHUT_RDWR);
-                p.conn->markDead();
-                break;
-            }
+            cutLease(p, pick, LeaseKind::Normal,
+                     _run->attempt[pick], now);
         }
+    }
+}
+
+/** The hedge threshold: the explicit flag, or 2x the fleet's
+ *  observed p95 cell latency (floored) once 8 samples exist. */
+std::uint64_t
+Fabric::hedgeThresholdMs() const
+{
+    if (_opts.hedgeAfterMs != 0)
+        return _opts.hedgeAfterMs;
+    if (_latSamples.size() < 8)
+        return 0; // not enough signal to call anything a straggler
+    std::vector<std::uint64_t> s(_latSamples.begin(),
+                                 _latSamples.end());
+    std::size_t k = (s.size() * 95) / 100;
+    if (k >= s.size())
+        k = s.size() - 1;
+    std::nth_element(s.begin(), s.begin() + k, s.end());
+    // 2x p95 with a floor: honest jitter is not a straggler, and a
+    // fast fleet must not hedge on scheduling noise.
+    return std::max<std::uint64_t>(2 * s[k], 200);
+}
+
+void
+Fabric::maybeHedge(Clock::time_point now)
+{
+    if (!_run || _opts.hedgeMax == 0)
+        return;
+    std::uint64_t thresh = hedgeThresholdMs();
+    if (thresh == 0)
+        return;
+    for (auto &kv : _leases) {
+        Lease &l = kv.second;
+        if (l.revoked || l.answered || l.kind == LeaseKind::Audit)
+            continue;
+        std::size_t i = l.cell;
+        if (_run->st[i] != CState::Leased)
+            continue;
+        if (_run->hedgesCut[i] >= _opts.hedgeMax)
+            continue;
+        auto age =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - l.cutAt)
+                .count();
+        if (age < 0 || static_cast<std::uint64_t>(age) < thresh)
+            continue;
+        // Straggler: cut one speculative duplicate on a healthy
+        // agent not already holding a lease on this cell. First
+        // result wins; the loser is revoked on finalize and its late
+        // answer is a counted dedup no-op.
+        std::vector<std::uint64_t> exclude;
+        for (const auto &lkv : _leases)
+            if (lkv.second.cell == i && !lkv.second.revoked &&
+                !lkv.second.answered)
+                exclude.push_back(lkv.second.peer);
+        Peer *target = pickAgent(exclude, true);
+        if (!target)
+            continue;
+        ++_run->hedgesCut[i];
+        ++_hedges;
+        inform("fabric: hedging cell %zu (leased %lld ms > %llu ms "
+               "threshold) onto agent '%s'",
+               i, static_cast<long long>(age),
+               static_cast<unsigned long long>(thresh),
+               target->name.c_str());
+        cutLease(*target, i, LeaseKind::Hedge, l.attempt, now);
     }
 }
 
@@ -741,6 +1328,8 @@ Fabric::runAll(const std::vector<CellSpec> &cells)
     ctx.backoffAccum.assign(cells.size(), 0);
     ctx.notBefore.assign(cells.size(), Clock::now());
     ctx.hash.resize(cells.size());
+    ctx.activeLeases.assign(cells.size(), 0);
+    ctx.hedgesCut.assign(cells.size(), 0);
 
     for (std::size_t i = 0; i < cells.size(); ++i) {
         ctx.hash[i] = super::cellHash(cells[i]);
@@ -779,6 +1368,10 @@ Fabric::runAll(const std::vector<CellSpec> &cells)
         Clock::time_point now = Clock::now();
         if (!drain) {
             assignReady(now);
+            maybeHedge(now);
+            pumpAudits(now);
+            if (ctx.remaining == 0)
+                break;
             if (liveAgents() == 0 && _opts.localFallback &&
                 anyReady(now)) {
                 runLocalBatch();

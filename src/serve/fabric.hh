@@ -110,6 +110,25 @@ struct FabricOptions
     // --- deterministic fault injection -----------------------------
     FabricProfile chaosProfile = FabricProfile::None;
     std::uint64_t chaosSeed = 0;
+
+    // --- self-defence ----------------------------------------------
+    /** Straggler hedge: a leased cell older than this gets a
+     *  speculative duplicate lease on a different healthy agent.
+     *  First result wins; the loser lands on the dedup path as a
+     *  counted no-op, so reports stay byte-identical by
+     *  construction. 0 derives the threshold from the fleet's
+     *  observed p95 cell latency (armed once 8 samples exist). */
+    std::uint64_t hedgeAfterMs = 0;
+    /** Speculative duplicate leases per cell (0 disables hedging). */
+    unsigned hedgeMax = 1;
+    /** Fraction [0,1] of remotely executed clean results re-run on a
+     *  second executor and byte-compared before the cell is allowed
+     *  to complete; divergence escalates to a tie-breaking third
+     *  execution and quarantines the minority agent. */
+    double auditFrac = 0.0;
+    /** Bound on queued client submissions; past it, submits are shed
+     *  with a structured retry-after error (0 = unbounded). */
+    std::size_t maxQueued = 64;
 };
 
 class Fabric : public super::CellRunner
@@ -161,6 +180,15 @@ class Fabric : public super::CellRunner
     std::uint64_t agentDeaths() const { return _agentDeaths; }
     std::uint64_t staleResultsIgnored() const { return _staleIgnored; }
     std::uint64_t localCellsRun() const { return _localCells; }
+    std::uint64_t hedges() const { return _hedges; }
+    std::uint64_t auditsRun() const { return _auditsRun; }
+    std::uint64_t auditsPassed() const { return _auditsPassed; }
+    std::uint64_t auditsDiverged() const { return _auditsDiverged; }
+    std::uint64_t agentsQuarantined() const
+    {
+        return _agentsQuarantined;
+    }
+    std::uint64_t shedSubmissions() const { return _shedSubmissions; }
     const FabricChaos::Tally &chaosTally() const
     {
         return _chaos.tally();
@@ -174,6 +202,11 @@ class Fabric : public super::CellRunner
     {
         Pending,
         Leased,
+        /** An accepted remote result is being re-executed by the
+         *  integrity audit; the cell cannot complete (and corrupt
+         *  bytes cannot reach the report) until the audit verdict
+         *  lands. */
+        Auditing,
         /** Result accepted and journaled, but the journal's durable
          *  watermark has not reached its record yet: the cell is not
          *  Done (and the campaign cannot complete) until it is. A
@@ -182,14 +215,41 @@ class Fabric : public super::CellRunner
         WaitDurable,
         Done,
     };
+    enum class LeaseKind : std::uint8_t
+    {
+        Normal,
+        Hedge, ///< speculative duplicate on a straggling cell
+        Audit, ///< integrity re-execution of an accepted result
+    };
     struct Lease
     {
         std::size_t cell = 0;
         std::uint64_t peer = 0;
         unsigned attempt = 1; ///< scheduling attempt it was cut on
+        LeaseKind kind = LeaseKind::Normal;
+        Clock::time_point cutAt;
         Clock::time_point expiry;
         bool revoked = false;
         bool answered = false;
+    };
+    /** One in-flight result-integrity audit: the accepted original
+     *  plus up to two more independent executions of the same cell,
+     *  compared byte-for-byte in canonical (stamp-free) form. */
+    struct AuditCtx
+    {
+        std::size_t cell = 0;
+        unsigned attempt = 1;
+        /** 0 = awaiting the second execution, 1 = diverged and
+         *  awaiting the tie-breaking third. */
+        unsigned round = 0;
+        unsigned execFailures = 0;
+        std::uint64_t pendingLease = 0; ///< outstanding audit lease
+        std::uint64_t origLease = 0;    ///< lease the original answered
+        std::uint64_t origPeer = 0;
+        std::uint64_t secondPeer = 0;
+        std::string origAgent, secondAgent;
+        std::string origBytes, secondBytes;
+        sim::RunResult original, second;
     };
     /** Per-cell scheduling state for the active runAll. */
     struct RunCtx
@@ -202,6 +262,12 @@ class Fabric : public super::CellRunner
         std::vector<std::uint64_t> backoffAccum;
         std::vector<Clock::time_point> notBefore;
         std::vector<std::uint64_t> hash;
+        /** Live (un-revoked, un-answered) Normal+Hedge leases per
+         *  cell; a cell only reverts to Pending when the last one is
+         *  lost. */
+        std::vector<unsigned> activeLeases;
+        std::vector<unsigned> hedgesCut;
+        std::map<std::size_t, AuditCtx> audits; ///< by cell index
         std::size_t remaining = 0;
         /** Cells in WaitDurable with the journal LSN they ack at,
          *  in append (and therefore LSN) order. */
@@ -209,16 +275,46 @@ class Fabric : public super::CellRunner
     };
 
     void handleLine(Peer &peer, const std::string &line);
+    void admitSubmission(Peer &peer, const triage::JsonValue &doc);
     void handleAgentMessage(Peer &peer, const triage::JsonValue &doc,
                             const std::string &type);
     void handleResult(Peer &peer, const triage::JsonValue &doc);
     void agentLost(Peer &peer, const char *why);
+    void leaseLost(std::uint64_t id, Lease &l, const char *why);
     void reassignCell(std::size_t i, std::uint64_t leaseId,
                       const char *why);
     void finalizeCell(std::size_t i, sim::RunResult result,
                       const std::string &agent, std::uint64_t lease,
-                      unsigned attempt);
+                      unsigned attempt,
+                      const std::string &audit = std::string());
     void assignReady(Clock::time_point now);
+    std::uint64_t cutLease(Peer &p, std::size_t cell, LeaseKind kind,
+                           unsigned attempt, Clock::time_point now);
+    std::vector<Peer *> orderedAgents();
+    Peer *pickAgent(const std::vector<std::uint64_t> &exclude,
+                    bool requireHealthy);
+    std::uint64_t hedgeThresholdMs() const;
+    void maybeHedge(Clock::time_point now);
+    void recordLatency(Peer &p, const Lease &l,
+                       Clock::time_point now);
+    void revokeSiblings(std::size_t i);
+    bool auditSelected(std::uint64_t cellHash) const;
+    void beginAudit(std::size_t i, sim::RunResult r, Peer &peer,
+                    std::uint64_t leaseId, unsigned attempt);
+    void pumpAudits(Clock::time_point now);
+    void handleAuditResult(Peer &peer, Lease &l,
+                           std::uint64_t leaseId,
+                           const triage::JsonValue &doc);
+    void auditVote(std::size_t cell, const std::string &bytes,
+                   std::uint64_t peerId, const std::string &agentName,
+                   sim::RunResult r);
+    void finalizeAudit(std::size_t cell, sim::RunResult result,
+                       const std::string &agent,
+                       const std::string &verdict);
+    void quarantine(std::uint64_t peerId, const std::string &name,
+                    const char *why);
+    sim::RunResult runOneLocal(const super::CellSpec &cell);
+    static std::string canonicalBytes(const sim::RunResult &r);
     void promoteDurable(bool force);
     void runLocalBatch();
     void sweepDeadlines(Clock::time_point now);
@@ -254,6 +350,16 @@ class Fabric : public super::CellRunner
     std::uint64_t _agentDeaths = 0;
     std::uint64_t _staleIgnored = 0;
     std::uint64_t _localCells = 0;
+    std::uint64_t _hedges = 0;
+    std::uint64_t _auditsRun = 0;
+    std::uint64_t _auditsPassed = 0;
+    std::uint64_t _auditsDiverged = 0;
+    std::uint64_t _agentsQuarantined = 0;
+    std::uint64_t _shedSubmissions = 0;
+    std::uint64_t _lastServedClient = 0;
+    /** Recent per-cell wall latencies (ms), the p95 source for the
+     *  auto hedge threshold. Bounded ring. */
+    std::deque<std::uint64_t> _latSamples;
     bool _downgradeLogged = false;
 };
 

@@ -20,6 +20,10 @@ fabricProfileName(FabricProfile p)
         return "kill";
       case FabricProfile::Heavy:
         return "heavy";
+      case FabricProfile::Slow:
+        return "slow";
+      case FabricProfile::Liar:
+        return "liar";
     }
     return "none";
 }
@@ -30,7 +34,8 @@ fabricProfileByName(const std::string &name, FabricProfile *out)
     for (FabricProfile p :
          {FabricProfile::None, FabricProfile::Drop,
           FabricProfile::Duplicate, FabricProfile::Partition,
-          FabricProfile::Kill, FabricProfile::Heavy}) {
+          FabricProfile::Kill, FabricProfile::Heavy,
+          FabricProfile::Slow, FabricProfile::Liar}) {
         if (name == fabricProfileName(p)) {
             *out = p;
             return true;
@@ -104,6 +109,16 @@ FabricChaos::killOnAssign(std::uint64_t agentOrdinal,
         return false;
     ++_tally.kills;
     return true;
+}
+
+FabricProfile
+FabricChaos::agentAffliction(std::uint64_t agentOrdinal) const
+{
+    if ((_profile == FabricProfile::Slow ||
+         _profile == FabricProfile::Liar) &&
+        agentOrdinal == 0)
+        return _profile;
+    return FabricProfile::None;
 }
 
 } // namespace edge::serve

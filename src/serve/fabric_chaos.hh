@@ -18,6 +18,18 @@
  *   kill       close an agent's connection right after its second
  *              assignment (an agent death mid-cell)
  *   heavy      drop + duplicate + partition together
+ *   slow       the first-registered agent delays every cell by a
+ *              fixed kSlowCellDelayMs before answering — alive and
+ *              heartbeating, but a straggler on every lease it holds
+ *              (exercises hedged re-execution)
+ *   liar       the first-registered agent flips bits in every result
+ *              payload it returns — structurally valid JSON, wrong
+ *              simulation content (exercises result audits)
+ *
+ * `slow` and `liar` are AGENT-side faults: the coordinator arms them,
+ * but the affliction ships to the chosen agent inside its welcome
+ * message, so the misbehaviour happens where it would in production —
+ * on the executor, past every coordinator-side code path.
  */
 
 #ifndef EDGE_SERVE_FABRIC_CHAOS_HH
@@ -36,7 +48,14 @@ enum class FabricProfile : std::uint8_t
     Partition,
     Kill,
     Heavy,
+    Slow,
+    Liar,
 };
+
+/** Per-cell delay a `slow`-afflicted agent adds before answering.
+ *  Deliberately far past any sane --hedge-after-ms so the straggler
+ *  path fires deterministically in tests and smokes. */
+constexpr std::uint64_t kSlowCellDelayMs = 1500;
 
 const char *fabricProfileName(FabricProfile p);
 
@@ -74,6 +93,16 @@ class FabricChaos
      *  `assignOrdinal`-th assignment (0-based)? */
     bool killOnAssign(std::uint64_t agentOrdinal,
                       std::uint64_t assignOrdinal);
+
+    /**
+     * The agent-side affliction to ship in this agent's welcome
+     * message: FabricProfile::Slow or ::Liar for the afflicted agent
+     * (registration ordinal 0 under those profiles), ::None for
+     * everyone else. Exactly one agent misbehaves, deterministically
+     * — the first to register — so audits always have an honest
+     * majority to vote with.
+     */
+    FabricProfile agentAffliction(std::uint64_t agentOrdinal) const;
 
     struct Tally
     {

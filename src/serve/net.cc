@@ -7,6 +7,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -112,7 +113,8 @@ boundPort(int listen_fd)
 }
 
 int
-connectTo(const std::string &host_port, std::string *err)
+connectTo(const std::string &host_port, std::string *err,
+          std::uint64_t timeoutMs)
 {
     std::size_t colon = host_port.rfind(':');
     if (colon == std::string::npos || colon + 1 >= host_port.size()) {
@@ -138,20 +140,56 @@ connectTo(const std::string &host_port, std::string *err)
         return -1;
     }
 
+    bool timed_out = false;
     int fd = -1;
     for (addrinfo *ai = res; ai; ai = ai->ai_next) {
         fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
         if (fd < 0)
             continue;
         setCloexec(fd);
-        if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
-            break;
+        if (timeoutMs == 0) {
+            if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+                break;
+        } else {
+            // Deadline-bounded connect: go nonblocking, poll for
+            // writability, then read back SO_ERROR for the verdict.
+            setNonblock(fd);
+            int rc = connect(fd, ai->ai_addr, ai->ai_addrlen);
+            if (rc == 0)
+                break;
+            if (errno == EINPROGRESS) {
+                pollfd p = {fd, POLLOUT, 0};
+                rc = poll(&p, 1, static_cast<int>(timeoutMs));
+                if (rc > 0) {
+                    int so_err = 0;
+                    socklen_t len = sizeof(so_err);
+                    getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_err,
+                               &len);
+                    if (so_err == 0) {
+                        // Connected: restore blocking for the
+                        // caller's plain read/write helpers.
+                        int flags = fcntl(fd, F_GETFL, 0);
+                        if (flags >= 0)
+                            fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+                        break;
+                    }
+                    errno = so_err;
+                } else if (rc == 0) {
+                    timed_out = true;
+                }
+            }
+        }
         close(fd);
         fd = -1;
     }
     freeaddrinfo(res);
-    if (fd < 0 && err)
-        *err = errnoStr(("connect " + host_port).c_str());
+    if (fd < 0 && err) {
+        if (timed_out)
+            *err = "connect " + host_port + ": timed out after " +
+                   std::to_string(timeoutMs) + " ms";
+        else
+            *err = errnoStr(("connect " + host_port).c_str());
+    }
     if (fd >= 0) {
         int one = 1;
         setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -180,7 +218,8 @@ sendLine(int fd, const std::string &line, std::string *err)
 }
 
 bool
-LineReader::next(std::string *line, std::string *err)
+LineReader::next(std::string *line, std::string *err,
+                 std::uint64_t timeoutMs)
 {
     for (;;) {
         if (peelLine(_buf, _off, line))
@@ -189,6 +228,22 @@ LineReader::next(std::string *line, std::string *err)
             if (err)
                 *err = "peer sent an over-long line";
             return false;
+        }
+        if (timeoutMs != 0) {
+            pollfd p = {_fd, POLLIN, 0};
+            int rc = poll(&p, 1, static_cast<int>(timeoutMs));
+            if (rc == 0) {
+                if (err)
+                    *err = "timed out after " +
+                           std::to_string(timeoutMs) +
+                           " ms waiting for the coordinator";
+                return false;
+            }
+            if (rc < 0 && errno != EINTR) {
+                if (err)
+                    *err = errnoStr("poll");
+                return false;
+            }
         }
         char chunk[65536];
         ssize_t n = read(_fd, chunk, sizeof(chunk));

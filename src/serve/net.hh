@@ -40,9 +40,13 @@ std::uint16_t boundPort(int listen_fd);
 
 /**
  * Blocking connect to "host:port" (numeric or resolvable host).
- * Returns the fd, or -1 with *err set.
+ * Returns the fd, or -1 with *err set. A nonzero `timeoutMs` bounds
+ * the TCP connect itself (nonblocking connect + poll) so a client
+ * aimed at a black-holed coordinator fails fast with a structured
+ * error instead of wedging in the kernel's connect timeout.
  */
-int connectTo(const std::string &host_port, std::string *err);
+int connectTo(const std::string &host_port, std::string *err,
+              std::uint64_t timeoutMs = 0);
 
 /** Blocking write of `line` plus the terminating newline. */
 bool sendLine(int fd, const std::string &line, std::string *err);
@@ -53,9 +57,16 @@ class LineReader
   public:
     explicit LineReader(int fd) : _fd(fd) {}
 
-    /** Read the next complete line (without the newline). False on
-     *  EOF, error, or an over-long line, with *err set. */
-    bool next(std::string *line, std::string *err);
+    /**
+     * Read the next complete line (without the newline). False on
+     * EOF, error, or an over-long line, with *err set. A nonzero
+     * `timeoutMs` is an inactivity deadline: if the peer sends no
+     * bytes at all for that long the read fails with a structured
+     * "timed out" error — the client-side guard against a hung
+     * coordinator.
+     */
+    bool next(std::string *line, std::string *err,
+              std::uint64_t timeoutMs = 0);
 
   private:
     int _fd;

@@ -28,18 +28,28 @@ hello(const std::string &name, unsigned slots)
 }
 
 std::string
-welcome(std::uint64_t agentId, std::uint64_t heartbeatMs)
+welcome(std::uint64_t agentId, std::uint64_t heartbeatMs,
+        FabricProfile affliction, std::uint64_t chaosSeed)
 {
     JsonValue o = envelope("welcome");
     o.set("agent", JsonValue::u64(agentId));
     o.set("heartbeat_ms", JsonValue::u64(heartbeatMs));
+    if (affliction != FabricProfile::None) {
+        o.set("chaos", JsonValue::str(fabricProfileName(affliction)));
+        o.set("chaos_seed", JsonValue::u64(chaosSeed));
+    }
     return o.dumpCompact();
 }
 
 std::string
-heartbeat()
+heartbeat(std::uint64_t inflight, std::uint64_t queued)
 {
-    return envelope("heartbeat").dumpCompact();
+    JsonValue o = envelope("heartbeat");
+    if (inflight)
+        o.set("inflight", JsonValue::u64(inflight));
+    if (queued)
+        o.set("queued", JsonValue::u64(queued));
+    return o.dumpCompact();
 }
 
 std::string
@@ -96,6 +106,15 @@ error(const std::string &message)
 {
     JsonValue o = envelope("error");
     o.set("message", JsonValue::str(message));
+    return o.dumpCompact();
+}
+
+std::string
+retryAfter(const std::string &message, std::uint64_t retryAfterMs)
+{
+    JsonValue o = envelope("error");
+    o.set("message", JsonValue::str(message));
+    o.set("retry_after_ms", JsonValue::u64(retryAfterMs));
     return o.dumpCompact();
 }
 

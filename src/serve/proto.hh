@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/fabric_chaos.hh"
 #include "sim/simulator.hh"
 #include "super/cell.hh"
 #include "triage/jsonio.hh"
@@ -31,10 +32,23 @@ namespace edge::serve::proto {
 /** Agent introduction: name plus how many cells it runs at once. */
 std::string hello(const std::string &name, unsigned slots);
 
-/** Coordinator's reply to hello: assigned id + heartbeat interval. */
-std::string welcome(std::uint64_t agentId, std::uint64_t heartbeatMs);
+/**
+ * Coordinator's reply to hello: assigned id + heartbeat interval,
+ * plus the agent-side chaos affliction (FabricProfile::Slow/Liar,
+ * omitted when None) the coordinator elected this agent for.
+ */
+std::string welcome(std::uint64_t agentId, std::uint64_t heartbeatMs,
+                    FabricProfile affliction = FabricProfile::None,
+                    std::uint64_t chaosSeed = 0);
 
-std::string heartbeat();
+/**
+ * Periodic liveness beacon, now carrying agent-side load so the
+ * coordinator's health scoring sees queue pressure, not just a
+ * pulse: `inflight` cells executing, `queued` finished results not
+ * yet flushed to the wire.
+ */
+std::string heartbeat(std::uint64_t inflight = 0,
+                      std::uint64_t queued = 0);
 
 /** Lease a cell to an agent. Timeout/rlimits travel with the cell so
  *  agents need no local configuration. */
@@ -57,6 +71,15 @@ std::string submit(const triage::JsonValue &campaign);
 std::string report(triage::JsonValue body);
 
 std::string error(const std::string &message);
+
+/**
+ * Admission-control shed: a structured `error` with a
+ * `retry_after_ms` hint — the coordinator's submission queue is
+ * full; try again after the suggested delay instead of wedging in
+ * line.
+ */
+std::string retryAfter(const std::string &message,
+                       std::uint64_t retryAfterMs);
 
 /**
  * Parse one wire line: *doc gets the object, *type its `type`

@@ -35,6 +35,8 @@ recordToJson(const JournalRecord &rec)
         o.set("lease", JsonValue::u64(rec.lease));
     if (rec.attempt > 1)
         o.set("attempt", JsonValue::u64(rec.attempt));
+    if (!rec.audit.empty())
+        o.set("audit", JsonValue::str(rec.audit));
     o.set("result", triage::resultToJson(rec.result));
     // The checksum covers the serialized record exactly as written
     // above — computed last, verified by stripping it again on load.
@@ -72,6 +74,7 @@ recordFromJson(const JsonValue &o, JournalRecord *rec,
     rec->agent = o.getString("agent");
     rec->lease = o.getU64("lease");
     rec->attempt = static_cast<unsigned>(o.getU64("attempt", 1));
+    rec->audit = o.getString("audit");
     return triage::resultFromJson(*o.get("result"), &rec->result, err);
 }
 

@@ -59,6 +59,9 @@ struct JournalRecord
     std::uint64_t lease = 0;
     /** Scheduling attempt that produced the result (1 = first). */
     unsigned attempt = 1;
+    /** Result-integrity audit verdict ("" = not audited; "match",
+     *  "diverged:<agent>", "inconclusive", "unresolved"). */
+    std::string audit;
 };
 
 /** Knobs threaded from the CLI down into the result log. */

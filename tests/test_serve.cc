@@ -2,10 +2,14 @@
  * @file
  * Tests for the campaign fabric (src/serve/): coordinator leases,
  * heartbeat-timeout reassignment, duplicate-result dedup, the
- * zero-agent local fallback, and deterministic fabric fault
- * injection. Every scenario asserts the robustness contract: the
- * merged report is byte-identical to a clean single-host run
- * regardless of agent count, kill schedule, or reassignment history.
+ * zero-agent local fallback, deterministic fabric fault injection,
+ * and the self-defence layer — hedged straggler re-execution under
+ * the `slow` profile, result-integrity audits and liar quarantine
+ * under `liar`, admission-control shedding, fair submission
+ * ordering, and client-side submit deadlines. Every scenario asserts
+ * the robustness contract: the merged report is byte-identical to a
+ * clean single-host run regardless of agent count, kill schedule,
+ * reassignment history, hedging, or audit activity.
  *
  * This binary has a custom main(): invoked as `test_serve
  * --worker-cell` it becomes a protocol worker (the default
@@ -17,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -30,7 +35,10 @@
 
 #include "log/log_chaos.hh"
 #include "serve/agent.hh"
+#include "serve/daemon.hh"
 #include "serve/fabric.hh"
+#include "serve/net.hh"
+#include "serve/proto.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "super/campaign.hh"
@@ -466,6 +474,300 @@ TEST(ServeDurable, CoordinatorKilledBeforeDurableReleasesTheCell)
     std::vector<super::CellOutcome> replay = fabric2.runAll(cells);
     expectByteIdentical(replay, want);
     EXPECT_EQ(fabric2.skipped(), cells.size());
+}
+
+// --- hedged straggler re-execution ----------------------------------
+
+TEST(ServeHedge, SlowAgentIsHedgedByteIdentical)
+{
+    std::vector<super::CellSpec> cells = grid(6);
+    std::vector<std::string> want = truth(cells);
+
+    serve::FabricOptions fo = fastOptions();
+    // The first-registered agent delays every cell by
+    // kSlowCellDelayMs (1500 ms); an explicit 200 ms hedge threshold
+    // guarantees every one of its leases straggles past it.
+    fo.localFallback = false;
+    fo.chaosProfile = serve::FabricProfile::Slow;
+    fo.chaosSeed = 5;
+    fo.hedgeAfterMs = 200;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    pid_t a = spawnAgent(fabric.port(), 2);
+    pid_t b = spawnAgent(fabric.port(), 2);
+    pid_t c = spawnAgent(fabric.port(), 2);
+    awaitAgents(fabric, 3);
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_GT(fabric.hedges(), 0u)
+        << "the slow agent's leases must be hedged";
+    EXPECT_EQ(fabric.failures(), 0u);
+    // A hedge loser is a counted no-op, never a reassignment.
+    EXPECT_EQ(fabric.completed(), cells.size());
+
+    reapAgent(a);
+    reapAgent(b);
+    reapAgent(c);
+}
+
+TEST(ServeHedge, HedgingDisabledCutsNoHedges)
+{
+    std::vector<super::CellSpec> cells = grid(3);
+    std::vector<std::string> want = truth(cells);
+
+    serve::FabricOptions fo = fastOptions();
+    fo.hedgeMax = 0; // hedging off
+    fo.hedgeAfterMs = 1;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_EQ(fabric.hedges(), 0u);
+}
+
+// --- result-integrity audits ----------------------------------------
+
+TEST(ServeAudit, CleanFleetAuditsAllMatch)
+{
+    std::vector<super::CellSpec> cells = grid(4);
+    std::vector<std::string> want = truth(cells);
+
+    serve::FabricOptions fo = fastOptions();
+    fo.localFallback = false;
+    fo.auditFrac = 1.0; // audit every clean remote result
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    pid_t a = spawnAgent(fabric.port(), 2);
+    pid_t b = spawnAgent(fabric.port(), 2);
+    awaitAgents(fabric, 2);
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_EQ(fabric.auditsRun(), cells.size());
+    EXPECT_EQ(fabric.auditsPassed(), cells.size());
+    EXPECT_EQ(fabric.auditsDiverged(), 0u);
+    EXPECT_EQ(fabric.agentsQuarantined(), 0u);
+    EXPECT_EQ(fabric.failures(), 0u);
+
+    reapAgent(a);
+    reapAgent(b);
+}
+
+TEST(ServeAudit, LiarAgentIsQuarantinedReportStaysClean)
+{
+    std::vector<super::CellSpec> cells = grid(6);
+    std::vector<std::string> want = truth(cells);
+
+    serve::FabricOptions fo = fastOptions();
+    // The first-registered agent flips one bit in every result it
+    // returns; with three agents (plus the local tie-break executor)
+    // the audit vote always has an honest majority.
+    fo.chaosProfile = serve::FabricProfile::Liar;
+    fo.chaosSeed = 9;
+    fo.auditFrac = 1.0;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    pid_t a = spawnAgent(fabric.port(), 2);
+    pid_t b = spawnAgent(fabric.port(), 2);
+    pid_t c = spawnAgent(fabric.port(), 2);
+    awaitAgents(fabric, 3);
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    // The whole point: corrupt bytes never reach the report.
+    expectByteIdentical(out, want);
+    EXPECT_GE(fabric.auditsDiverged(), 1u);
+    EXPECT_EQ(fabric.agentsQuarantined(), 1u)
+        << "exactly the liar is quarantined";
+    EXPECT_EQ(fabric.failures(), 0u);
+
+    reapAgent(a);
+    reapAgent(b);
+    reapAgent(c);
+}
+
+// --- admission control ----------------------------------------------
+
+/** Parse one JSON line ("" and bad JSON are fatal). */
+triage::JsonValue
+parseDoc(const std::string &line)
+{
+    triage::JsonValue doc;
+    std::string err;
+    EXPECT_TRUE(triage::JsonValue::parse(line, &doc, &err)) << err;
+    return doc;
+}
+
+/** A syntactically valid submission body (content never executed —
+ *  these tests exercise the queue, not the campaign). */
+std::string
+dummySubmit()
+{
+    triage::JsonValue campaign;
+    std::string err;
+    EXPECT_TRUE(
+        triage::JsonValue::parse("{\"kind\":\"sweep\"}", &campaign, &err));
+    return serve::proto::submit(campaign);
+}
+
+TEST(ServeAdmission, QueueFullShedsWithRetryAfter)
+{
+    serve::FabricOptions fo = fastOptions();
+    fo.maxQueued = 1;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+    std::string target = "127.0.0.1:" + std::to_string(fabric.port());
+
+    // First client fills the queue (nothing pops it).
+    int first = serve::connectTo(target, &err);
+    ASSERT_GE(first, 0) << err;
+    ASSERT_TRUE(serve::sendLine(first, dummySubmit(), &err)) << err;
+    for (int i = 0; i < 20; ++i)
+        fabric.pump(10);
+
+    // Second client must be shed with a structured retry hint.
+    int second = serve::connectTo(target, &err);
+    ASSERT_GE(second, 0) << err;
+    ASSERT_TRUE(serve::sendLine(second, dummySubmit(), &err)) << err;
+
+    serve::LineReader reader(second);
+    std::string line;
+    bool got = false;
+    for (int i = 0; i < 100 && !got; ++i) {
+        fabric.pump(10);
+        struct pollfd p = {second, POLLIN, 0};
+        if (::poll(&p, 1, 0) == 1)
+            got = reader.next(&line, &err, 1000);
+    }
+    ASSERT_TRUE(got) << "no shed reply: " << err;
+    triage::JsonValue doc = parseDoc(line);
+    EXPECT_EQ(doc.getString("type"), "error");
+    EXPECT_NE(doc.getU64("retry_after_ms"), 0u)
+        << "shed error must carry the retry hint";
+    EXPECT_EQ(fabric.shedSubmissions(), 1u);
+
+    ::close(first);
+    ::close(second);
+}
+
+TEST(ServeAdmission, PopSubmissionAlternatesBetweenClients)
+{
+    serve::Fabric fabric(fastOptions());
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+    std::string target = "127.0.0.1:" + std::to_string(fabric.port());
+
+    // Client A queues two campaigns before client B queues one.
+    int a = serve::connectTo(target, &err);
+    ASSERT_GE(a, 0) << err;
+    ASSERT_TRUE(serve::sendLine(a, dummySubmit(), &err)) << err;
+    ASSERT_TRUE(serve::sendLine(a, dummySubmit(), &err)) << err;
+    for (int i = 0; i < 20; ++i)
+        fabric.pump(10);
+    int b = serve::connectTo(target, &err);
+    ASSERT_GE(b, 0) << err;
+    ASSERT_TRUE(serve::sendLine(b, dummySubmit(), &err)) << err;
+    for (int i = 0; i < 20; ++i)
+        fabric.pump(10); // let B's submission land before popping
+
+    serve::Fabric::Submission s1, s2, s3;
+    auto popOne = [&](serve::Fabric::Submission *s) {
+        for (int i = 0; i < 200; ++i) {
+            if (fabric.popSubmission(s))
+                return true;
+            fabric.pump(10);
+        }
+        return false;
+    };
+    ASSERT_TRUE(popOne(&s1));
+    ASSERT_TRUE(popOne(&s2));
+    ASSERT_TRUE(popOne(&s3));
+
+    // Fair service: A's first (oldest), then B's (a different
+    // client), then back to A's second — not A, A, B.
+    EXPECT_EQ(s1.client, s3.client);
+    EXPECT_NE(s1.client, s2.client)
+        << "the second pop must serve the other client";
+
+    ::close(a);
+    ::close(b);
+}
+
+// --- client-side submit deadline ------------------------------------
+
+TEST(ServeTimeout, SubmitTimesOutOnSilentCoordinator)
+{
+    // A listener that accepts but never answers: the classic hung
+    // coordinator. The submit helper must fail with a structured
+    // timeout instead of wedging forever.
+    std::string err;
+    int listener = serve::listenOn(0, &err);
+    ASSERT_GE(listener, 0) << err;
+    std::string target =
+        "127.0.0.1:" + std::to_string(serve::boundPort(listener));
+
+    sim::ChaosSweepParams params;
+    params.seeds = {1};
+    params.configs = {"dsre"};
+    triage::ProgramRef ref;
+    ref.kernel = "parserish";
+    ref.params.iterations = 10;
+
+    sim::ChaosSweepReport report;
+    bool interrupted = false;
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(serve::submitSweep(target, params, ref, &report,
+                                    &interrupted, &err,
+                                    /*timeoutMs=*/400));
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    EXPECT_NE(err.find("timed out"), std::string::npos) << err;
+    EXPECT_LT(secs, 10.0) << "deadline did not bound the wait";
+    ::close(listener);
+}
+
+// --- durable log fails mid-campaign ---------------------------------
+
+TEST(ServeDurable, FailFsyncMidCampaignStillCompletes)
+{
+    // The non-lethal log fault: an fsync fails and the log goes
+    // sticky-failed, so the durable watermark never reaches the
+    // parked WaitDurable cells. The campaign must complete anyway
+    // (results are already merged; the lost records re-run on
+    // --resume) instead of wedging on an ack that can never come.
+    std::vector<super::CellSpec> cells = grid(4);
+    std::vector<std::string> want = truth(cells);
+
+    TempDir tmp("failfsync");
+    std::uint64_t seed = 1;
+    while (!log::LogChaos::wouldFire(log::LogCrashPoint::FailFsync,
+                                     seed, 0))
+        ++seed;
+
+    serve::FabricOptions fo = fastOptions();
+    fo.journalPath = tmp.file("camp.journal");
+    fo.logOptions.groupCommitMs = 1;
+    fo.logOptions.chaos.point = log::LogCrashPoint::FailFsync;
+    fo.logOptions.chaos.seed = seed;
+    serve::Fabric fabric(fo);
+    std::string err;
+    ASSERT_TRUE(fabric.start(&err)) << err;
+
+    std::vector<super::CellOutcome> out = fabric.runAll(cells);
+    expectByteIdentical(out, want);
+    EXPECT_EQ(fabric.failures(), 0u);
+    EXPECT_EQ(fabric.completed(), cells.size())
+        << "WaitDurable cells must complete on the failed-log path";
 }
 
 // --- stop semantics -------------------------------------------------

@@ -30,6 +30,7 @@
  *   17  worker timeout           18  worker protocol
  *   19  agent lost (campaign fabric)
  *   20  journal provenance mismatch (--strict-provenance)
+ *   21  agent corrupt (result audit caught divergent bytes)
  *   128+N  supervised campaign interrupted by signal N
  *
  * Campaign fabric (docs/PROTOCOL.md, "Campaign fabric"):
@@ -133,12 +134,24 @@ usage()
         "         cells via the --worker-cell isolation path\n"
         "  --submit <host:port>  run this --fuzz / --chaos-sweep\n"
         "         campaign on a coordinator instead of locally\n"
+        "  --submit-timeout-ms N  client inactivity deadline: fail\n"
+        "         the submit if the coordinator sends nothing for N\n"
+        "         ms (must exceed the campaign duration; 0 = wait\n"
+        "         forever)\n"
         "  coordinator knobs: --heartbeat-ms N, --heartbeat-timeout-ms\n"
         "         N, --lease-ms N, --max-reassign N, --once,\n"
         "         --no-local-fallback, --journal <file>, --resume\n"
         "         <file>, --fabric-chaos <profile>,\n"
         "         --fabric-chaos-seed N (profiles: none drop\n"
-        "         duplicate partition kill heavy)\n"
+        "         duplicate partition kill heavy slow liar)\n"
+        "  self-defence knobs: --hedge-after-ms N (straggler hedge\n"
+        "         threshold; 0 = auto from fleet p95), --hedge-max N\n"
+        "         (speculative leases per cell, 0 = off),\n"
+        "         --audit-frac F (re-execute fraction F of clean\n"
+        "         remote results on a second agent and byte-compare;\n"
+        "         divergence quarantines the corrupt agent),\n"
+        "         --max-queued N (shed submissions past N queued,\n"
+        "         structured retry-after error; 0 = unbounded)\n"
         "  agent knobs: --slots N, --name S, --die-after N\n"
         "  --version  print the build provenance line\n"
         "  --capture-repro <dir>  write a .repro.json for every\n"
@@ -152,8 +165,8 @@ usage()
         "  failures, 4 replay mismatch, 10 watchdog, 11 invariant\n"
         "  violation, 12 protocol panic, 13 livelock, 14 host\n"
         "  deadline, 15-18 worker crash/kill/timeout/protocol,\n"
-        "  19 agent lost, 20 provenance mismatch, 128+N interrupted\n"
-        "  by signal N\n"
+        "  19 agent lost, 20 provenance mismatch, 21 agent corrupt,\n"
+        "  128+N interrupted by signal N\n"
         "\n"
         "configs: ");
     for (const auto &c : sim::Configs::allNames())
@@ -437,6 +450,20 @@ serveCliMain(int argc, char **argv)
         } else if (arg == "--max-reassign") {
             so.fabric.maxReassign = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--hedge-after-ms") {
+            so.fabric.hedgeAfterMs =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--hedge-max") {
+            so.fabric.hedgeMax = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--audit-frac") {
+            so.fabric.auditFrac = std::strtod(next(), nullptr);
+            fatal_if(so.fabric.auditFrac < 0 ||
+                         so.fabric.auditFrac > 1,
+                     "--audit-frac expects a fraction in [0,1]");
+        } else if (arg == "--max-queued") {
+            so.fabric.maxQueued = static_cast<std::size_t>(
+                std::strtoull(next(), nullptr, 10));
         } else if (arg == "--cell-timeout-ms") {
             so.fabric.cellTimeoutMs =
                 std::strtoull(next(), nullptr, 10);
@@ -536,6 +563,7 @@ main(int argc, char **argv)
     std::string corpus_dir;
     bool isolate = false;
     std::string submit_to;
+    std::uint64_t submit_timeout_ms = 0;
     std::string journal_dir;
     std::string resume_path;
     std::uint64_t cell_timeout_ms = 0;
@@ -614,6 +642,8 @@ main(int argc, char **argv)
             isolate = true;
         } else if (arg == "--submit") {
             submit_to = next();
+        } else if (arg == "--submit-timeout-ms") {
+            submit_timeout_ms = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--journal-dir") {
             journal_dir = next();
             isolate = true;
@@ -731,7 +761,8 @@ main(int argc, char **argv)
             fuzzHeader(fo);
             fuzz::FuzzReport rep;
             std::string err;
-            if (!serve::submitFuzz(submit_to, fo, &rep, &err))
+            if (!serve::submitFuzz(submit_to, fo, &rep, &err,
+                                   submit_timeout_ms))
                 fatal("--submit: %s", err.c_str());
             if (rep.interrupted)
                 warn("campaign was interrupted on the coordinator; "
@@ -792,7 +823,8 @@ main(int argc, char **argv)
             bool interrupted = false;
             std::string err;
             if (!serve::submitSweep(submit_to, sp, prog_ref, &rep,
-                                    &interrupted, &err))
+                                    &interrupted, &err,
+                                    submit_timeout_ms))
                 fatal("--submit: %s", err.c_str());
             if (!repro_dir.empty())
                 triage::captureSweepFailures(rep, prog_ref,
