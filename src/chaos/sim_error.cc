@@ -22,6 +22,7 @@ reasonName(SimError::Reason reason)
       case SimError::Reason::AgentLost: return "agent-lost";
       case SimError::Reason::AgentCorrupt: return "agent-corrupt";
       case SimError::Reason::ProvenanceMismatch: return "provenance-mismatch";
+      case SimError::Reason::FabricSimViolation: return "fabric-sim-violation";
     }
     return "?";
 }
@@ -39,7 +40,8 @@ reasonByName(const std::string &name)
           SimError::Reason::WorkerProtocol,
           SimError::Reason::AgentLost,
           SimError::Reason::AgentCorrupt,
-          SimError::Reason::ProvenanceMismatch}) {
+          SimError::Reason::ProvenanceMismatch,
+          SimError::Reason::FabricSimViolation}) {
         if (name == reasonName(r))
             return r;
     }
@@ -63,6 +65,7 @@ exitCodeFor(SimError::Reason reason)
       case SimError::Reason::AgentLost: return 19;
       case SimError::Reason::ProvenanceMismatch: return 20;
       case SimError::Reason::AgentCorrupt: return 21;
+      case SimError::Reason::FabricSimViolation: return 22;
     }
     return 1;
 }

@@ -59,6 +59,14 @@ struct SimError
         // was written by a different build (git revision, build type
         // or sanitizer mix) than the one resuming it.
         ProvenanceMismatch, ///< journal build line != running binary
+
+        // --- fabric-simulation kind --------------------------------
+        // Produced by the deterministic fabric-simulation explorer
+        // (`edgesim serve --simulate`) when a simulated world tripped
+        // a fabric invariant (cell lost, double completion, report
+        // divergence, leaked lease, false quarantine, starvation).
+        // The failing seed's `.fabsim.json` capture replays it.
+        FabricSimViolation, ///< simulated fabric invariant tripped
     };
 
     Reason reason = Reason::None;

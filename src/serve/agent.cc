@@ -26,8 +26,6 @@ namespace edge::serve {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
 struct Agent
 {
     AgentOptions opts;
@@ -60,6 +58,10 @@ struct Agent
     };
     std::mutex mu;
     std::deque<Done> done; // cell threads -> main loop
+
+    /** Result lines finished while disconnected, re-offered after
+     *  re-registration (the coordinator dedups stale leases). */
+    std::deque<std::string> outbox;
 
     std::uint64_t resultsSent = 0;
 
@@ -184,7 +186,12 @@ struct Agent
             }
             if (!d.ran)
                 continue; // stopped cell: the lease will be revoked
-            conn->send(proto::result(d.lease, d.cell, d.result));
+            std::string line =
+                proto::result(d.lease, d.cell, d.result);
+            if (conn && !conn->dead())
+                conn->send(line);
+            else
+                outbox.push_back(std::move(line));
             ++resultsSent;
             if (opts.dieAfterResults != 0 &&
                 resultsSent >= opts.dieAfterResults) {
@@ -204,6 +211,53 @@ struct Agent
             if (kv.second.th.joinable())
                 kv.second.th.join();
         active.clear();
+    }
+
+    /**
+     * Re-dial the coordinator after a dropped connection: up to
+     * reconnectMax attempts with the supervisor's capped-exponential
+     * backoff shape plus deterministic jitter, then re-register with
+     * a fresh hello and re-offer buffered results. In-flight cells
+     * keep running the whole time. False = give up (budget spent or
+     * a stop signal arrived).
+     */
+    bool
+    reconnect()
+    {
+        Clock &clk = Clock::real();
+        for (unsigned attempt = 1; attempt <= opts.reconnectMax;
+             ++attempt) {
+            std::uint64_t backoff = std::min<std::uint64_t>(
+                250ull << (attempt - 1), 8000);
+            Fnv1a f;
+            f.mix(opts.name.data(), opts.name.size());
+            f.mix64(attempt);
+            std::uint64_t waitMs = backoff + f.state % 250;
+            inform("agent '%s': reconnect %u/%u in %llu ms",
+                   opts.name.c_str(), attempt, opts.reconnectMax,
+                   static_cast<unsigned long long>(waitMs));
+            clk.sleepFor(waitMs);
+            if (super::stopSignal() != 0)
+                return false;
+            std::string err;
+            int fd = connectTo(opts.coordinator, &err, 2000);
+            if (fd < 0) {
+                warn("agent '%s': reconnect failed: %s",
+                     opts.name.c_str(), err.c_str());
+                continue;
+            }
+            conn = std::make_unique<Conn>(fd);
+            draining = false;
+            conn->send(proto::hello(opts.name, opts.slots));
+            while (!outbox.empty()) {
+                conn->send(outbox.front());
+                outbox.pop_front();
+            }
+            inform("agent '%s': re-registered with %s",
+                   opts.name.c_str(), opts.coordinator.c_str());
+            return true;
+        }
+        return false;
     }
 };
 
@@ -252,7 +306,12 @@ agentMain(const AgentOptions &opts)
            a.opts.name.c_str(), opts.coordinator.c_str(),
            a.opts.slots, a.opts.slots == 1 ? "" : "s");
 
-    Clock::time_point lastBeat = Clock::now();
+    Clock &clk = Clock::real();
+    // Heartbeats run on an absolute deadline, re-armed by addition,
+    // so a slow turn (or a long reconnect) never stretches the
+    // interval the coordinator's liveness sweep assumes.
+    Clock::time_point nextBeat =
+        clk.now() + std::chrono::milliseconds(a.heartbeatMs);
     int exitCode = 0;
     bool shuttingDown = false;
 
@@ -271,16 +330,13 @@ agentMain(const AgentOptions &opts)
             fds[0].events |= POLLOUT;
         fds[1] = {a.wakeRead, POLLIN, 0};
 
-        auto now = Clock::now();
-        auto sinceBeat =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                now - lastBeat)
-                .count();
-        int timeout = static_cast<int>(
-            a.heartbeatMs -
-            std::min<long long>(sinceBeat,
-                                static_cast<long long>(a.heartbeatMs)));
-        (void)::poll(fds, 2, std::max(timeout, 1));
+        int timeout = clk.msUntil(nextBeat);
+        int rc;
+        do {
+            rc = ::poll(fds, 2, std::max(timeout, 1));
+        } while (rc < 0 && errno == EINTR &&
+                 super::stopSignal() == 0);
+        (void)rc;
 
         if (fds[1].revents & POLLIN) {
             char buf[64];
@@ -304,6 +360,8 @@ agentMain(const AgentOptions &opts)
                 a.heartbeatMs =
                     std::max<std::uint64_t>(
                         10, doc.getU64("heartbeat_ms", 1000));
+                nextBeat = clk.now() +
+                           std::chrono::milliseconds(a.heartbeatMs);
                 std::string chaos = doc.getString("chaos");
                 if (!chaos.empty()) {
                     FabricProfile p;
@@ -327,13 +385,29 @@ agentMain(const AgentOptions &opts)
         a.pumpDone();
 
         if (a.conn->dead()) {
-            // Coordinator gone: our leases are being reassigned, so
-            // finishing the cells would only produce orphan results.
+            if (shuttingDown) {
+                // Shutdown drain cut short: nothing left to flush to.
+                a.stopAll();
+                exitCode = 1;
+                break;
+            }
             inform("agent '%s': coordinator connection closed",
                    a.opts.name.c_str());
-            a.stopAll();
-            exitCode = 1;
-            break;
+            // Keep in-flight cells running and try to re-register:
+            // results finished during the outage queue in the outbox
+            // and are re-offered after the fresh hello (the
+            // coordinator keeps the ones whose leases survived).
+            if (!a.reconnect()) {
+                inform("agent '%s': giving up after %u reconnect "
+                       "attempt(s)",
+                       a.opts.name.c_str(), a.opts.reconnectMax);
+                a.stopAll();
+                exitCode = 1;
+                break;
+            }
+            nextBeat = clk.now() +
+                       std::chrono::milliseconds(a.heartbeatMs);
+            continue;
         }
 
         if (shuttingDown && a.active.empty()) {
@@ -348,10 +422,8 @@ agentMain(const AgentOptions &opts)
             }
         }
 
-        now = Clock::now();
-        if (std::chrono::duration_cast<std::chrono::milliseconds>(
-                now - lastBeat)
-                .count() >= static_cast<long long>(a.heartbeatMs)) {
+        Clock::time_point now = clk.now();
+        if (now >= nextBeat) {
             std::uint64_t queued;
             {
                 std::lock_guard<std::mutex> lk(a.mu);
@@ -359,7 +431,10 @@ agentMain(const AgentOptions &opts)
             }
             a.conn->send(
                 proto::heartbeat(a.active.size(), queued));
-            lastBeat = now;
+            nextBeat += std::chrono::milliseconds(a.heartbeatMs);
+            if (nextBeat <= now)
+                nextBeat =
+                    now + std::chrono::milliseconds(a.heartbeatMs);
         }
     }
 

@@ -40,6 +40,15 @@ struct AgentOptions
      * "agent dies mid-campaign while holding leases" schedule.
      */
     std::uint64_t dieAfterResults = 0;
+    /**
+     * Consecutive reconnect attempts after the coordinator connection
+     * drops before the agent gives up (0 = exit immediately on loss,
+     * the pre-reconnect behaviour). In-flight cells keep running
+     * across the outage; their finished results are buffered and
+     * re-offered after re-registration — the coordinator's dedup path
+     * keeps the ones whose leases are still valid and drops the rest.
+     */
+    unsigned reconnectMax = 5;
 };
 
 int agentMain(const AgentOptions &opts);

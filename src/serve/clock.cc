@@ -1,0 +1,34 @@
+#include "serve/clock.hh"
+
+#include <thread>
+
+namespace edge::serve {
+
+namespace {
+
+class RealClock final : public Clock
+{
+  public:
+    time_point
+    now() override
+    {
+        return std::chrono::steady_clock::now();
+    }
+
+    void
+    sleepFor(std::uint64_t ms) override
+    {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+};
+
+} // namespace
+
+Clock &
+Clock::real()
+{
+    static RealClock clk;
+    return clk;
+}
+
+} // namespace edge::serve

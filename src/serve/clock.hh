@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The fabric's time source, made injectable. Every serve-side
+ * component that reads a clock — heartbeat timers, lease deadlines,
+ * hedge thresholds, reassignment backoffs, client retry waits — goes
+ * through this interface instead of calling steady_clock directly,
+ * so the deterministic fabric simulation (src/serve/simnet/) can run
+ * the REAL coordinator state machine on virtual time: thousands of
+ * campaigns per wall-second, every timer race reproducible from a
+ * seed.
+ *
+ * Two implementations:
+ *
+ *  - Clock::real(): a process-wide steady_clock passthrough; sleeps
+ *    actually sleep. This is what every production entry point uses.
+ *
+ *  - VirtualClock: a manually advanced clock. now() never moves on
+ *    its own; advanceTo/advanceMs are driven by the simulation's
+ *    event queue, and sleepFor is a pure time jump (no wall-clock
+ *    wait) — the "no-wait fast-forward" that makes simulated
+ *    campaigns run as fast as the host can fire events.
+ */
+
+#ifndef EDGE_SERVE_CLOCK_HH
+#define EDGE_SERVE_CLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace edge::serve {
+
+class Clock
+{
+  public:
+    /** Shared with steady_clock so existing duration math (lease
+     *  expiries, heartbeat deadlines) works unchanged. */
+    using time_point = std::chrono::steady_clock::time_point;
+
+    virtual ~Clock() = default;
+
+    virtual time_point now() = 0;
+
+    /** Block (or, on a virtual clock, jump) for `ms` milliseconds. */
+    virtual void sleepFor(std::uint64_t ms) = 0;
+
+    /** Milliseconds until `deadline`, clamped at zero — the poll
+     *  timeout for an absolute deadline. */
+    std::int64_t
+    msUntil(time_point deadline)
+    {
+        auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now())
+                .count();
+        return left > 0 ? left : 0;
+    }
+
+    /** The process-wide wall-clock implementation. */
+    static Clock &real();
+};
+
+/**
+ * A clock that only moves when told to. Starts at the epoch of its
+ * time_point (t=0); never goes backwards.
+ */
+class VirtualClock final : public Clock
+{
+  public:
+    time_point
+    now() override
+    {
+        return _now;
+    }
+
+    /** A virtual sleep is a jump: no wall time passes. */
+    void
+    sleepFor(std::uint64_t ms) override
+    {
+        advanceMs(ms);
+    }
+
+    void
+    advanceMs(std::uint64_t ms)
+    {
+        _now += std::chrono::milliseconds(ms);
+    }
+
+    /** Advance to `t`; a target in the past is a no-op (monotonic by
+     *  construction, like the steady clock it stands in for). */
+    void
+    advanceTo(time_point t)
+    {
+        if (t > _now)
+            _now = t;
+    }
+
+    /** Milliseconds since the virtual epoch. */
+    std::uint64_t
+    nowMs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                _now.time_since_epoch())
+                .count());
+    }
+
+  private:
+    time_point _now{}; ///< epoch: virtual t=0
+};
+
+} // namespace edge::serve
+
+#endif // EDGE_SERVE_CLOCK_HH

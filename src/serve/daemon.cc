@@ -132,12 +132,15 @@ serveMain(const ServeOptions &opts)
 namespace {
 
 /** One submit round-trip: send the campaign, wait for report/error.
- *  Plain blocking client — it has nothing else to do. */
+ *  Plain blocking client — it has nothing else to do. On an
+ *  admission-control shed, *retryAfterMs gets the coordinator's
+ *  structured hint (0 otherwise). */
 bool
-submitAndWait(const std::string &coordinator,
-              const JsonValue &campaign, JsonValue *reportBody,
-              std::string *err, std::uint64_t timeoutMs)
+submitOnce(const std::string &coordinator, const JsonValue &campaign,
+           JsonValue *reportBody, std::string *err,
+           std::uint64_t timeoutMs, std::uint64_t *retryAfterMs)
 {
+    *retryAfterMs = 0;
     int fd = connectTo(coordinator, err, timeoutMs);
     if (fd < 0)
         return false;
@@ -153,13 +156,14 @@ submitAndWait(const std::string &coordinator,
             if (!proto::parse(line, &doc, &type, err))
                 break;
             if (type == "error") {
+                std::uint64_t retry = doc.getU64("retry_after_ms");
+                *retryAfterMs = retry;
                 if (err) {
                     *err = "coordinator: " +
                            doc.getString("message", "unknown error");
                     // Admission-control shed: surface the structured
                     // retry hint so callers (and humans) can back off
                     // rather than hammer a loaded coordinator.
-                    std::uint64_t retry = doc.getU64("retry_after_ms");
                     if (retry != 0)
                         *err += strfmt(" (retry after %llu ms)",
                                        static_cast<unsigned long long>(
@@ -184,6 +188,33 @@ submitAndWait(const std::string &coordinator,
     return ok;
 }
 
+/** Submit with shed handling: an admission-control error carrying
+ *  `retry_after_ms` is honored — sleep the hinted delay (clamped to
+ *  [50ms, 10s]) and resubmit, up to `shedRetries` times. Every other
+ *  failure is final. */
+bool
+submitAndWait(const std::string &coordinator,
+              const JsonValue &campaign, JsonValue *reportBody,
+              std::string *err, std::uint64_t timeoutMs,
+              unsigned shedRetries)
+{
+    for (unsigned attempt = 0;; ++attempt) {
+        std::uint64_t retryMs = 0;
+        if (submitOnce(coordinator, campaign, reportBody, err,
+                       timeoutMs, &retryMs))
+            return true;
+        if (retryMs == 0 || attempt >= shedRetries)
+            return false;
+        std::uint64_t waitMs =
+            retryMs < 50 ? 50 : (retryMs > 10000 ? 10000 : retryMs);
+        inform("submit: coordinator shed the campaign; retry %u/%u "
+               "in %llu ms",
+               attempt + 1, shedRetries,
+               static_cast<unsigned long long>(waitMs));
+        Clock::real().sleepFor(waitMs);
+    }
+}
+
 } // namespace
 
 bool
@@ -191,11 +222,12 @@ submitSweep(const std::string &coordinator,
             const sim::ChaosSweepParams &params,
             const triage::ProgramRef &program,
             sim::ChaosSweepReport *report, bool *interrupted,
-            std::string *err, std::uint64_t timeoutMs)
+            std::string *err, std::uint64_t timeoutMs,
+            unsigned shedRetries)
 {
     JsonValue body;
     if (!submitAndWait(coordinator, sweepSubmission(params, program),
-                       &body, err, timeoutMs))
+                       &body, err, timeoutMs, shedRetries))
         return false;
     return sweepReportFromJson(body, report, interrupted, err);
 }
@@ -203,11 +235,12 @@ submitSweep(const std::string &coordinator,
 bool
 submitFuzz(const std::string &coordinator,
            const fuzz::FuzzOptions &opts, fuzz::FuzzReport *report,
-           std::string *err, std::uint64_t timeoutMs)
+           std::string *err, std::uint64_t timeoutMs,
+           unsigned shedRetries)
 {
     JsonValue body;
     if (!submitAndWait(coordinator, fuzzSubmission(opts), &body, err,
-                       timeoutMs))
+                       timeoutMs, shedRetries))
         return false;
     return fuzzReportFromJson(body, report, err);
 }

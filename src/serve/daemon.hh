@@ -45,20 +45,25 @@ int serveMain(const ServeOptions &opts);
  * for a coordinator line — an inactivity deadline, so it must exceed
  * the expected campaign duration (the coordinator sends nothing
  * while a campaign runs). 0 = wait forever (the historical
- * behaviour, which wedges on a hung coordinator).
+ * behaviour, which wedges on a hung coordinator). An admission-
+ * control shed (structured error with `retry_after_ms`) is honored:
+ * the client sleeps the hinted delay (clamped to [50ms, 10s]) and
+ * resubmits, up to `shedRetries` times before giving up.
  */
 bool submitSweep(const std::string &coordinator,
                  const sim::ChaosSweepParams &params,
                  const triage::ProgramRef &program,
                  sim::ChaosSweepReport *report, bool *interrupted,
-                 std::string *err, std::uint64_t timeoutMs = 0);
+                 std::string *err, std::uint64_t timeoutMs = 0,
+                 unsigned shedRetries = 3);
 
-/** Submit a fuzz campaign and wait for the report (same deadline
- *  semantics as submitSweep). */
+/** Submit a fuzz campaign and wait for the report (same deadline and
+ *  shed-retry semantics as submitSweep). */
 bool submitFuzz(const std::string &coordinator,
                 const fuzz::FuzzOptions &opts,
                 fuzz::FuzzReport *report, std::string *err,
-                std::uint64_t timeoutMs = 0);
+                std::uint64_t timeoutMs = 0,
+                unsigned shedRetries = 3);
 
 } // namespace edge::serve
 

@@ -1,9 +1,5 @@
 #include "serve/fabric.hh"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
@@ -25,7 +21,7 @@ using triage::JsonValue;
 struct Fabric::Peer
 {
     std::uint64_t id = 0;
-    std::unique_ptr<Conn> conn;
+    std::unique_ptr<Stream> conn;
     enum class Kind : std::uint8_t
     {
         Unknown,
@@ -100,24 +96,27 @@ Fabric::Fabric(FabricOptions opts)
     : _opts(std::move(opts)),
       _chaos(_opts.chaosProfile, _opts.chaosSeed)
 {
+    _clk = _opts.clock ? _opts.clock : &Clock::real();
+    if (_opts.transport) {
+        _net = _opts.transport;
+    } else {
+        _ownedNet = std::make_unique<TcpTransport>();
+        _net = _ownedNet.get();
+    }
     // Writes to an agent that vanished mid-send must come back as
     // errors, not process-fatal SIGPIPEs.
     std::signal(SIGPIPE, SIG_IGN);
 }
 
-Fabric::~Fabric()
-{
-    if (_listenFd >= 0)
-        ::close(_listenFd);
-}
+Fabric::~Fabric() = default;
 
 bool
 Fabric::start(std::string *err)
 {
-    _listenFd = listenOn(_opts.listenPort, err);
-    if (_listenFd < 0)
+    if (!_net->listen(_opts.listenPort, err))
         return false;
-    _port = boundPort(_listenFd);
+    _port = _net->port();
+    _started = true;
     if (_chaos.active())
         inform("fabric: chaos profile '%s' (seed %llu) armed",
                fabricProfileName(_chaos.profile()),
@@ -226,49 +225,34 @@ Fabric::ensureJournal()
 void
 Fabric::pump(int timeoutMs)
 {
-    std::vector<pollfd> fds;
-    std::vector<std::uint64_t> owner; // peer id per pollfd past [0]
-    fds.push_back({_listenFd, POLLIN, 0});
-    for (auto &kv : _peers) {
-        Peer &p = *kv.second;
-        if (p.conn->dead())
-            continue;
-        short ev = POLLIN;
-        if (p.conn->wantWrite())
-            ev |= POLLOUT;
-        fds.push_back({p.conn->fd(), ev, 0});
-        owner.push_back(p.id);
+    std::vector<Stream *> streams;
+    streams.reserve(_peers.size());
+    for (auto &kv : _peers)
+        if (!kv.second->conn->dead())
+            streams.push_back(kv.second->conn.get());
+
+    std::vector<std::unique_ptr<Stream>> accepted;
+    _net->pump(timeoutMs, streams, &accepted);
+
+    for (auto &s : accepted) {
+        auto peer = std::make_unique<Peer>();
+        peer->id = ++_peerIds;
+        peer->conn = std::move(s);
+        peer->lastHeard = _clk->now();
+        _peers.emplace(peer->id, std::move(peer));
     }
 
-    int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                    timeoutMs);
-    if (rc < 0 && errno != EINTR)
-        warn("fabric: poll: %s", std::strerror(errno));
-
-    if (fds[0].revents & POLLIN) {
-        for (;;) {
-            int cfd = ::accept(_listenFd, nullptr, nullptr);
-            if (cfd < 0)
-                break;
-            auto peer = std::make_unique<Peer>();
-            peer->id = ++_peerIds;
-            peer->conn = std::make_unique<Conn>(cfd);
-            peer->lastHeard = Clock::now();
-            _peers.emplace(peer->id, std::move(peer));
-        }
-    }
-
-    for (std::size_t fi = 1; fi < fds.size(); ++fi) {
-        if (fds[fi].revents == 0)
-            continue;
-        auto it = _peers.find(owner[fi - 1]);
+    // Peel complete lines from every peer — the transport's pump
+    // already moved the bytes, whatever the wire was.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(_peers.size());
+    for (auto &kv : _peers)
+        ids.push_back(kv.first);
+    for (std::uint64_t id : ids) {
+        auto it = _peers.find(id);
         if (it == _peers.end())
             continue;
         Peer &p = *it->second;
-        if (fds[fi].revents & POLLOUT)
-            p.conn->onWritable();
-        if (fds[fi].revents & (POLLIN | POLLHUP | POLLERR))
-            p.conn->onReadable();
         std::string line;
         while (!p.conn->dead() && p.conn->nextLine(&line))
             handleLine(p, line);
@@ -287,7 +271,7 @@ Fabric::pump(int timeoutMs)
         it = _peers.erase(it);
     }
 
-    sweepDeadlines(Clock::now());
+    sweepDeadlines(_clk->now());
 }
 
 void
@@ -350,7 +334,7 @@ Fabric::handleLine(Peer &peer, const std::string &line)
                 std::max<std::uint64_t>(1, doc.getU64("slots", 1)));
             peer.ordinal = _agentOrdinals++;
             peer.live = true;
-            peer.lastHeard = Clock::now();
+            peer.lastHeard = _clk->now();
             FabricProfile affliction =
                 _chaos.agentAffliction(peer.ordinal);
             peer.conn->send(proto::welcome(peer.id, _opts.heartbeatMs,
@@ -426,7 +410,7 @@ Fabric::handleAgentMessage(Peer &peer, const JsonValue &doc,
         inform("fabric: agent '%s' healed after a partition",
                peer.name.c_str());
     }
-    peer.lastHeard = Clock::now();
+    peer.lastHeard = _clk->now();
 
     if (type == "heartbeat") {
         peer.loadInflight = doc.getU64("inflight");
@@ -521,7 +505,7 @@ Fabric::reassignCell(std::size_t i, std::uint64_t leaseId,
         _opts.retry.maxTotalBackoffMs);
     _run->st[i] = CState::Pending;
     _run->notBefore[i] =
-        Clock::now() + std::chrono::milliseconds(backoff);
+        _clk->now() + std::chrono::milliseconds(backoff);
 }
 
 void
@@ -541,7 +525,7 @@ Fabric::handleResult(Peer &peer, const JsonValue &doc)
     l.answered = true;
     if (!l.revoked && peer.inFlight > 0)
         --peer.inFlight;
-    recordLatency(peer, l, Clock::now());
+    recordLatency(peer, l, _clk->now());
 
     if (!_run)
         return;
@@ -605,7 +589,7 @@ Fabric::handleResult(Peer &peer, const JsonValue &doc)
         _run->attempt[i] = attempt + 1;
         _run->backoffAccum[i] += backoff;
         _run->notBefore[i] =
-            Clock::now() + std::chrono::milliseconds(backoff);
+            _clk->now() + std::chrono::milliseconds(backoff);
         _run->st[i] = CState::Pending;
         return;
     }
@@ -662,6 +646,12 @@ Fabric::revokeSiblings(std::size_t i)
         if (l.cell != i || l.revoked || l.answered ||
             l.kind == LeaseKind::Audit)
             continue;
+#ifdef EDGE_MUTATIONS
+        // Planted regression for the simulation explorer: skip hedge
+        // siblings, leaking their leases past campaign completion.
+        if (_opts.mutateNoHedgeRevoke && l.kind == LeaseKind::Hedge)
+            continue;
+#endif
         l.revoked = true;
         auto pit = _peers.find(l.peer);
         if (pit != _peers.end() && pit->second->inFlight > 0)
@@ -928,6 +918,8 @@ Fabric::quarantine(std::uint64_t peerId, const std::string &name,
 sim::RunResult
 Fabric::runOneLocal(const CellSpec &cell)
 {
+    if (_opts.localExec)
+        return _opts.localExec(cell);
     super::SupervisorOptions so;
     so.jobs = 1;
     so.cellTimeoutMs = _opts.cellTimeoutMs;
@@ -1109,10 +1101,9 @@ Fabric::cutLease(Peer &p, std::size_t cell, LeaseKind kind,
         warn("fabric: chaos kill: severing agent '%s' after "
              "assign %llu",
              p.name.c_str(), static_cast<unsigned long long>(aord));
-        // Shut down the socket so the agent sees EOF and dies
-        // mid-cell; the dead-connection sweep revokes.
-        ::shutdown(p.conn->fd(), SHUT_RDWR);
-        p.conn->markDead();
+        // Yank the wire so the agent sees EOF and dies mid-cell; the
+        // dead-connection sweep revokes.
+        p.conn->sever();
     }
     return id;
 }
@@ -1214,7 +1205,7 @@ Fabric::runLocalBatch()
         jobs = hw ? hw : 1;
     }
 
-    Clock::time_point now = Clock::now();
+    Clock::time_point now = _clk->now();
     std::vector<std::size_t> idx;
     std::vector<CellSpec> batch;
     for (std::size_t i = 0;
@@ -1227,6 +1218,24 @@ Fabric::runLocalBatch()
     }
     if (idx.empty())
         return;
+
+    if (_opts.localExec) {
+        // Simulation: the injected executor IS the local runner —
+        // deterministic, no child processes.
+        for (std::size_t i : idx) {
+            if (_run->st[i] == CState::Done ||
+                _run->st[i] == CState::WaitDurable) {
+                ++_dupDeduped;
+                continue;
+            }
+            ++_localCells;
+            sim::RunResult r = _opts.localExec((*_run->cells)[i]);
+            r.retries = _run->attempt[i] - 1;
+            r.backoffMs = _run->backoffAccum[i];
+            finalizeCell(i, std::move(r), "", 0, _run->attempt[i]);
+        }
+        return;
+    }
 
     if (!_downgradeLogged) {
         warn("fabric: no live agents — downgrading to local "
@@ -1311,7 +1320,7 @@ Fabric::pollTimeout(Clock::time_point now, int base) const
 std::vector<CellOutcome>
 Fabric::runAll(const std::vector<CellSpec> &cells)
 {
-    panic_if(_listenFd < 0, "Fabric::runAll before start()");
+    panic_if(!_started, "Fabric::runAll before start()");
     ensureJournal();
 
     std::map<std::uint64_t, const super::JournalRecord *> replayable;
@@ -1326,7 +1335,7 @@ Fabric::runAll(const std::vector<CellSpec> &cells)
     ctx.attempt.assign(cells.size(), 1);
     ctx.reassigns.assign(cells.size(), 0);
     ctx.backoffAccum.assign(cells.size(), 0);
-    ctx.notBefore.assign(cells.size(), Clock::now());
+    ctx.notBefore.assign(cells.size(), _clk->now());
     ctx.hash.resize(cells.size());
     ctx.activeLeases.assign(cells.size(), 0);
     ctx.hedgesCut.assign(cells.size(), 0);
@@ -1362,10 +1371,23 @@ Fabric::runAll(const std::vector<CellSpec> &cells)
         const bool drain = super::stopSignal() == SIGTERM;
 
         promoteDurable(false);
+        if (_opts.localExec && _journalReady &&
+            !ctx.waitDurable.empty()) {
+            // Simulation determinism: the group-commit flusher runs
+            // on wall time, which a virtual-time world must not
+            // observe. Force the watermark forward synchronously so
+            // durable-ack promotion is a pure function of the event
+            // schedule.
+            std::string ferr;
+            if (!_journal.flush(&ferr))
+                warn("fabric: journal flush failed: %s",
+                     ferr.c_str());
+            promoteDurable(false);
+        }
         if (ctx.remaining == 0)
             break;
 
-        Clock::time_point now = Clock::now();
+        Clock::time_point now = _clk->now();
         if (!drain) {
             assignReady(now);
             maybeHedge(now);
@@ -1396,6 +1418,17 @@ Fabric::runAll(const std::vector<CellSpec> &cells)
                  "results will re-run on --resume", err.c_str());
     }
     promoteDurable(true);
+    // Invariant audit: when a campaign finished on its own, every
+    // Normal/Hedge lease must have been answered or revoked — a live
+    // one here means a revocation path leaked it (and its agent slot).
+    if (!stopRequested() && ctx.remaining == 0) {
+        for (const auto &kv : _leases) {
+            const Lease &l = kv.second;
+            if (!l.revoked && !l.answered &&
+                l.kind != LeaseKind::Audit)
+                ++_leasesLeaked;
+        }
+    }
     _run = nullptr;
     _leases.clear();
     return out;

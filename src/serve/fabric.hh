@@ -50,11 +50,13 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "serve/clock.hh"
 #include "serve/fabric_chaos.hh"
 #include "serve/net.hh"
 #include "super/supervisor.hh"
@@ -129,6 +131,23 @@ struct FabricOptions
     /** Bound on queued client submissions; past it, submits are shed
      *  with a structured retry-after error (0 = unbounded). */
     std::size_t maxQueued = 64;
+
+    // --- seams for the deterministic simulation ---------------------
+    /** Network to run on (nullptr = a TcpTransport the Fabric owns).
+     *  The simulation passes a simnet::SimTransport; borrowed, must
+     *  outlive the Fabric. */
+    Transport *transport = nullptr;
+    /** Time source (nullptr = Clock::real()). Borrowed. */
+    Clock *clock = nullptr;
+    /** When set, replaces the embedded fork/exec Supervisor for BOTH
+     *  the zero-agent local fallback and local audit executions —
+     *  the simulation's synthetic truth oracle. */
+    std::function<sim::RunResult(const super::CellSpec &)> localExec;
+    /** Planted regression (compiled only under EDGE_MUTATIONS, armed
+     *  only by the explorer's --mutate flag): finalize skips revoking
+     *  hedge siblings, leaking their leases — the bug the simulation
+     *  explorer must find and minimize. */
+    bool mutateNoHedgeRevoke = false;
 };
 
 class Fabric : public super::CellRunner
@@ -189,14 +208,15 @@ class Fabric : public super::CellRunner
         return _agentsQuarantined;
     }
     std::uint64_t shedSubmissions() const { return _shedSubmissions; }
+    /** Leases still live (un-answered, un-revoked) when a campaign
+     *  completed — always 0 unless a revocation path is broken. */
+    std::uint64_t leasesLeaked() const { return _leasesLeaked; }
     const FabricChaos::Tally &chaosTally() const
     {
         return _chaos.tally();
     }
 
   private:
-    using Clock = std::chrono::steady_clock;
-
     struct Peer;
     enum class CState : std::uint8_t
     {
@@ -324,7 +344,10 @@ class Fabric : public super::CellRunner
     void ensureJournal();
 
     FabricOptions _opts;
-    int _listenFd = -1;
+    Clock *_clk = nullptr;
+    Transport *_net = nullptr;
+    std::unique_ptr<Transport> _ownedNet; ///< when none was injected
+    bool _started = false;
     std::uint16_t _port = 0;
 
     std::map<std::uint64_t, std::unique_ptr<Peer>> _peers;
@@ -356,6 +379,7 @@ class Fabric : public super::CellRunner
     std::uint64_t _auditsDiverged = 0;
     std::uint64_t _agentsQuarantined = 0;
     std::uint64_t _shedSubmissions = 0;
+    std::uint64_t _leasesLeaked = 0;
     std::uint64_t _lastServedClient = 0;
     /** Recent per-cell wall latencies (ms), the p95 source for the
      *  auto hedge threshold. Bounded ring. */

@@ -148,18 +148,34 @@ connectTo(const std::string &host_port, std::string *err,
             continue;
         setCloexec(fd);
         if (timeoutMs == 0) {
-            if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            int rc;
+            do {
+                rc = connect(fd, ai->ai_addr, ai->ai_addrlen);
+            } while (rc != 0 && errno == EINTR);
+            if (rc == 0)
                 break;
         } else {
             // Deadline-bounded connect: go nonblocking, poll for
             // writability, then read back SO_ERROR for the verdict.
+            // The poll is re-armed against an ABSOLUTE deadline, so
+            // a signal storm (EINTR) shortens nothing and extends
+            // nothing.
             setNonblock(fd);
             int rc = connect(fd, ai->ai_addr, ai->ai_addrlen);
             if (rc == 0)
                 break;
             if (errno == EINPROGRESS) {
-                pollfd p = {fd, POLLOUT, 0};
-                rc = poll(&p, 1, static_cast<int>(timeoutMs));
+                Clock &clk = Clock::real();
+                const Clock::time_point deadline =
+                    clk.now() + std::chrono::milliseconds(timeoutMs);
+                for (;;) {
+                    std::int64_t left = clk.msUntil(deadline);
+                    pollfd p = {fd, POLLOUT, 0};
+                    rc = poll(&p, 1, static_cast<int>(left));
+                    if (rc < 0 && errno == EINTR)
+                        continue;
+                    break;
+                }
                 if (rc > 0) {
                     int so_err = 0;
                     socklen_t len = sizeof(so_err);
@@ -230,8 +246,22 @@ LineReader::next(std::string *line, std::string *err,
             return false;
         }
         if (timeoutMs != 0) {
-            pollfd p = {_fd, POLLIN, 0};
-            int rc = poll(&p, 1, static_cast<int>(timeoutMs));
+            // Absolute inactivity deadline: EINTR re-arms the poll
+            // with the time REMAINING, so interrupted waits neither
+            // fall through to a deadline-less blocking read nor
+            // restart the full timeout.
+            Clock &clk = Clock::real();
+            const Clock::time_point deadline =
+                clk.now() + std::chrono::milliseconds(timeoutMs);
+            int rc;
+            for (;;) {
+                std::int64_t left = clk.msUntil(deadline);
+                pollfd p = {_fd, POLLIN, 0};
+                rc = poll(&p, 1, static_cast<int>(left));
+                if (rc < 0 && errno == EINTR)
+                    continue;
+                break;
+            }
             if (rc == 0) {
                 if (err)
                     *err = "timed out after " +
@@ -239,7 +269,7 @@ LineReader::next(std::string *line, std::string *err,
                            " ms waiting for the coordinator";
                 return false;
             }
-            if (rc < 0 && errno != EINTR) {
+            if (rc < 0) {
                 if (err)
                     *err = errnoStr("poll");
                 return false;
@@ -338,6 +368,89 @@ Conn::send(const std::string &line)
     _out.append(line);
     _out.push_back('\n');
     onWritable();
+}
+
+void
+Conn::sever()
+{
+    if (_fd >= 0)
+        shutdown(_fd, SHUT_RDWR);
+    _dead = true;
+}
+
+TcpTransport::~TcpTransport()
+{
+    if (_listenFd >= 0)
+        close(_listenFd);
+}
+
+bool
+TcpTransport::listen(std::uint16_t port, std::string *err)
+{
+    _listenFd = listenOn(port, err);
+    if (_listenFd < 0)
+        return false;
+    _port = boundPort(_listenFd);
+    return true;
+}
+
+void
+TcpTransport::pump(int timeoutMs,
+                   const std::vector<Stream *> &streams,
+                   std::vector<std::unique_ptr<Stream>> *accepted)
+{
+    std::vector<pollfd> fds;
+    std::vector<Stream *> polled;
+    fds.reserve(streams.size() + 1);
+    if (_listenFd >= 0)
+        fds.push_back({_listenFd, POLLIN, 0});
+    for (Stream *s : streams) {
+        if (!s || s->dead() || s->fd() < 0)
+            continue;
+        short ev = POLLIN;
+        if (s->wantWrite())
+            ev |= POLLOUT;
+        fds.push_back({s->fd(), ev, 0});
+        polled.push_back(s);
+    }
+    if (fds.empty())
+        return;
+
+    int rc = poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                  timeoutMs);
+    if (rc < 0) {
+        // EINTR (or any transient poll failure) is a shortened turn:
+        // the caller's loop comes straight back with its own
+        // absolute deadlines intact.
+        return;
+    }
+    if (rc == 0)
+        return;
+
+    std::size_t base = 0;
+    if (_listenFd >= 0) {
+        base = 1;
+        if ((fds[0].revents & POLLIN) != 0 && accepted) {
+            for (;;) {
+                int cfd = accept(_listenFd, nullptr, nullptr);
+                if (cfd < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    break; // EAGAIN: drained
+                }
+                accepted->push_back(std::make_unique<Conn>(cfd));
+            }
+        }
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+        short re = fds[base + i].revents;
+        if (re == 0)
+            continue;
+        if ((re & POLLOUT) != 0)
+            polled[i]->onWritable();
+        if ((re & (POLLIN | POLLERR | POLLHUP)) != 0)
+            polled[i]->onReadable();
+    }
 }
 
 } // namespace edge::serve

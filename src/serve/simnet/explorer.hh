@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The fabric-simulation explorer: derives a whole simulated world —
+ * coordinator, N agents, M submit clients, their cells, and a
+ * synthetic truth oracle — from one seed, runs it on virtual time
+ * over a SimNet, and checks the fabric's invariants after every
+ * campaign:
+ *
+ *  - no cell lost (every outcome ran) or doubly completed,
+ *  - the report byte-identical to the single-host truth,
+ *  - durable-ack honored across coordinator crash/restart,
+ *  - quarantine only ever for genuinely corrupt agents (idempotent),
+ *  - no lease leaked past campaign completion,
+ *  - no client starved past the horizon.
+ *
+ * A violating seed is captured as a self-contained `.fabsim.json`
+ * (seed, world parameters, violation, recorded event schedule) that
+ * `--replay` reruns bit-identically in scripted mode, and
+ * `--minimize` delta-debugs with triage::minimizeOrdinals down to a
+ * few-event schedule.
+ */
+
+#ifndef EDGE_SERVE_SIMNET_EXPLORER_HH
+#define EDGE_SERVE_SIMNET_EXPLORER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/simnet/simnet.hh"
+#include "triage/jsonio.hh"
+
+namespace edge::serve::simnet {
+
+/** All program content in a simulated world is this one constant
+ *  hash: cells are never built or executed (the oracle synthesizes
+ *  results), so cell identity reduces to a cheap FNV over config. */
+constexpr std::uint64_t kSimProgramHash = 0x51edce11u;
+
+/** Virtual-time budget per world; a world that can't finish its
+ *  campaigns inside it has starved a client. */
+constexpr std::uint64_t kHorizonMs = 600'000;
+
+struct ExplorerOptions
+{
+    std::uint64_t seedLo = 0;
+    std::uint64_t seedHi = 99; ///< inclusive
+    SimProfile profile = SimProfile::None;
+    /** World shape overrides (0 = derive from the seed). */
+    unsigned agents = 0;
+    unsigned cells = 0;
+    unsigned clients = 0;
+    /** Fabric knob overrides (defaults derive per profile/seed). */
+    std::uint64_t hedgeAfterMs = 0;
+    double auditFrac = -1.0; ///< <0 = derive
+    std::size_t maxQueued = 0;
+    /** Arm the planted hedge-revocation regression (only has an
+     *  effect in EDGE_MUTATIONS builds). */
+    bool mutateNoHedgeRevoke = false;
+    /** Where `.fabsim.json` captures (and crash-profile journal
+     *  scratch files) land. */
+    std::string fabsimDir = "fabsim";
+};
+
+/** Fully derived parameters of one world (what a capture records). */
+struct WorldParams
+{
+    std::uint64_t seed = 0;
+    SimProfile profile = SimProfile::None;
+    unsigned agents = 1;
+    unsigned cells = 3;
+    unsigned clients = 1;
+    std::uint64_t hedgeAfterMs = 0;
+    double auditFrac = 0.0;
+    std::size_t maxQueued = 64;
+    bool mutateNoHedgeRevoke = false;
+    /** Journal scratch file ("" = journal-less world; crash profiles
+     *  need one for the durable-ack invariant). */
+    std::string journalPath;
+};
+
+struct Violation
+{
+    std::string invariant; ///< "" = clean run
+    std::string detail;
+};
+
+struct WorldResult
+{
+    Violation violation;
+    /** The recorded chaos schedule (replay/minimize input). */
+    std::vector<ChaosEvent> schedule;
+};
+
+/** Derive one world's parameters from (seed, options). */
+WorldParams deriveWorld(std::uint64_t seed,
+                        const ExplorerOptions &opts);
+
+/**
+ * Run one world. Generative mode when `script` is null (chaos drawn
+ * from the seed and recorded); scripted mode otherwise (ONLY the
+ * listed events are injected — the replay/ddmin path).
+ */
+WorldResult runWorld(const WorldParams &params,
+                     const std::vector<ChaosEvent> *script);
+
+/** Serialize / parse the self-contained `.fabsim.json` capture. */
+triage::JsonValue fabsimToJson(const WorldParams &params,
+                               const Violation &violation,
+                               const std::vector<ChaosEvent> &sched);
+bool fabsimFromJson(const triage::JsonValue &doc, WorldParams *params,
+                    Violation *violation,
+                    std::vector<ChaosEvent> *sched, std::string *err);
+
+/**
+ * Seed sweep: run [seedLo, seedHi] in generative mode, capture every
+ * violating seed to a `.fabsim.json` in opts.fabsimDir. Returns the
+ * process exit code (0 clean; the fabric-sim-violation code
+ * otherwise).
+ */
+int exploreMain(const ExplorerOptions &opts);
+
+/**
+ * Replay a `.fabsim.json` in scripted mode and report whether the
+ * recorded violation reproduces (exit 0) or not. With `minimize`,
+ * first ddmin the schedule to a locally 1-minimal event set and
+ * write `<file>.min.json`.
+ */
+int replayMain(const std::string &file, bool minimize,
+               const std::string &fabsimDir);
+
+} // namespace edge::serve::simnet
+
+#endif // EDGE_SERVE_SIMNET_EXPLORER_HH

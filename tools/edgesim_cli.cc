@@ -53,6 +53,7 @@
 #include "fuzz/diff.hh"
 #include "serve/agent.hh"
 #include "serve/daemon.hh"
+#include "serve/simnet/explorer.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "super/campaign.hh"
@@ -84,6 +85,9 @@ usage()
         "       edgesim serve --agent <host:port> [--slots N] [--name S]\n"
         "       edgesim --fuzz N --submit <host:port>\n"
         "       edgesim --kernel K --chaos-sweep N --submit <host:port>\n"
+        "       edgesim serve --simulate [--seeds A..B|N]\n"
+        "               [--sim-profile <name>] [--fabsim-dir <dir>]\n"
+        "       edgesim serve --replay <file.fabsim.json> [--minimize]\n"
         "\n"
         "  --fuzz N  differential fuzzing: N random hyperblock\n"
         "         programs, each run under every mechanism and\n"
@@ -152,7 +156,32 @@ usage()
         "         divergence quarantines the corrupt agent),\n"
         "         --max-queued N (shed submissions past N queued,\n"
         "         structured retry-after error; 0 = unbounded)\n"
-        "  agent knobs: --slots N, --name S, --die-after N\n"
+        "  --submit-retries N  resubmissions after an admission-\n"
+        "         control shed (honoring its retry_after_ms hint;\n"
+        "         default 3)\n"
+        "  agent knobs: --slots N, --name S, --die-after N,\n"
+        "         --reconnect-max N (re-dial attempts after a dropped\n"
+        "         coordinator connection, capped+jittered backoff;\n"
+        "         in-flight cells keep running and finished results\n"
+        "         are re-offered after re-registration; default 5)\n"
+        "\n"
+        "deterministic fabric simulation (docs/PROTOCOL.md):\n"
+        "  serve --simulate  run whole simulated fabrics (coordinator,\n"
+        "         agents, clients) on virtual time, one world per\n"
+        "         seed, checking fabric invariants; failing seeds are\n"
+        "         captured as self-contained .fabsim.json files\n"
+        "  --seeds A..B | N  seed range (inclusive) or first-N\n"
+        "  --sim-profile <name>  fault mix: none drop delay partition\n"
+        "         crash-restart liar heavy\n"
+        "  --sim-agents/--sim-cells/--sim-clients N  fix the world\n"
+        "         shape (default: derived per seed)\n"
+        "  --fabsim-dir <dir>  capture directory (default fabsim/)\n"
+        "  --mutate no-hedge-revoke  arm the planted regression\n"
+        "         (EDGE_MUTATIONS builds)\n"
+        "  serve --replay <file.fabsim.json>  re-run a captured world\n"
+        "         from its recorded event schedule; exits 0 iff the\n"
+        "         violation reproduces (--minimize: ddmin the schedule\n"
+        "         first, writing <file>.min.json)\n"
         "  --version  print the build provenance line\n"
         "  --capture-repro <dir>  write a .repro.json for every\n"
         "         failing run / sweep cell into <dir>\n"
@@ -166,7 +195,7 @@ usage()
         "  violation, 12 protocol panic, 13 livelock, 14 host\n"
         "  deadline, 15-18 worker crash/kill/timeout/protocol,\n"
         "  19 agent lost, 20 provenance mismatch, 21 agent corrupt,\n"
-        "  128+N interrupted by signal N\n"
+        "  22 fabric-sim violation, 128+N interrupted by signal N\n"
         "\n"
         "configs: ");
     for (const auto &c : sim::Configs::allNames())
@@ -409,8 +438,12 @@ serveCliMain(int argc, char **argv)
 {
     serve::ServeOptions so;
     serve::AgentOptions ao;
+    serve::simnet::ExplorerOptions xo;
     bool isAgent = false;
     bool haveListen = false;
+    bool simulate = false;
+    bool simMinimize = false;
+    std::string simReplay;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -433,6 +466,9 @@ serveCliMain(int argc, char **argv)
             ao.name = next();
         } else if (arg == "--die-after") {
             ao.dieAfterResults = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--reconnect-max") {
+            ao.reconnectMax = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
         } else if (arg == "--worker-path") {
             ao.workerPath = next();
             so.fabric.workerPath = ao.workerPath;
@@ -453,6 +489,7 @@ serveCliMain(int argc, char **argv)
         } else if (arg == "--hedge-after-ms") {
             so.fabric.hedgeAfterMs =
                 std::strtoull(next(), nullptr, 10);
+            xo.hedgeAfterMs = so.fabric.hedgeAfterMs;
         } else if (arg == "--hedge-max") {
             so.fabric.hedgeMax = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
@@ -461,9 +498,55 @@ serveCliMain(int argc, char **argv)
             fatal_if(so.fabric.auditFrac < 0 ||
                          so.fabric.auditFrac > 1,
                      "--audit-frac expects a fraction in [0,1]");
+            xo.auditFrac = so.fabric.auditFrac;
         } else if (arg == "--max-queued") {
             so.fabric.maxQueued = static_cast<std::size_t>(
                 std::strtoull(next(), nullptr, 10));
+            xo.maxQueued = so.fabric.maxQueued;
+        } else if (arg == "--simulate") {
+            simulate = true;
+        } else if (arg == "--seeds") {
+            std::string spec = next();
+            auto dots = spec.find("..");
+            if (dots == std::string::npos) {
+                // "--seeds N" = the first N seeds.
+                std::uint64_t n =
+                    std::strtoull(spec.c_str(), nullptr, 10);
+                fatal_if(n == 0, "--seeds expects N or A..B");
+                xo.seedLo = 0;
+                xo.seedHi = n - 1;
+            } else {
+                xo.seedLo =
+                    std::strtoull(spec.c_str(), nullptr, 10);
+                xo.seedHi = std::strtoull(
+                    spec.c_str() + dots + 2, nullptr, 10);
+                fatal_if(xo.seedHi < xo.seedLo,
+                         "--seeds range is backwards");
+            }
+        } else if (arg == "--sim-profile") {
+            fatal_if(!serve::simnet::simProfileByName(next(),
+                                                      &xo.profile),
+                     "unknown sim profile '%s'", argv[i]);
+        } else if (arg == "--sim-agents") {
+            xo.agents = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--sim-cells") {
+            xo.cells = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--sim-clients") {
+            xo.clients = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--fabsim-dir") {
+            xo.fabsimDir = next();
+        } else if (arg == "--replay") {
+            simReplay = next();
+        } else if (arg == "--minimize") {
+            simMinimize = true;
+        } else if (arg == "--mutate") {
+            std::string m = next();
+            fatal_if(m != "no-hedge-revoke",
+                     "unknown fabric mutation '%s'", m.c_str());
+            xo.mutateNoHedgeRevoke = true;
         } else if (arg == "--cell-timeout-ms") {
             so.fabric.cellTimeoutMs =
                 std::strtoull(next(), nullptr, 10);
@@ -515,6 +598,11 @@ serveCliMain(int argc, char **argv)
         }
     }
 
+    if (!simReplay.empty())
+        return serve::simnet::replayMain(simReplay, simMinimize,
+                                         xo.fabsimDir);
+    if (simulate)
+        return serve::simnet::exploreMain(xo);
     fatal_if(isAgent && haveListen,
              "serve: --agent and --listen are mutually exclusive");
     fatal_if(!isAgent && !haveListen,
@@ -564,6 +652,7 @@ main(int argc, char **argv)
     bool isolate = false;
     std::string submit_to;
     std::uint64_t submit_timeout_ms = 0;
+    unsigned submit_retries = 3;
     std::string journal_dir;
     std::string resume_path;
     std::uint64_t cell_timeout_ms = 0;
@@ -644,6 +733,9 @@ main(int argc, char **argv)
             submit_to = next();
         } else if (arg == "--submit-timeout-ms") {
             submit_timeout_ms = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--submit-retries") {
+            submit_retries = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
         } else if (arg == "--journal-dir") {
             journal_dir = next();
             isolate = true;
@@ -762,7 +854,8 @@ main(int argc, char **argv)
             fuzz::FuzzReport rep;
             std::string err;
             if (!serve::submitFuzz(submit_to, fo, &rep, &err,
-                                   submit_timeout_ms))
+                                   submit_timeout_ms,
+                                   submit_retries))
                 fatal("--submit: %s", err.c_str());
             if (rep.interrupted)
                 warn("campaign was interrupted on the coordinator; "
@@ -824,7 +917,8 @@ main(int argc, char **argv)
             std::string err;
             if (!serve::submitSweep(submit_to, sp, prog_ref, &rep,
                                     &interrupted, &err,
-                                    submit_timeout_ms))
+                                    submit_timeout_ms,
+                                    submit_retries))
                 fatal("--submit: %s", err.c_str());
             if (!repro_dir.empty())
                 triage::captureSweepFailures(rep, prog_ref,
